@@ -1,0 +1,103 @@
+//! Host wall-clock benchmarks of the three paper kernels in both
+//! programming models (the host-side complement to the simulated-XMT
+//! numbers the figure binaries report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xmt_bench::HarnessConfig;
+use xmt_bsp::algorithms as bsp_alg;
+use xmt_bsp::runtime::BspConfig;
+use xmt_graph::Csr;
+
+fn graph(scale: u32) -> Csr {
+    let cfg = HarnessConfig::parse(scale, std::iter::empty::<String>());
+    xmt_bench::build_paper_graph(&cfg)
+}
+
+fn bench_connected_components(c: &mut Criterion) {
+    let g = graph(12);
+    let mut group = c.benchmark_group("connected_components");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("graphct", 12), |b| {
+        b.iter(|| graphct::connected_components(&g))
+    });
+    group.bench_function(BenchmarkId::new("bsp", 12), |b| {
+        b.iter(|| bsp_alg::components::bsp_connected_components(&g, None))
+    });
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = graph(12);
+    let source = xmt_bench::pick_bfs_source(&g);
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("graphct", 12), |b| {
+        b.iter(|| graphct::bfs(&g, source))
+    });
+    group.bench_function(BenchmarkId::new("bsp", 12), |b| {
+        b.iter(|| bsp_alg::bfs::bsp_bfs(&g, source, None))
+    });
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let g = graph(11);
+    let mut group = c.benchmark_group("triangles");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("graphct", 11), |b| {
+        b.iter(|| graphct::count_triangles(&g))
+    });
+    group.bench_function(BenchmarkId::new("bsp", 11), |b| {
+        b.iter(|| bsp_alg::triangles::bsp_count_triangles(&g, None))
+    });
+    group.finish();
+}
+
+fn bench_toolkit_extras(c: &mut Criterion) {
+    let g = graph(11);
+    let mut group = c.benchmark_group("toolkit");
+    group.sample_size(10);
+    group.bench_function("kcore", |b| b.iter(|| graphct::kcore_decomposition(&g)));
+    group.bench_function("pagerank", |b| {
+        b.iter(|| graphct::pagerank(&g, graphct::pagerank::PagerankOptions::default()))
+    });
+    group.bench_function("betweenness_sampled_16", |b| {
+        b.iter(|| graphct::betweenness_centrality(&g, Some(16)))
+    });
+    group.finish();
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let g = graph(12);
+    let mut group = c.benchmark_group("transport");
+    group.sample_size(10);
+    for (name, transport) in [
+        ("outbox", xmt_bsp::Transport::PerThreadOutbox),
+        ("single_queue", xmt_bsp::Transport::SingleQueue),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                bsp_alg::components::bsp_connected_components_with_config(
+                    &g,
+                    BspConfig {
+                        transport,
+                        ..Default::default()
+                    },
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_connected_components,
+    bench_bfs,
+    bench_triangles,
+    bench_toolkit_extras,
+    bench_transports
+);
+criterion_main!(benches);

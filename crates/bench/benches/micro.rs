@@ -1,0 +1,149 @@
+//! Substrate micro-benchmarks: the parallel runtime, CSR construction,
+//! message exchange and the intersection kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use xmt_bsp::program::MinCombiner;
+use xmt_bsp::Inbox;
+use xmt_graph::builder::build_undirected;
+use xmt_graph::gen::er::gnm;
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par");
+    let n = 1_000_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("parallel_for_1M_noop", |b| {
+        b.iter(|| {
+            let sink = std::sync::atomic::AtomicU64::new(0);
+            xmt_par::parallel_for(0, n, |i| {
+                if i == n - 1 {
+                    sink.store(i as u64, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        })
+    });
+    group.bench_function("prefix_sum_1M", |b| {
+        let data = vec![3u64; n];
+        b.iter(|| {
+            let mut v = data.clone();
+            xmt_par::exclusive_prefix_sum(&mut v)
+        })
+    });
+    group.bench_function("reduce_sum_1M", |b| {
+        b.iter(|| xmt_par::reduce::sum_u64(0, n, |i| i as u64))
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+    let el = gnm(100_000, 1_600_000, 5);
+    group.throughput(Throughput::Elements(el.num_edges() as u64));
+    group.bench_function("csr_build_undirected_1.6M", |b| {
+        b.iter(|| build_undirected(&el))
+    });
+    let rp = xmt_graph::gen::rmat::RmatParams::graph500(16);
+    group.bench_function("rmat_generate_scale16", |b| {
+        b.iter(|| xmt_graph::gen::rmat::rmat_edges(&rp, 9))
+    });
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange");
+    group.sample_size(20);
+    let n = 100_000usize;
+    let workers = 8usize;
+    let per = 200_000usize;
+    let batches: Vec<Vec<(u64, u64)>> = (0..workers)
+        .map(|w| {
+            (0..per)
+                .map(|i| ((i * 7 + w) as u64 % n as u64, i as u64))
+                .collect()
+        })
+        .collect();
+    group.throughput(Throughput::Elements((workers * per) as u64));
+    group.bench_function("inbox_build_1.6M_msgs", |b| {
+        b.iter(|| Inbox::build(n, &batches, None))
+    });
+    group.bench_function("inbox_build_combined", |b| {
+        b.iter(|| Inbox::build(n, &batches, Some(&MinCombiner)))
+    });
+    group.finish();
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    // The triangle inner loop: counting via sorted adjacency on a graph
+    // with hubs (skewed list lengths).
+    let g = build_undirected(&xmt_graph::gen::rmat::rmat_edges(
+        &xmt_graph::gen::rmat::RmatParams::graph500(12),
+        4,
+    ));
+    let mut group = c.benchmark_group("intersection");
+    group.sample_size(10);
+    group.bench_function("count_triangles_scale12", |b| {
+        b.iter(|| graphct::count_triangles(&g))
+    });
+    group.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    use stinger_lite::{DynGraph, StreamingClustering};
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(20);
+    let updates: Vec<(u64, u64)> = {
+        let el = xmt_graph::gen::er::gnm(10_000, 50_000, 8);
+        el.edges
+    };
+    group.throughput(Throughput::Elements(updates.len() as u64));
+    group.bench_function("incremental_triangles_50k_updates", |b| {
+        b.iter(|| {
+            let mut s = StreamingClustering::new(10_000);
+            for &(u, v) in &updates {
+                s.insert_edge(u, v);
+            }
+            s.triangles()
+        })
+    });
+    group.bench_function("dyngraph_batch_insert_50k", |b| {
+        b.iter(|| {
+            let mut g = DynGraph::new(10_000);
+            g.insert_batch(&updates)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_empty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_empty");
+    group.bench_function("handoff_10k", |b| {
+        b.iter(|| {
+            let cell = std::sync::Arc::new(xmt_par::FullEmptyCell::empty());
+            let tx = std::sync::Arc::clone(&cell);
+            let producer = std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx.write_ef(i);
+                }
+            });
+            let mut sum = 0u64;
+            for _ in 0..10_000 {
+                sum += cell.read_fe();
+            }
+            producer.join().unwrap();
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_for,
+    bench_csr_build,
+    bench_exchange,
+    bench_intersection,
+    bench_streaming,
+    bench_full_empty
+);
+criterion_main!(benches);

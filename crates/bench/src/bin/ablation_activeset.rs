@@ -1,0 +1,105 @@
+//! Ablation of the active-set strategy: the O(V)-per-superstep dense
+//! scan (the straightforward XMT port, responsible for the paper's
+//! "two orders of magnitude" early/late-superstep overhead in BFS) vs a
+//! compacted worklist whose cost tracks the active set.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin ablation_activeset [-- --scale N]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::output::fmt_secs;
+use xmt_bench::run::{bsp_step_seconds, run_bfs, total_seconds};
+use xmt_bench::{build_paper_graph, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+use xmt_bsp::ActiveSetStrategy;
+
+#[derive(Serialize)]
+struct ActiveSetRow {
+    strategy: String,
+    superstep: u64,
+    active: u64,
+    seconds_at_max_procs: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(16);
+    let model = cfg.model();
+    let pmax = cfg.max_procs();
+
+    eprintln!("ablation_activeset: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    let source = pick_bfs_source(&g);
+
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for (name, strategy) in [
+        ("dense-scan", ActiveSetStrategy::DenseScan),
+        ("worklist", ActiveSetStrategy::Worklist),
+    ] {
+        eprintln!("running BFS with {name} active sets ...");
+        let bfs = run_bfs(
+            &g,
+            source,
+            BspConfig {
+                active_set: strategy,
+                ..Default::default()
+            },
+        );
+        let steps = bsp_step_seconds(&bfs.bsp_rec, &model, pmax);
+        for (step, secs) in &steps {
+            rows.push(ActiveSetRow {
+                strategy: name.into(),
+                superstep: *step,
+                active: bfs
+                    .bsp
+                    .superstep_stats
+                    .get(*step as usize)
+                    .map(|s| s.active)
+                    .unwrap_or(0),
+                seconds_at_max_procs: *secs,
+            });
+        }
+        totals.push((name, total_seconds(&bfs.bsp_rec, &model, pmax)));
+    }
+
+    println!();
+    println!(
+        "ABLATION — BSP active-set strategy (BFS per-superstep time at P={pmax}), RMAT scale {}",
+        cfg.scale
+    );
+    let mut t = Table::new(&["superstep", "active", "dense-scan", "worklist", "scan/worklist"]);
+    let max_step = rows.iter().map(|r| r.superstep).max().unwrap_or(0);
+    for step in 0..=max_step {
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r.strategy == name && r.superstep == step)
+                .map(|r| (r.active, r.seconds_at_max_procs))
+                .unwrap_or((0, f64::NAN))
+        };
+        let (active, dense) = find("dense-scan");
+        let (_, work) = find("worklist");
+        t.row(&[
+            step.to_string(),
+            active.to_string(),
+            format!("{dense:.3e}"),
+            format!("{work:.3e}"),
+            format!("{:.1}x", dense / work),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "totals: dense-scan {} vs worklist {} ({:.2}x). The scan itself shrinks to O(active), \
+but the inbox grouping stays O(V) in both strategies, so the end-to-end gap is bounded \
+by the scan's share of each superstep (largest when the frontier is tiny).",
+        fmt_secs(totals[0].1),
+        fmt_secs(totals[1].1),
+        totals[0].1 / totals[1].1
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "ablation_activeset", &rows).expect("write results");
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablation of the neighbor-intersection strategy in shared-memory
+//! triangle counting (the paper's §VI: "the exact mechanisms of
+//! performing the neighbor intersection can be varied — see ref 12"):
+//! linear merge walk vs short-list-into-long-list binary search.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin ablation_intersect [-- --scale N]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::output::fmt_secs;
+use xmt_bench::run::total_seconds;
+use xmt_bench::{build_paper_graph, write_json, HarnessConfig, Table};
+use xmt_model::Recorder;
+
+#[derive(Serialize)]
+struct IntersectRow {
+    strategy: String,
+    adjacency_reads: u64,
+    seconds_at_max_procs: f64,
+    host_seconds: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(16);
+    let model = cfg.model();
+    let pmax = cfg.max_procs();
+
+    eprintln!("ablation_intersect: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+
+    let mut rows = Vec::new();
+
+    eprintln!("merge-walk intersection ...");
+    let mut merge_rec = Recorder::new();
+    let t0 = std::time::Instant::now();
+    let merge_count = graphct::count_triangles_instrumented(&g, &mut merge_rec);
+    let merge_host = t0.elapsed().as_secs_f64();
+    rows.push(IntersectRow {
+        strategy: "merge walk".into(),
+        adjacency_reads: merge_rec.total().reads,
+        seconds_at_max_procs: total_seconds(&merge_rec, &model, pmax),
+        host_seconds: merge_host,
+    });
+
+    eprintln!("binary-search intersection ...");
+    let mut bin_rec = Recorder::new();
+    let t0 = std::time::Instant::now();
+    let bin_count = graphct::count_triangles_binsearch(&g, Some(&mut bin_rec));
+    let bin_host = t0.elapsed().as_secs_f64();
+    assert_eq!(merge_count, bin_count, "strategies must agree");
+    rows.push(IntersectRow {
+        strategy: "binary search".into(),
+        adjacency_reads: bin_rec.total().reads,
+        seconds_at_max_procs: total_seconds(&bin_rec, &model, pmax),
+        host_seconds: bin_host,
+    });
+
+    println!();
+    println!(
+        "ABLATION — triangle intersection strategy, RMAT scale {} ({merge_count} triangles)",
+        cfg.scale
+    );
+    let mut t = Table::new(&[
+        "strategy",
+        "adjacency reads",
+        &format!("XMT time @ P={pmax}"),
+        "host time",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.strategy.clone(),
+            r.adjacency_reads.to_string(),
+            fmt_secs(r.seconds_at_max_procs),
+            fmt_secs(r.host_seconds),
+        ]);
+    }
+    t.print();
+    println!();
+    let ratio = rows[0].adjacency_reads as f64 / rows[1].adjacency_reads.max(1) as f64;
+    println!(
+        "read ratio merge/binary = {ratio:.2}x — {}",
+        if ratio > 1.0 {
+            "binary search wins: skewed pairs dominate, probing the short list into the hub pays"
+        } else {
+            "the merge walk wins overall: most intersections pair similar-length lists, where \
+the walk's linear scan beats log-factor probing; binary search only wins on extreme skew"
+        }
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "ablation_intersect", &rows).expect("write results");
+    }
+}

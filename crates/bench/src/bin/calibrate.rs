@@ -1,0 +1,109 @@
+//! Derive the analytic-model constants from the discrete-event
+//! Threadstorm simulator and validate the model against it.
+//!
+//! Prints the calibrated constants, then a validation table comparing
+//! model-predicted vs simulated cycles for self-scheduled parallel loops
+//! at several shapes (memory-bound, compute-bound, low-parallelism).
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin calibrate
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::{write_json, HarnessConfig, Table};
+use xmt_model::{ModelParams, PhaseCounts};
+use xmt_sim::{kernels, MachineConfig};
+
+#[derive(Serialize)]
+struct ValidationRow {
+    kernel: String,
+    procs: usize,
+    sim_cycles: u64,
+    model_cycles: f64,
+    error_pct: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(0);
+    let machine = MachineConfig::default();
+
+    eprintln!("calibrating against the simulator (this runs the micro-kernels) ...");
+    let constants = xmt_sim::calibrate(&machine);
+    println!("\ncalibrated constants (machine: {} procs x {} streams @ {} MHz):",
+        machine.processors, machine.streams_per_proc, machine.clock_hz / 1e6);
+    println!("  mem_period (λ)      = {:>8.1} cycles/ref", constants.mem_period);
+    println!("  hotspot_interval    = {:>8.1} cycles/op", constants.hotspot_interval);
+    println!("  barrier_base        = {:>8.1} cycles", constants.barrier_base);
+    println!("  barrier_per_proc    = {:>8.1} cycles/proc", constants.barrier_per_proc);
+    println!("  alu_ipc             = {:>8.2} instr/cycle/proc", constants.alu_ipc);
+
+    let pinned = ModelParams::default();
+    println!("\npinned defaults used by the harness: λ={}, hotspot={}, barrier={}+{}·P, ipc={}",
+        pinned.mem_period, pinned.hotspot_interval, pinned.barrier_base,
+        pinned.barrier_per_proc, pinned.alu_ipc);
+
+    // Validation: self-scheduled loops on small machines, sim vs model.
+    let model = ModelParams {
+        streams_per_proc: 16,
+        clock_hz: machine.clock_hz,
+        mem_period: constants.mem_period,
+        hotspot_interval: constants.hotspot_interval,
+        barrier_base: constants.barrier_base,
+        barrier_per_proc: constants.barrier_per_proc,
+        alu_ipc: constants.alu_ipc,
+    };
+    let shapes: [(&str, usize, u32, usize); 3] = [
+        ("memory-bound", 4000, 1, 4),
+        ("compute-bound", 4000, 16, 1),
+        ("low-parallelism", 64, 2, 2),
+    ];
+    let mut rows = Vec::new();
+    for procs in [1usize, 2, 4, 8] {
+        let sim_cfg = MachineConfig {
+            processors: procs,
+            streams_per_proc: 16,
+            ..machine
+        };
+        for &(name, items, alu, loads) in &shapes {
+            let stats = kernels::parallel_loop(&sim_cfg, items, alu, loads);
+            assert!(!stats.hit_cycle_limit, "kernel did not finish");
+            let streams = sim_cfg.total_streams() as u64;
+            let mut c = PhaseCounts::with_items(items as u64);
+            c.alu_ops = items as u64 * alu as u64;
+            c.reads = (items * loads) as u64;
+            // Claim fetch-adds: one per chunk, as the kernel issues them.
+            let chunk = (items / (sim_cfg.total_streams() * 4)).clamp(1, 256) as u64;
+            c.hotspot_ops = (items as u64).div_ceil(chunk) + streams;
+            let predicted = c.predict_cycles(&model, procs);
+            let err = (predicted - stats.cycles as f64) / stats.cycles as f64 * 100.0;
+            rows.push(ValidationRow {
+                kernel: name.into(),
+                procs,
+                sim_cycles: stats.cycles,
+                model_cycles: predicted,
+                error_pct: err,
+            });
+        }
+    }
+
+    println!("\nmodel-vs-simulator validation (self-scheduled parallel loops):");
+    let mut t = Table::new(&["kernel", "procs", "sim cycles", "model cycles", "error"]);
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            r.procs.to_string(),
+            r.sim_cycles.to_string(),
+            format!("{:.0}", r.model_cycles),
+            format!("{:+.0}%", r.error_pct),
+        ]);
+    }
+    t.print();
+
+    let worst = rows.iter().map(|r| r.error_pct.abs()).fold(0.0, f64::max);
+    println!("\nworst-case |error|: {worst:.0}%");
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "calibration", &rows).expect("write results");
+    }
+}

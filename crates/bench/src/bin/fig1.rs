@@ -1,0 +1,111 @@
+//! Regenerate **Figure 1**: connected-components execution time by
+//! iteration (superstep), one series per processor count, BSP panel vs
+//! GraphCT panel.
+//!
+//! The paper's reading: BSP needs ~13 supersteps with the first few
+//! touching almost the whole graph (linear scaling) and a long cheap
+//! tail that stops scaling; GraphCT needs ~6 iterations of near-constant
+//! cost, all scaling linearly.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin fig1 [-- --scale N --procs A,B,..]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::run::{bsp_step_seconds, ct_step_seconds, run_cc, total_seconds};
+use xmt_bench::{build_paper_graph, paper, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+
+#[derive(Serialize)]
+struct Fig1Point {
+    panel: String,
+    step: u64,
+    procs: usize,
+    seconds: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(18);
+    let model = cfg.model();
+
+    eprintln!("fig1: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    eprintln!("running connected components (both models) ...");
+    let cc = run_cc(&g, BspConfig::default());
+
+    let mut points = Vec::new();
+    for &p in &cfg.procs {
+        for (step, secs) in bsp_step_seconds(&cc.bsp_rec, &model, p) {
+            points.push(Fig1Point {
+                panel: "BSP".into(),
+                step,
+                procs: p,
+                seconds: secs,
+            });
+        }
+        for (step, secs) in ct_step_seconds(&cc.ct_rec, &model, "iteration", p) {
+            points.push(Fig1Point {
+                panel: "GraphCT".into(),
+                step,
+                procs: p,
+                seconds: secs,
+            });
+        }
+    }
+
+    println!();
+    println!("FIGURE 1 — connected components time (s) per superstep/iteration");
+    println!(
+        "(RMAT scale {}; BSP converged in {} supersteps, GraphCT in {} iterations; paper: {} vs {})",
+        cfg.scale,
+        cc.bsp.supersteps,
+        cc.ct_rec.steps("iteration"),
+        paper::CC_BSP_SUPERSTEPS,
+        paper::CC_GRAPHCT_ITERATIONS,
+    );
+    for panel in ["BSP", "GraphCT"] {
+        println!("\n[{panel}]");
+        let mut header: Vec<String> = vec!["step".into()];
+        header.extend(cfg.procs.iter().map(|p| format!("P={p}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&header_refs);
+        let steps: Vec<u64> = {
+            let mut s: Vec<u64> = points
+                .iter()
+                .filter(|x| x.panel == panel)
+                .map(|x| x.step)
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        for step in steps {
+            let mut row = vec![step.to_string()];
+            for &p in &cfg.procs {
+                let secs = points
+                    .iter()
+                    .find(|x| x.panel == panel && x.step == step && x.procs == p)
+                    .map(|x| x.seconds)
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{secs:.3e}"));
+            }
+            t.row(&row);
+        }
+        t.print();
+    }
+
+    let pmax = cfg.max_procs();
+    println!();
+    println!(
+        "totals at P={pmax}: BSP {}, GraphCT {} (paper at 128P: {:.2}s vs {:.2}s)",
+        xmt_bench::output::fmt_secs(total_seconds(&cc.bsp_rec, &model, pmax)),
+        xmt_bench::output::fmt_secs(total_seconds(&cc.ct_rec, &model, pmax)),
+        paper::CC_BSP_SECONDS,
+        paper::CC_GRAPHCT_SECONDS,
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "fig1", &points).expect("write results");
+    }
+}

@@ -1,0 +1,97 @@
+//! Regenerate **Figure 2**: size of the breadth-first-search frontier
+//! (GraphCT) vs the number of messages generated (BSP) at every level.
+//!
+//! The paper's reading: BSP generates one message per edge incident on
+//! the frontier; after the frontier apex that is an order of magnitude
+//! more than the true frontier, declining exponentially.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin fig2 [-- --scale N]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::run::run_bfs;
+use xmt_bench::{build_paper_graph, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+
+#[derive(Serialize)]
+struct Fig2Row {
+    level: u64,
+    graphct_frontier: u64,
+    bsp_messages: u64,
+    ratio: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(18);
+
+    eprintln!("fig2: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    let source = pick_bfs_source(&g);
+    eprintln!("running BFS from vertex {source} (both models) ...");
+    let bfs = run_bfs(&g, source, BspConfig::default());
+
+    let mut rows = Vec::new();
+    let levels = bfs.ct.frontier_sizes.len();
+    for level in 0..levels {
+        let frontier = bfs.ct.frontier_sizes[level];
+        let messages = bfs
+            .bsp
+            .superstep_stats
+            .get(level)
+            .map(|s| s.messages_sent)
+            .unwrap_or(0);
+        rows.push(Fig2Row {
+            level: level as u64,
+            graphct_frontier: frontier,
+            bsp_messages: messages,
+            ratio: messages as f64 / frontier.max(1) as f64,
+        });
+    }
+
+    println!();
+    println!("FIGURE 2 — BFS frontier size vs BSP messages generated, by level");
+    println!(
+        "(RMAT scale {}, source {}; messages = edges incident on the frontier)",
+        cfg.scale, source
+    );
+    let mut t = Table::new(&["level", "GraphCT frontier", "BSP messages", "msg/frontier"]);
+    for r in &rows {
+        t.row(&[
+            r.level.to_string(),
+            r.graphct_frontier.to_string(),
+            r.bsp_messages.to_string(),
+            format!("{:.1}", r.ratio),
+        ]);
+    }
+    t.print();
+
+    // The paper's claims, checked mechanically:
+    let apex = rows.iter().map(|r| r.graphct_frontier).max().unwrap_or(0);
+    let apex_level = rows
+        .iter()
+        .position(|r| r.graphct_frontier == apex)
+        .unwrap_or(0);
+    let post_apex_ratio: f64 = rows
+        .iter()
+        .skip(apex_level)
+        .map(|r| r.ratio)
+        .fold(0.0, f64::max);
+    println!();
+    println!(
+        "frontier apex at level {apex_level} ({apex} vertices); max message blowup from the apex on: {post_apex_ratio:.1}x (paper: ~10x)"
+    );
+    let tail_declines = rows
+        .windows(2)
+        .skip(apex_level + 1)
+        .all(|w| w[1].bsp_messages <= w[0].bsp_messages);
+    println!(
+        "messages decline monotonically after the apex: {}",
+        if tail_declines { "yes" } else { "no" }
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "fig2", &rows).expect("write results");
+    }
+}

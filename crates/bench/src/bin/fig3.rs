@@ -1,0 +1,127 @@
+//! Regenerate **Figure 3**: scalability of breadth-first-search levels
+//! (the paper plots levels 3–8) — time vs processor count, BSP panel vs
+//! GraphCT panel.
+//!
+//! The paper's reading: mid-traversal levels (the frontier apex) scale
+//! linearly in both models; early and late levels are flat because the
+//! frontier is too small to occupy the machine; the BSP message queue's
+//! extra contention trims its scaling at high processor counts.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin fig3 [-- --scale N --procs A,B,..]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::output::fmt_secs;
+use xmt_bench::run::{bsp_step_seconds, ct_step_seconds, run_bfs, total_seconds};
+use xmt_bench::{build_paper_graph, paper, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+
+#[derive(Serialize)]
+struct Fig3Point {
+    panel: String,
+    level: u64,
+    procs: usize,
+    seconds: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(18);
+    let model = cfg.model();
+
+    eprintln!("fig3: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    let source = pick_bfs_source(&g);
+    eprintln!("running BFS from vertex {source} (both models) ...");
+    let bfs = run_bfs(&g, source, BspConfig::default());
+
+    let nlevels = bfs.ct.frontier_sizes.len() as u64;
+    // The paper plots levels 3..=8; keep whatever of that range exists,
+    // falling back to all levels on small graphs.
+    let levels: Vec<u64> = if nlevels > 3 {
+        (3..nlevels.min(9)).collect()
+    } else {
+        (0..nlevels).collect()
+    };
+
+    let mut points = Vec::new();
+    for &p in &cfg.procs {
+        for (step, secs) in bsp_step_seconds(&bfs.bsp_rec, &model, p) {
+            if levels.contains(&step) {
+                points.push(Fig3Point {
+                    panel: "BSP".into(),
+                    level: step,
+                    procs: p,
+                    seconds: secs,
+                });
+            }
+        }
+        for (step, secs) in ct_step_seconds(&bfs.ct_rec, &model, "level", p) {
+            if levels.contains(&step) {
+                points.push(Fig3Point {
+                    panel: "GraphCT".into(),
+                    level: step,
+                    procs: p,
+                    seconds: secs,
+                });
+            }
+        }
+    }
+
+    println!();
+    println!("FIGURE 3 — BFS per-level time (s) vs processor count");
+    println!(
+        "(RMAT scale {}, source {}, levels {:?}; paper: levels 3-8 of a scale-24 graph)",
+        cfg.scale, source, levels
+    );
+    for panel in ["BSP", "GraphCT"] {
+        println!("\n[{panel}]");
+        let mut header: Vec<String> = vec!["level".into()];
+        header.extend(cfg.procs.iter().map(|p| format!("P={p}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&header_refs);
+        for &level in &levels {
+            let mut row = vec![level.to_string()];
+            for &p in &cfg.procs {
+                let secs = points
+                    .iter()
+                    .find(|x| x.panel == panel && x.level == level && x.procs == p)
+                    .map(|x| x.seconds)
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{secs:.3e}"));
+            }
+            t.row(&row);
+        }
+        t.print();
+        // Per-level speedup from the smallest to the largest machine.
+        let p_lo = cfg.procs[0];
+        let p_hi = cfg.max_procs();
+        let mut s = String::from("speedup: ");
+        for &level in &levels {
+            let find = |p: usize| {
+                points
+                    .iter()
+                    .find(|x| x.panel == panel && x.level == level && x.procs == p)
+                    .map(|x| x.seconds)
+                    .unwrap_or(f64::NAN)
+            };
+            s.push_str(&format!("L{level} {:.1}x  ", find(p_lo) / find(p_hi)));
+        }
+        println!("{s}(ideal {:.0}x)", p_hi as f64 / p_lo as f64);
+    }
+
+    let pmax = cfg.max_procs();
+    println!();
+    println!(
+        "totals at P={pmax}: BSP {}, GraphCT {} (paper at 128P: {} vs {})",
+        fmt_secs(total_seconds(&bfs.bsp_rec, &model, pmax)),
+        fmt_secs(total_seconds(&bfs.ct_rec, &model, pmax)),
+        fmt_secs(paper::BFS_BSP_SECONDS),
+        fmt_secs(paper::BFS_GRAPHCT_SECONDS),
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "fig3", &points).expect("write results");
+    }
+}

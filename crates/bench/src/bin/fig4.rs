@@ -1,0 +1,103 @@
+//! Regenerate **Figure 4**: scalability of triangle counting — total
+//! time vs processor count, BSP and GraphCT.
+//!
+//! The paper's reading: both implementations scale linearly to 128
+//! processors; the BSP version is ~9.4× slower because it must emit
+//! every *possible* triangle as a message (5.5 G candidates vs 30.9 M
+//! real triangles — 181× the writes), and the XMT absorbs most, but not
+//! all, of that extra memory traffic.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin fig4 [-- --scale N --procs A,B,..]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::output::fmt_secs;
+use xmt_bench::run::{run_tc, total_seconds};
+use xmt_bench::{build_paper_graph, paper, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+
+#[derive(Serialize)]
+struct Fig4Row {
+    procs: usize,
+    bsp_seconds: f64,
+    graphct_seconds: f64,
+    ratio: f64,
+}
+
+fn main() {
+    // Triangle counting's candidate-message volume grows superlinearly
+    // with scale; default smaller than the other figures.
+    let cfg = HarnessConfig::from_args(16);
+    let model = cfg.model();
+
+    eprintln!("fig4: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    eprintln!("running triangle counting (both models) ...");
+    let tc = run_tc(&g, BspConfig::default());
+
+    let candidates = tc.bsp.superstep_stats[1].messages_sent;
+    let bsp_writes: u64 = tc.bsp_rec.records.iter().map(|r| r.counts.writes).sum();
+    let ct_writes: u64 = tc.ct_rec.records.iter().map(|r| r.counts.writes).sum();
+
+    let mut rows = Vec::new();
+    for &p in &cfg.procs {
+        let b = total_seconds(&tc.bsp_rec, &model, p);
+        let c = total_seconds(&tc.ct_rec, &model, p);
+        rows.push(Fig4Row {
+            procs: p,
+            bsp_seconds: b,
+            graphct_seconds: c,
+            ratio: b / c,
+        });
+    }
+
+    println!();
+    println!("FIGURE 4 — triangle counting time (s) vs processor count");
+    println!(
+        "(RMAT scale {}: {} triangles, {} candidate messages; paper scale 24: {:.1e} triangles, {:.1e} candidates)",
+        cfg.scale,
+        tc.triangles,
+        candidates,
+        paper::TC_TRIANGLES,
+        paper::TC_CANDIDATE_MESSAGES
+    );
+    let mut t = Table::new(&["procs", "BSP", "GraphCT", "ratio"]);
+    for r in &rows {
+        t.row(&[
+            r.procs.to_string(),
+            fmt_secs(r.bsp_seconds),
+            fmt_secs(r.graphct_seconds),
+            format!("{:.1}x", r.ratio),
+        ]);
+    }
+    t.print();
+
+    // Scaling check: both series should be near-linear.
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    let ideal = last.procs as f64 / first.procs as f64;
+    println!();
+    println!(
+        "speedup {}→{} procs: BSP {:.1}x, GraphCT {:.1}x (ideal {:.0}x)",
+        first.procs,
+        last.procs,
+        first.bsp_seconds / last.bsp_seconds,
+        first.graphct_seconds / last.graphct_seconds,
+        ideal
+    );
+    println!(
+        "write blowup: BSP {} vs shared {} -> {:.0}x (paper {:.0}x); slowdown at P={}: {:.1}x (paper 9.4x)",
+        bsp_writes,
+        ct_writes,
+        bsp_writes as f64 / ct_writes.max(1) as f64,
+        paper::TC_WRITE_RATIO,
+        last.procs,
+        last.ratio
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "fig4", &rows).expect("write results");
+    }
+}

@@ -1,0 +1,100 @@
+//! The paper's related-work context, reproduced: the same BSP
+//! computation costed on three platforms — the simulated Cray XMT, a
+//! Giraph-style 6-node cluster (§III), and a Trinity-style 14-node
+//! cluster (§IV) — from one set of recorded phase counts.
+//!
+//! The point the paper makes across §III-§IV: a large shared-memory
+//! machine runs vertex-centric BSP with *superstep costs proportional to
+//! actual work*, while commodity clusters pay a fixed coordination
+//! latency every superstep and ship every message over the wire — so
+//! small supersteps cost milliseconds on the XMT and a quarter-second on
+//! Hadoop-era clusters.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin related_work [-- --scale N]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::output::fmt_secs;
+use xmt_bench::run::{run_bfs, run_cc, total_seconds};
+use xmt_bench::{build_paper_graph, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+use xmt_model::{predict_cluster_seconds, ClusterParams};
+
+#[derive(Serialize)]
+struct RelatedWorkRow {
+    algorithm: String,
+    platform: String,
+    seconds: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(16);
+    let model = cfg.model();
+    let pmax = cfg.max_procs();
+
+    eprintln!("related_work: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    let source = pick_bfs_source(&g);
+
+    eprintln!("running CC and BFS (BSP) ...");
+    let cc = run_cc(&g, BspConfig::default());
+    let bfs = run_bfs(&g, source, BspConfig::default());
+
+    let giraph = ClusterParams::giraph_six_nodes();
+    let trinity = ClusterParams::trinity_fourteen_nodes();
+
+    let mut rows = Vec::new();
+    // CC: 1-word messages; BFS: 2-word messages (dist, parent).
+    for (name, rec, words) in [
+        ("Connected Components", &cc.bsp_rec, 1u64),
+        ("Breadth-first Search", &bfs.bsp_rec, 2u64),
+    ] {
+        rows.push(RelatedWorkRow {
+            algorithm: name.into(),
+            platform: format!("Cray XMT (simulated, {pmax}P)"),
+            seconds: total_seconds(rec, &model, pmax),
+        });
+        rows.push(RelatedWorkRow {
+            algorithm: name.into(),
+            platform: "Giraph-style 6-node cluster (model)".into(),
+            seconds: predict_cluster_seconds(rec, &giraph, words),
+        });
+        rows.push(RelatedWorkRow {
+            algorithm: name.into(),
+            platform: "Trinity-style 14-node cluster (model)".into(),
+            seconds: predict_cluster_seconds(rec, &trinity, words),
+        });
+    }
+
+    println!();
+    println!(
+        "RELATED WORK — one BSP computation, three platforms (RMAT scale {})",
+        cfg.scale
+    );
+    let mut t = Table::new(&["algorithm", "platform", "time"]);
+    for r in &rows {
+        t.row(&[r.algorithm.clone(), r.platform.clone(), fmt_secs(r.seconds)]);
+    }
+    t.print();
+
+    let cc_xmt = rows[0].seconds;
+    let cc_giraph = rows[1].seconds;
+    println!();
+    println!(
+        "the coordination floor: {} supersteps x ~{:.2}s/superstep of cluster latency dwarfs \
+the XMT's barrier cost — CC is {:.0}x slower on the modeled Giraph cluster",
+        cc.bsp.supersteps,
+        giraph.superstep_latency * 3.0,
+        cc_giraph / cc_xmt
+    );
+    println!(
+        "(paper context: Giraph CC ~4s on Wikipedia/6 nodes vs GraphCT 1.31s at scale 24; \
+Trinity BFS ~400s at scale ~29/14 machines vs GraphCT 0.31s at scale 24)"
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "related_work", &rows).expect("write results");
+    }
+}

@@ -1,0 +1,179 @@
+//! Regenerate **Table I**: execution times of connected components,
+//! breadth-first search and triangle counting on the (simulated)
+//! 128-processor Cray XMT, BSP vs GraphCT, with the BSP:GraphCT ratio.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin table1 [-- --scale N ...]
+//! ```
+
+use serde::Serialize;
+
+use xmt_bench::output::fmt_secs;
+use xmt_bench::run::{run_bfs, run_cc, run_tc, total_seconds};
+use xmt_bench::{build_paper_graph, paper, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::runtime::BspConfig;
+
+#[derive(Serialize)]
+struct Table1Row {
+    algorithm: String,
+    bsp_seconds: f64,
+    graphct_seconds: f64,
+    ratio: f64,
+    paper_bsp_seconds: f64,
+    paper_graphct_seconds: f64,
+    paper_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Table1 {
+    scale: u32,
+    edge_factor: u64,
+    vertices: u64,
+    edges: u64,
+    procs: usize,
+    rows: Vec<Table1Row>,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(16);
+    let model = cfg.model();
+    let procs = cfg.max_procs();
+
+    eprintln!(
+        "table1: building RMAT scale {} (edge factor {}) ...",
+        cfg.scale, cfg.edge_factor
+    );
+    let g = build_paper_graph(&cfg);
+    eprintln!(
+        "graph: {} vertices, {} edges ({} arcs)",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_arcs()
+    );
+
+    eprintln!("running connected components (both models) ...");
+    let cc = run_cc(&g, BspConfig::default());
+    eprintln!(
+        "  BSP {} supersteps, GraphCT {} iterations (paper: {} vs {})",
+        cc.bsp.supersteps,
+        cc.ct_rec.steps("iteration"),
+        paper::CC_BSP_SUPERSTEPS,
+        paper::CC_GRAPHCT_ITERATIONS
+    );
+
+    eprintln!("running breadth-first search (both models) ...");
+    let source = pick_bfs_source(&g);
+    let bfs = run_bfs(&g, source, BspConfig::default());
+    eprintln!(
+        "  source {} (degree {}), {} BFS levels",
+        source,
+        g.degree(source),
+        bfs.ct.frontier_sizes.len()
+    );
+
+    eprintln!("running triangle counting (both models) ...");
+    let tc = run_tc(&g, BspConfig::default());
+    let candidates = tc.bsp.superstep_stats[1].messages_sent;
+    eprintln!(
+        "  {} triangles from {} candidate messages (paper: {:.1e} from {:.1e})",
+        tc.triangles,
+        candidates,
+        paper::TC_TRIANGLES,
+        paper::TC_CANDIDATE_MESSAGES
+    );
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, bsp_rec, ct_rec, pb: f64, pc: f64| {
+        let b = total_seconds(bsp_rec, &model, procs);
+        let c = total_seconds(ct_rec, &model, procs);
+        rows.push(Table1Row {
+            algorithm: name.to_string(),
+            bsp_seconds: b,
+            graphct_seconds: c,
+            ratio: b / c,
+            paper_bsp_seconds: pb,
+            paper_graphct_seconds: pc,
+            paper_ratio: pb / pc,
+        });
+    };
+    push(
+        "Connected Components",
+        &cc.bsp_rec,
+        &cc.ct_rec,
+        paper::CC_BSP_SECONDS,
+        paper::CC_GRAPHCT_SECONDS,
+    );
+    push(
+        "Breadth-first Search",
+        &bfs.bsp_rec,
+        &bfs.ct_rec,
+        paper::BFS_BSP_SECONDS,
+        paper::BFS_GRAPHCT_SECONDS,
+    );
+    push(
+        "Triangle Counting",
+        &tc.bsp_rec,
+        &tc.ct_rec,
+        paper::TC_BSP_SECONDS,
+        paper::TC_GRAPHCT_SECONDS,
+    );
+
+    println!();
+    println!(
+        "TABLE I — execution times on a simulated {procs}-processor Cray XMT"
+    );
+    println!(
+        "(RMAT scale {}, {} edges; paper columns: scale 24, 268M edges)",
+        cfg.scale,
+        g.num_edges()
+    );
+    let mut t = Table::new(&[
+        "Algorithm",
+        "BSP",
+        "GraphCT",
+        "Ratio",
+        "Paper BSP",
+        "Paper GraphCT",
+        "Paper ratio",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.algorithm.clone(),
+            fmt_secs(r.bsp_seconds),
+            fmt_secs(r.graphct_seconds),
+            format!("{:.1}:1", r.ratio),
+            fmt_secs(r.paper_bsp_seconds),
+            fmt_secs(r.paper_graphct_seconds),
+            format!("{:.1}:1", r.paper_ratio),
+        ]);
+    }
+    t.print();
+
+    // Secondary §V claim: the write blowup of BSP triangle counting.
+    let bsp_writes: u64 = tc.bsp_rec.records.iter().map(|r| r.counts.writes).sum();
+    let ct_writes: u64 = tc.ct_rec.records.iter().map(|r| r.counts.writes).sum();
+    println!();
+    println!(
+        "TC writes: BSP {} vs shared-memory {} -> {:.0}x (paper: {:.0}x)",
+        bsp_writes,
+        ct_writes,
+        bsp_writes as f64 / ct_writes.max(1) as f64,
+        paper::TC_WRITE_RATIO,
+    );
+    println!(
+        "host wall-clock (this machine): CC {:.2}/{:.2}s  BFS {:.2}/{:.2}s  TC {:.2}/{:.2}s (BSP/GraphCT)",
+        cc.host_secs.0, cc.host_secs.1, bfs.host_secs.0, bfs.host_secs.1, tc.host_secs.0, tc.host_secs.1
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        let result = Table1 {
+            scale: cfg.scale,
+            edge_factor: cfg.edge_factor,
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            procs,
+            rows,
+        };
+        write_json(dir, "table1", &result).expect("write results");
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text tables and JSON result files.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                line.push_str(&" ".repeat(pad));
+                line.push_str(&cells[i]);
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+/// Write a serializable result to `dir/name.json` (creating `dir`).
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    serde_json::to_writer_pretty(&mut f, value)?;
+    f.write_all(b"\n")?;
+    f.flush()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["12345".into(), "x".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].ends_with("x"));
+        // Right-aligned numeric column.
+        assert!(lines[2].starts_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rows_panic() {
+        Table::new(&["a"]).row(&["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(123.4), "123");
+        assert_eq!(fmt_secs(5.4), "5.40");
+        assert_eq!(fmt_secs(0.31), "310.00 ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.00 µs");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("xmt-bench-test");
+        write_json(&dir, "t", &vec![1, 2, 3]).unwrap();
+        let s = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! k-core decomposition as a BSP vertex program (extension algorithm).
+//!
+//! The distributed coreness algorithm of Montresor et al.: every vertex
+//! maintains an upper bound on its core number (initially its degree)
+//! and the latest bounds heard from its neighbors.  Each superstep it
+//! recomputes the *h-index* of its neighborhood — the largest `k` such
+//! that at least `k` neighbors claim a bound ≥ `k` — and broadcasts on
+//! improvement.  The fixpoint is exactly the k-core decomposition, which
+//! GraphCT computes by parallel peeling; the two are cross-checked in
+//! the tests.
+
+use xmt_graph::{Csr, VertexId};
+use xmt_model::Recorder;
+
+use crate::program::{Context, VertexProgram};
+use crate::runtime::{run_bsp, BspConfig, BspResult};
+
+/// Per-vertex state: the current core-number bound plus the last bound
+/// received from each neighbor (aligned with the sorted adjacency).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KcoreState {
+    /// Current upper bound on this vertex's core number.
+    pub estimate: u64,
+    /// Last bound heard from each neighbor (`u64::MAX` = not yet heard).
+    pub neighbor_estimates: Vec<u64>,
+}
+
+/// The k-core vertex program. Message = (sender, sender's bound).
+pub struct KcoreProgram;
+
+impl VertexProgram for KcoreProgram {
+    type State = KcoreState;
+    type Message = (VertexId, u64);
+
+    fn init(&self, _v: VertexId) -> KcoreState {
+        KcoreState {
+            estimate: 0,
+            neighbor_estimates: Vec::new(),
+        }
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, (VertexId, u64)>,
+        state: &mut KcoreState,
+        msgs: &[(VertexId, u64)],
+    ) {
+        let nbrs = ctx.neighbors();
+        if ctx.superstep() == 0 {
+            state.estimate = nbrs.len() as u64;
+            state.neighbor_estimates = vec![u64::MAX; nbrs.len()];
+            let est = state.estimate;
+            ctx.send_to_neighbors((ctx.vertex(), est));
+            ctx.vote_to_halt();
+            return;
+        }
+
+        // Fold incoming bounds into the per-neighbor table (sorted
+        // adjacency => binary search for the sender's slot).
+        for &(sender, est) in msgs {
+            if let Ok(idx) = nbrs.binary_search(&sender) {
+                ctx.charge_reads((nbrs.len().max(2)).ilog2() as u64);
+                if est < state.neighbor_estimates[idx] {
+                    state.neighbor_estimates[idx] = est;
+                }
+            }
+        }
+
+        // h-index of the neighborhood, capped by the current bound.
+        let h = h_index(&state.neighbor_estimates, state.estimate);
+        ctx.charge_alu(state.neighbor_estimates.len() as u64);
+        if h < state.estimate {
+            state.estimate = h;
+            let est = state.estimate;
+            ctx.send_to_neighbors((ctx.vertex(), est));
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Largest `k <= cap` such that at least `k` values are `>= k`.
+fn h_index(values: &[u64], cap: u64) -> u64 {
+    let cap = cap.min(values.len() as u64);
+    // Bucket-count values clipped at cap.
+    let mut buckets = vec![0u64; cap as usize + 1];
+    for &v in values {
+        buckets[v.min(cap) as usize] += 1;
+    }
+    let mut at_least = 0u64;
+    for k in (1..=cap).rev() {
+        at_least += buckets[k as usize];
+        if at_least >= k {
+            return k;
+        }
+    }
+    0
+}
+
+/// Run the BSP k-core decomposition; `states[v].estimate` is the core
+/// number of `v` at quiescence.
+pub fn bsp_kcore(g: &Csr, rec: Option<&mut Recorder>) -> BspResult<KcoreState> {
+    assert!(!g.is_directed(), "k-core requires an undirected graph");
+    assert!(g.is_sorted(), "k-core requires sorted adjacency");
+    run_bsp(g, &KcoreProgram, BspConfig::default(), rec)
+}
+
+/// Extract the core numbers from a finished run.
+pub fn core_numbers(r: &BspResult<KcoreState>) -> Vec<u64> {
+    r.states.iter().map(|s| s.estimate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::{bridged_cliques, clique, path, ring, star};
+
+    #[test]
+    fn h_index_basics() {
+        assert_eq!(h_index(&[], 5), 0);
+        assert_eq!(h_index(&[1, 1, 1], 3), 1);
+        assert_eq!(h_index(&[3, 3, 3], 3), 3);
+        assert_eq!(h_index(&[5, 5, 1], 3), 2);
+        assert_eq!(h_index(&[u64::MAX, u64::MAX], 2), 2);
+        assert_eq!(h_index(&[4, 4, 4, 4], 2), 2); // cap binds
+    }
+
+    #[test]
+    fn matches_shared_memory_on_structured_graphs() {
+        for el in [path(30), ring(20), star(25), clique(8), bridged_cliques(6)] {
+            let g = build_undirected(&el);
+            let r = bsp_kcore(&g, None);
+            assert!(!r.hit_superstep_limit);
+            assert_eq!(core_numbers(&r), graphct::kcore_decomposition(&g));
+        }
+    }
+
+    #[test]
+    fn matches_shared_memory_on_random_graphs() {
+        for seed in 0..3u64 {
+            let el = xmt_graph::gen::er::gnm(400, 2400, seed);
+            let g = build_undirected(&el);
+            let r = bsp_kcore(&g, None);
+            assert_eq!(core_numbers(&r), graphct::kcore_decomposition(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_on_rmat() {
+        let el = xmt_graph::gen::rmat::rmat_edges(&xmt_graph::gen::rmat::RmatParams::graph500(9), 6);
+        let g = build_undirected(&el);
+        let r = bsp_kcore(&g, None);
+        assert_eq!(core_numbers(&r), graphct::kcore_decomposition(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let mut el = xmt_graph::EdgeList::new(6);
+        el.push(0, 1);
+        let g = build_undirected(&el);
+        let r = bsp_kcore(&g, None);
+        let cores = core_numbers(&r);
+        assert_eq!(cores[0], 1);
+        assert_eq!(cores[5], 0);
+    }
+}

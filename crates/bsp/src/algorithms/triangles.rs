@@ -1,0 +1,178 @@
+//! Algorithm 3: triangle counting in the BSP model.
+//!
+//! Paper §V: a total order on vertices defines each triangle
+//! `v_i < v_j < v_k` once.  Superstep 0 sends each vertex id to its
+//! higher-ordered neighbors; superstep 1 forwards each received id `m`
+//! to higher-ordered neighbors (`m < v < n` — the *possible* triangles);
+//! superstep 2 closes the wedge: if the originator is a neighbor, a
+//! triangle exists and a confirmation is sent; superstep 3 tallies.
+//!
+//! "Although this algorithm is easy to express in the model, the number
+//! of messages generated is much larger than the number of edges in the
+//! graph" — the candidate-message blowup of Fig. 4 (5.5 G candidates vs
+//! 30.9 M triangles at scale 24).
+
+use xmt_graph::{Csr, VertexId};
+use xmt_model::Recorder;
+
+use crate::program::{Context, VertexProgram};
+use crate::runtime::{run_bsp, BspConfig, BspResult};
+
+/// The Algorithm-3 vertex program. State = confirmed triangles credited
+/// to this vertex (as the lowest-ordered corner).
+pub struct TcProgram;
+
+impl VertexProgram for TcProgram {
+    type State = u64;
+    type Message = VertexId;
+
+    fn init(&self, _v: VertexId) -> u64 {
+        0
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, VertexId>, count: &mut u64, msgs: &[VertexId]) {
+        let v = ctx.vertex();
+        match ctx.superstep() {
+            // Lines 1-4: seed the wedges.
+            0 => {
+                for &n in ctx.neighbors() {
+                    if v < n {
+                        ctx.send_to(n, v);
+                    }
+                }
+            }
+            // Lines 5-9: enumerate possible triangles m < v < n.
+            1 => {
+                let nbrs = ctx.neighbors();
+                for &m in msgs {
+                    debug_assert!(m < v);
+                    for &n in nbrs {
+                        if n > v {
+                            ctx.send_to(n, m);
+                        }
+                    }
+                }
+            }
+            // Lines 10-13: close the wedge — m is a neighbor ⇒ triangle.
+            2 => {
+                let nbrs = ctx.neighbors();
+                for &m in msgs {
+                    // Membership probe on the sorted adjacency.
+                    let probes = (nbrs.len().max(1)).ilog2() as u64 + 1;
+                    ctx.charge_reads(probes);
+                    ctx.charge_alu(probes);
+                    if nbrs.binary_search(&m).is_ok() {
+                        ctx.send_to(m, m);
+                    }
+                }
+            }
+            // Tally: each confirmation is one triangle, counted at its
+            // lowest-ordered corner.
+            _ => {
+                *count += msgs.len() as u64;
+                ctx.aggregate_u64(msgs.len() as u64);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Run Algorithm 3 with the default runtime configuration; returns the
+/// run (per-vertex counts in `states`) — total triangles via
+/// [`total_triangles`].
+pub fn bsp_count_triangles_with_config(
+    g: &Csr,
+    config: BspConfig,
+    rec: Option<&mut Recorder>,
+) -> BspResult<u64> {
+    assert!(!g.is_directed(), "triangle counting needs an undirected graph");
+    assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
+    run_bsp(g, &TcProgram, config, rec)
+}
+
+/// Run Algorithm 3 and return the global triangle count.
+pub fn bsp_count_triangles(g: &Csr, rec: Option<&mut Recorder>) -> u64 {
+    let r = bsp_count_triangles_with_config(g, BspConfig::default(), rec);
+    total_triangles(&r)
+}
+
+/// Sum the per-vertex triangle credits of a finished run.
+pub fn total_triangles(r: &BspResult<u64>) -> u64 {
+    r.states.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::{
+        clique, clique_triangles, disjoint_cliques, grid, path, ring, star,
+    };
+    use xmt_graph::validate::reference_triangles;
+
+    #[test]
+    fn cliques_have_closed_form_counts() {
+        for n in [3u64, 4, 6, 9] {
+            let g = build_undirected(&clique(n));
+            assert_eq!(bsp_count_triangles(&g, None), clique_triangles(n), "K{n}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_count_zero() {
+        for el in [path(20), star(20), grid(4, 5), ring(6)] {
+            let g = build_undirected(&el);
+            assert_eq!(bsp_count_triangles(&g, None), 0);
+        }
+    }
+
+    #[test]
+    fn matches_shared_memory_and_reference() {
+        for seed in 0..3u64 {
+            let el = xmt_graph::gen::er::gnm(100, 700, seed);
+            let g = build_undirected(&el);
+            let bsp = bsp_count_triangles(&g, None);
+            assert_eq!(bsp, graphct::count_triangles(&g), "seed {seed}");
+            assert_eq!(bsp, reference_triangles(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aggregator_equals_state_sum() {
+        let g = build_undirected(&disjoint_cliques(3, 5));
+        let r = bsp_count_triangles_with_config(&g, BspConfig::default(), None);
+        let agg_total: u64 = r.aggregates.iter().map(|a| a.0).sum();
+        assert_eq!(agg_total, total_triangles(&r));
+        assert_eq!(total_triangles(&r), 3 * clique_triangles(5));
+    }
+
+    #[test]
+    fn runs_in_four_supersteps_plus_quiescence() {
+        let g = build_undirected(&clique(5));
+        let r = bsp_count_triangles_with_config(&g, BspConfig::default(), None);
+        assert_eq!(r.supersteps, 4);
+    }
+
+    #[test]
+    fn candidate_messages_dwarf_confirmations() {
+        // The paper's §V observation, in miniature: possible triangles
+        // (superstep-1 output) far exceed actual triangles on sparse
+        // graphs with hubs.
+        let el = xmt_graph::gen::er::gnm(200, 1200, 7);
+        let g = build_undirected(&el);
+        let r = bsp_count_triangles_with_config(&g, BspConfig::default(), None);
+        let candidates = r.superstep_stats[1].messages_sent;
+        let confirmed = r.superstep_stats[2].messages_sent;
+        assert!(candidates > 3 * confirmed.max(1), "{candidates} vs {confirmed}");
+        assert_eq!(confirmed, total_triangles(&r));
+    }
+
+    #[test]
+    fn seed_messages_equal_edges() {
+        // Superstep 0 sends exactly one message per undirected edge
+        // (lower endpoint → higher endpoint).
+        let g = build_undirected(&clique(8));
+        let r = bsp_count_triangles_with_config(&g, BspConfig::default(), None);
+        assert_eq!(r.superstep_stats[0].messages_sent, g.num_edges());
+    }
+}

@@ -1,0 +1,279 @@
+//! The vertex-program abstraction (Pregel's `Compute()` API).
+
+use xmt_graph::{Csr, VertexId};
+
+/// Optional message combiner (Pregel §3.2): folds messages addressed to
+/// the same vertex into one.  Must be commutative and associative.
+pub trait Combiner<M>: Sync {
+    /// Combine two messages for the same destination.
+    fn combine(&self, a: M, b: M) -> M;
+}
+
+/// Minimum-combiner for ordered messages (used by components and BFS).
+pub struct MinCombiner;
+
+impl<M: Ord> Combiner<M> for MinCombiner {
+    fn combine(&self, a: M, b: M) -> M {
+        a.min(b)
+    }
+}
+
+/// Sum-combiner for `f64` messages (used by PageRank).
+pub struct SumCombiner;
+
+impl Combiner<f64> for SumCombiner {
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Ablation wrapper: run a program with its combiner disabled, so every
+/// raw message reaches `compute` (Pregel §3.2 presents combining as an
+/// optional optimization; this wrapper measures what it buys).
+///
+/// Correctness requirement: the wrapped program's `compute` must fold
+/// messages itself in a way consistent with the combiner (all the
+/// programs in [`crate::algorithms`] do).
+pub struct WithoutCombiner<P>(pub P);
+
+impl<P: VertexProgram> VertexProgram for WithoutCombiner<P> {
+    type State = P::State;
+    type Message = P::Message;
+
+    fn init(&self, v: VertexId) -> P::State {
+        self.0.init(v)
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, P::Message>,
+        state: &mut P::State,
+        messages: &[P::Message],
+    ) {
+        self.0.compute(ctx, state, messages)
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<P::Message>> {
+        None
+    }
+}
+
+/// A vertex-centric program: per-vertex state, a message type, and the
+/// compute function run for every active vertex each superstep.
+pub trait VertexProgram: Sync {
+    /// Per-vertex state, kept between supersteps (Pregel: "vertices...
+    /// maintain state between iterations").
+    type State: Clone + Send + Sync;
+    /// Message payload. `Copy` keeps the exchange buffers flat.
+    type Message: Copy + Send + Sync;
+
+    /// Initial state of vertex `v` before superstep 0.
+    fn init(&self, v: VertexId) -> Self::State;
+
+    /// The per-vertex kernel, run once per superstep while the vertex is
+    /// active.  `messages` holds everything addressed to this vertex in
+    /// the previous superstep (already combined if a combiner is
+    /// configured).
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, Self::Message>,
+        state: &mut Self::State,
+        messages: &[Self::Message],
+    );
+
+    /// Optional message combiner.
+    fn combiner(&self) -> Option<&dyn Combiner<Self::Message>> {
+        None
+    }
+}
+
+/// Everything a vertex may do during `compute`.
+///
+/// One context exists per worker; the runtime re-points it at each vertex
+/// of the worker's current chunk.
+pub struct Context<'a, M> {
+    pub(crate) graph: &'a Csr,
+    pub(crate) superstep: u64,
+    pub(crate) vertex: VertexId,
+    pub(crate) outbox: &'a mut Vec<(VertexId, M)>,
+    pub(crate) halt: bool,
+    pub(crate) agg_u64: u64,
+    pub(crate) agg_f64: f64,
+    pub(crate) prev_agg_u64: u64,
+    pub(crate) prev_agg_f64: f64,
+    pub(crate) num_vertices: u64,
+    pub(crate) extra_reads: u64,
+    pub(crate) extra_alu: u64,
+}
+
+impl<'a, M: Copy> Context<'a, M> {
+    /// Current superstep number (0-based).
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// The vertex this compute call is for.
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Total vertices in the graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// The vertex's neighbors (Pregel: "the vertex implicitly knows its
+    /// neighbors").
+    pub fn neighbors(&self) -> &'a [VertexId] {
+        self.graph.neighbors(self.vertex)
+    }
+
+    /// Out-degree of this vertex.
+    pub fn degree(&self) -> u64 {
+        self.graph.degree(self.vertex)
+    }
+
+    /// Send `msg` to an arbitrary vertex, delivered next superstep.
+    pub fn send_to(&mut self, dst: VertexId, msg: M) {
+        debug_assert!(dst < self.num_vertices, "message to nonexistent vertex");
+        self.outbox.push((dst, msg));
+    }
+
+    /// Send `msg` to every neighbor.
+    pub fn send_to_neighbors(&mut self, msg: M) {
+        for &n in self.graph.neighbors(self.vertex) {
+            self.outbox.push((n, msg));
+        }
+    }
+
+    /// Vote to halt: the vertex stays inactive until a message arrives.
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Withdraw a halt vote made earlier in this compute call.
+    pub fn stay_active(&mut self) {
+        self.halt = false;
+    }
+
+    /// Add to the global u64 sum aggregator (visible next superstep).
+    pub fn aggregate_u64(&mut self, value: u64) {
+        self.agg_u64 += value;
+    }
+
+    /// Add to the global f64 sum aggregator (visible next superstep).
+    pub fn aggregate_f64(&mut self, value: f64) {
+        self.agg_f64 += value;
+    }
+
+    /// Value of the u64 aggregator summed over the *previous* superstep.
+    pub fn prev_aggregate_u64(&self) -> u64 {
+        self.prev_agg_u64
+    }
+
+    /// Value of the f64 aggregator summed over the *previous* superstep.
+    pub fn prev_aggregate_f64(&self) -> f64 {
+        self.prev_agg_f64
+    }
+
+    /// Arc weights parallel to [`Self::neighbors`] (weighted graphs only).
+    pub fn weights(&self) -> &'a [xmt_graph::Weight] {
+        self.graph.weights_of(self.vertex)
+    }
+
+    /// Report `n` algorithm-specific memory reads beyond what the runtime
+    /// counts (e.g. binary-search probes); feeds the performance model.
+    pub fn charge_reads(&mut self, n: u64) {
+        self.extra_reads += n;
+    }
+
+    /// Report `n` algorithm-specific ALU operations.
+    pub fn charge_alu(&mut self, n: u64) {
+        self.extra_alu += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::star;
+
+    fn ctx_on<'a>(
+        g: &'a Csr,
+        outbox: &'a mut Vec<(VertexId, u64)>,
+        v: VertexId,
+    ) -> Context<'a, u64> {
+        Context {
+            graph: g,
+            superstep: 3,
+            vertex: v,
+            outbox,
+            halt: false,
+            agg_u64: 0,
+            agg_f64: 0.0,
+            prev_agg_u64: 17,
+            prev_agg_f64: 2.5,
+            num_vertices: g.num_vertices(),
+            extra_reads: 0,
+            extra_alu: 0,
+        }
+    }
+
+    #[test]
+    fn send_to_neighbors_fans_out() {
+        let g = build_undirected(&star(5));
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = ctx_on(&g, &mut outbox, 0);
+            assert_eq!(ctx.degree(), 4);
+            ctx.send_to_neighbors(99);
+        }
+        assert_eq!(outbox.len(), 4);
+        assert!(outbox.iter().all(|&(_, m)| m == 99));
+    }
+
+    #[test]
+    fn send_to_targets_one_vertex() {
+        let g = build_undirected(&star(5));
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = ctx_on(&g, &mut outbox, 2);
+            ctx.send_to(4, 7);
+        }
+        assert_eq!(outbox, vec![(4, 7)]);
+    }
+
+    #[test]
+    fn halt_votes_toggle() {
+        let g = build_undirected(&star(3));
+        let mut outbox = Vec::new();
+        let mut ctx = ctx_on(&g, &mut outbox, 1);
+        assert!(!ctx.halt);
+        ctx.vote_to_halt();
+        assert!(ctx.halt);
+        ctx.stay_active();
+        assert!(!ctx.halt);
+    }
+
+    #[test]
+    fn aggregators_accumulate_and_expose_previous() {
+        let g = build_undirected(&star(3));
+        let mut outbox = Vec::new();
+        let mut ctx = ctx_on(&g, &mut outbox, 1);
+        ctx.aggregate_u64(5);
+        ctx.aggregate_u64(6);
+        ctx.aggregate_f64(0.5);
+        assert_eq!(ctx.agg_u64, 11);
+        assert_eq!(ctx.agg_f64, 0.5);
+        assert_eq!(ctx.prev_aggregate_u64(), 17);
+        assert_eq!(ctx.prev_aggregate_f64(), 2.5);
+    }
+
+    #[test]
+    fn min_combiner_takes_minimum() {
+        let c = MinCombiner;
+        assert_eq!(Combiner::<u64>::combine(&c, 3, 9), 3);
+        assert_eq!(Combiner::<u64>::combine(&c, 9, 3), 3);
+    }
+}

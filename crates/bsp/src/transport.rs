@@ -1,0 +1,170 @@
+//! Message transport strategies.
+//!
+//! §VII of the paper: "Without native support for message features such
+//! as enqueueing and dequeueing, serialization around a single atomic
+//! fetch-and-add is possible, inhibiting scalability."  We implement both
+//! the scalable per-worker-outbox design and that naive single shared
+//! queue, and let the experiment harness compare them
+//! (`ablation_queue`).
+
+use parking_lot::Mutex;
+
+use xmt_graph::VertexId;
+use xmt_model::PhaseCounts;
+
+/// How sent messages travel from `compute` to the next superstep's inbox.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Each worker appends to its own outbox; outboxes are merged at the
+    /// superstep boundary. No shared hot word.
+    PerThreadOutbox,
+    /// All workers append to one shared queue through a single
+    /// fetch-and-add cursor — the XMT-naive port. Functionally identical,
+    /// but every message charges the hotspot in the performance model.
+    SingleQueue,
+}
+
+/// Collects outgoing messages during one superstep's compute phase.
+pub struct MessageCollector<M> {
+    transport: Transport,
+    /// One slot per worker (outbox mode) or a single slot (queue mode).
+    slots: Vec<Mutex<Vec<(VertexId, M)>>>,
+}
+
+impl<M: Copy + Send> MessageCollector<M> {
+    /// A collector for `workers` workers.
+    pub fn new(transport: Transport, workers: usize) -> Self {
+        let n = match transport {
+            Transport::PerThreadOutbox => workers.max(1),
+            Transport::SingleQueue => 1,
+        };
+        MessageCollector {
+            transport,
+            slots: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// The transport in use.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Deposit a worker's chunk-local sends.
+    ///
+    /// In outbox mode this locks the worker's private slot (uncontended);
+    /// in single-queue mode all workers funnel through slot 0 — on the
+    /// simulated machine every message would individually pay the shared
+    /// cursor, which the model charges via [`charge_exchange`].
+    pub fn deposit(&self, worker: usize, mut batch: Vec<(VertexId, M)>) {
+        if batch.is_empty() {
+            return;
+        }
+        match self.transport {
+            Transport::PerThreadOutbox => {
+                self.slots[worker].lock().append(&mut batch);
+            }
+            Transport::SingleQueue => {
+                self.slots[0].lock().append(&mut batch);
+            }
+        }
+    }
+
+    /// Total messages collected so far.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(|s| s.lock().len() as u64).sum()
+    }
+
+    /// Drain into per-slot batches for inbox construction.
+    pub fn into_batches(self) -> Vec<Vec<(VertexId, M)>> {
+        self.slots.into_iter().map(|s| s.into_inner()).collect()
+    }
+}
+
+/// Charge the model for moving `messages` messages of `msg_words` words
+/// each through this transport and grouping them into an inbox over `n`
+/// vertices.
+///
+/// Both transports pay: the enqueue writes (destination + payload), the
+/// per-destination count atomic, the prefix sum (2 passes over the
+/// vertex range), and the per-word scatter read+write.  The single queue
+/// additionally pays one hotspot fetch-and-add per message; the outbox
+/// design pays only one claim per chunk, which `charge_loop_overhead`
+/// already covers elsewhere.
+pub fn charge_exchange(
+    c: &mut PhaseCounts,
+    transport: Transport,
+    messages: u64,
+    msg_words: u64,
+    n: u64,
+) {
+    let w = msg_words.max(1);
+    c.writes += messages * (w + 1); // enqueue payload + destination
+    c.atomics += messages; // per-destination count
+    c.reads += messages * (w + 1); // scatter read
+    c.writes += messages * w; // scatter write
+    c.alu_ops += 2 * n; // prefix sum over offsets
+    c.reads += n;
+    c.writes += n;
+    if transport == Transport::SingleQueue {
+        c.hotspot_ops += messages;
+    }
+    c.barriers += 2; // end of compute, end of exchange
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_mode_keeps_slots_separate() {
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::PerThreadOutbox, 3);
+        mc.deposit(0, vec![(1, 10)]);
+        mc.deposit(2, vec![(2, 20), (3, 30)]);
+        assert_eq!(mc.total(), 3);
+        let batches = mc.into_batches();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 1);
+        assert_eq!(batches[1].len(), 0);
+        assert_eq!(batches[2].len(), 2);
+    }
+
+    #[test]
+    fn queue_mode_funnels_everything() {
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::SingleQueue, 8);
+        mc.deposit(0, vec![(1, 10)]);
+        mc.deposit(5, vec![(2, 20)]);
+        let batches = mc.into_batches();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_deposits_are_free() {
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::PerThreadOutbox, 2);
+        mc.deposit(1, vec![]);
+        assert_eq!(mc.total(), 0);
+    }
+
+    #[test]
+    fn single_queue_charges_the_hotspot() {
+        let mut a = PhaseCounts::default();
+        let mut b = PhaseCounts::default();
+        charge_exchange(&mut a, Transport::PerThreadOutbox, 1000, 1, 100);
+        charge_exchange(&mut b, Transport::SingleQueue, 1000, 1, 100);
+        assert_eq!(a.hotspot_ops, 0);
+        assert_eq!(b.hotspot_ops, 1000);
+        assert_eq!(a.writes, b.writes);
+        assert_eq!(a.barriers, 2);
+    }
+
+    #[test]
+    fn wider_messages_cost_more_traffic() {
+        let mut one = PhaseCounts::default();
+        let mut two = PhaseCounts::default();
+        charge_exchange(&mut one, Transport::PerThreadOutbox, 1000, 1, 100);
+        charge_exchange(&mut two, Transport::PerThreadOutbox, 1000, 2, 100);
+        assert!(two.writes > one.writes);
+        assert!(two.reads > one.reads);
+        assert_eq!(two.atomics, one.atomics); // one count per message either way
+    }
+}

@@ -1,0 +1,127 @@
+//! Unordered edge lists — the interchange format between generators,
+//! file I/O and the CSR builder.
+
+use crate::{VertexId, Weight};
+
+/// A list of (source, destination) pairs over vertices `0..num_vertices`.
+///
+/// For undirected graphs each edge appears once here; the CSR builder
+/// inserts both directions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (ids run `0..num_vertices`).
+    pub num_vertices: u64,
+    /// The edges, in no particular order.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional per-edge weights, parallel to `edges`.
+    pub weights: Option<Vec<Weight>>,
+}
+
+impl EdgeList {
+    /// An empty edge list over `n` vertices.
+    pub fn new(n: u64) -> Self {
+        EdgeList {
+            num_vertices: n,
+            edges: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Build from raw pairs, sizing the vertex set to the largest endpoint.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        let edges: Vec<_> = pairs.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0);
+        EdgeList {
+            num_vertices: n,
+            edges,
+            weights: None,
+        }
+    }
+
+    /// Number of edges in the list.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append an unweighted edge.
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!(u < self.num_vertices && v < self.num_vertices);
+        self.edges.push((u, v));
+        debug_assert!(self.weights.is_none(), "mixing weighted and unweighted edges");
+    }
+
+    /// Append a weighted edge.
+    pub fn push_weighted(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        debug_assert!(u < self.num_vertices && v < self.num_vertices);
+        if self.weights.is_none() {
+            assert!(self.edges.is_empty(), "mixing weighted and unweighted edges");
+            self.weights = Some(Vec::new());
+        }
+        self.edges.push((u, v));
+        self.weights.as_mut().unwrap().push(w);
+    }
+
+    /// `true` when every endpoint is a valid vertex id and weights (if
+    /// present) are parallel to the edges.
+    pub fn is_consistent(&self) -> bool {
+        let endpoints_ok = self
+            .edges
+            .iter()
+            .all(|&(u, v)| u < self.num_vertices && v < self.num_vertices);
+        let weights_ok = self
+            .weights
+            .as_ref()
+            .map(|w| w.len() == self.edges.len())
+            .unwrap_or(true);
+        endpoints_ok && weights_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sizes_vertex_set() {
+        let el = EdgeList::from_pairs([(0, 1), (2, 5)]);
+        assert_eq!(el.num_vertices, 6);
+        assert_eq!(el.num_edges(), 2);
+        assert!(el.is_consistent());
+    }
+
+    #[test]
+    fn empty_pairs_yield_empty_graph() {
+        let el = EdgeList::from_pairs(std::iter::empty());
+        assert_eq!(el.num_vertices, 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+
+    #[test]
+    fn weighted_edges_stay_parallel() {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 1, 10);
+        el.push_weighted(1, 2, -3);
+        assert!(el.is_consistent());
+        assert_eq!(el.weights.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn inconsistency_is_detected() {
+        let el = EdgeList {
+            num_vertices: 2,
+            edges: vec![(0, 5)],
+            weights: None,
+        };
+        assert!(!el.is_consistent());
+        let el = EdgeList {
+            num_vertices: 8,
+            edges: vec![(0, 5)],
+            weights: Some(vec![]),
+        };
+        assert!(!el.is_consistent());
+    }
+}

@@ -1,0 +1,16 @@
+//! Graph generators.
+//!
+//! * [`rmat`] — the recursive matrix generator of Chakrabarti, Zhan &
+//!   Faloutsos, with Graph500 parameters; the paper's workload is
+//!   `rmat(scale=24, edge_factor=16)`.
+//! * [`er`] — Erdős–Rényi G(n, m) graphs.
+//! * [`structured`] — deterministic families (path, ring, star, clique,
+//!   grid, binary tree, disjoint cliques) for tests and validation.
+
+pub mod er;
+pub mod rmat;
+pub mod structured;
+
+pub use er::gnm;
+pub use rmat::{rmat_edges, RmatParams};
+pub use structured::*;

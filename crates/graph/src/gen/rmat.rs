@@ -1,0 +1,239 @@
+//! RMAT recursive-matrix graph generator (Chakrabarti, Zhan & Faloutsos).
+//!
+//! Each edge independently descends `scale` levels of a recursively
+//! partitioned adjacency matrix, choosing quadrant (a, b, c, d) at every
+//! level.  With the Graph500 parameters (0.57/0.19/0.19/0.05) this yields
+//! the skewed, small-world degree distribution the paper studies.
+//!
+//! Generation is deterministic and embarrassingly parallel: edge `k` is
+//! produced by a counter-seeded ChaCha8 stream derived from `(seed, k)`,
+//! so the same `(params, seed)` produce the same graph regardless of
+//! thread count.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use xmt_par::pfor::parallel_fill;
+
+use crate::{EdgeList, VertexId};
+
+/// RMAT generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Edges per vertex; the paper uses 16 (2^24 · 16 ≈ 268 M edges).
+    pub edge_factor: u64,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Per-level multiplicative noise applied to (a,b,c,d), as in the
+    /// Graph500 reference generator, to avoid exact self-similarity.
+    pub noise: f64,
+    /// Randomly permute vertex labels (Graph500 does; breaks the
+    /// id-correlated locality of raw RMAT).
+    pub permute: bool,
+}
+
+impl RmatParams {
+    /// Graph500 / paper parameters at the given scale and edge factor 16.
+    pub fn graph500(scale: u32) -> Self {
+        RmatParams {
+            scale,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+            permute: true,
+        }
+    }
+
+    /// Number of vertices, `2^scale`.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of generated edges (before any dedup).
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate the RMAT edge list for `params` with the given seed.
+pub fn rmat_edges(params: &RmatParams, seed: u64) -> EdgeList {
+    assert!(params.scale >= 1 && params.scale <= 40, "scale out of range");
+    let d = params.d();
+    assert!(
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0,
+        "invalid quadrant probabilities"
+    );
+    let n = params.num_vertices();
+    let m = params.num_edges() as usize;
+
+    let mut edges = vec![(0 as VertexId, 0 as VertexId); m];
+    if params.permute {
+        let perm = random_permutation(n, seed ^ 0x9e37_79b9_7f4a_7c15);
+        let perm = &perm;
+        parallel_fill(&mut edges, move |k| {
+            let (u, v) = gen_edge(params, seed, k as u64);
+            (perm[u as usize], perm[v as usize])
+        });
+    } else {
+        parallel_fill(&mut edges, |k| gen_edge(params, seed, k as u64));
+    }
+
+    EdgeList {
+        num_vertices: n,
+        edges,
+        weights: None,
+    }
+}
+
+/// Generate edge `k` of the stream: one ChaCha8 stream per edge.
+fn gen_edge(params: &RmatParams, seed: u64, k: u64) -> (VertexId, VertexId) {
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(&seed.to_le_bytes());
+    key[8..16].copy_from_slice(&k.to_le_bytes());
+    key[16..24].copy_from_slice(&0x524d_4154u64.to_le_bytes()); // "RMAT"
+    let mut rng = ChaCha8Rng::from_seed(key);
+
+    let (mut a, mut b, mut c, mut d) = (params.a, params.b, params.c, params.d());
+    let mut u: u64 = 0;
+    let mut v: u64 = 0;
+    for _ in 0..params.scale {
+        u <<= 1;
+        v <<= 1;
+        let total = a + b + c + d;
+        let r: f64 = rng.gen::<f64>() * total;
+        if r < a {
+            // upper-left: no bits set
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+        if params.noise > 0.0 {
+            // Multiplicative noise, renormalized next iteration via `total`.
+            let jitter = |x: f64, rng: &mut ChaCha8Rng| {
+                x * (1.0 - params.noise + 2.0 * params.noise * rng.gen::<f64>())
+            };
+            a = jitter(a, &mut rng);
+            b = jitter(b, &mut rng);
+            c = jitter(c, &mut rng);
+            d = jitter(d, &mut rng);
+        }
+    }
+    (u, v)
+}
+
+/// Fisher-Yates permutation of `0..n`, seeded.
+pub fn random_permutation(n: u64, seed: u64) -> Vec<VertexId> {
+    let mut perm: Vec<VertexId> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in (1..n as usize).rev() {
+        let j = Uniform::new_inclusive(0, i).sample(&mut rng);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_parameters() {
+        let p = RmatParams::graph500(10);
+        let el = rmat_edges(&p, 1);
+        assert_eq!(el.num_vertices, 1024);
+        assert_eq!(el.num_edges(), 1024 * 16);
+        assert!(el.is_consistent());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = RmatParams::graph500(8);
+        let a = rmat_edges(&p, 42);
+        let b = rmat_edges(&p, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = RmatParams::graph500(8);
+        let a = rmat_edges(&p, 1);
+        let b = rmat_edges(&p, 2);
+        assert_ne!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // With a=0.57 the max degree should far exceed the mean degree.
+        let p = RmatParams {
+            permute: false,
+            ..RmatParams::graph500(12)
+        };
+        let el = rmat_edges(&p, 7);
+        let mut deg = vec![0u64; el.num_vertices as usize];
+        for &(u, v) in &el.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mean = deg.iter().sum::<u64>() as f64 / deg.len() as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(
+            max > 10.0 * mean,
+            "expected skew: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = random_permutation(1000, 5);
+        let mut seen = vec![false; 1000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn permuted_graph_has_same_size() {
+        let raw = RmatParams {
+            permute: false,
+            ..RmatParams::graph500(8)
+        };
+        let perm = RmatParams {
+            permute: true,
+            ..RmatParams::graph500(8)
+        };
+        let a = rmat_edges(&raw, 3);
+        let b = rmat_edges(&perm, 3);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_vertices, b.num_vertices);
+        // Degree *multiset* is preserved by relabeling.
+        let degs = |el: &EdgeList| {
+            let mut d = vec![0u64; el.num_vertices as usize];
+            for &(u, v) in &el.edges {
+                d[u as usize] += 1;
+                d[v as usize] += 1;
+            }
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(degs(&a), degs(&b));
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic graph families for tests and validation.
+//!
+//! Every generator returns an [`EdgeList`] with each undirected edge
+//! listed once; ground-truth properties (diameter, triangle count,
+//! component structure) are known in closed form.
+
+use crate::EdgeList;
+
+/// Path `0 - 1 - ... - (n-1)`.
+pub fn path(n: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(v - 1, v);
+    }
+    el
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn ring(n: u64) -> EdgeList {
+    assert!(n >= 3);
+    let mut el = path(n);
+    el.push(n - 1, 0);
+    el
+}
+
+/// Star with center 0 and `n-1` leaves.
+pub fn star(n: u64) -> EdgeList {
+    assert!(n >= 1);
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(0, v);
+    }
+    el
+}
+
+/// Complete graph on `n` vertices: `n(n-1)/2` edges, `C(n,3)` triangles.
+pub fn clique(n: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            el.push(u, v);
+        }
+    }
+    el
+}
+
+/// `rows x cols` 4-neighbor grid.
+pub fn grid(rows: u64, cols: u64) -> EdgeList {
+    let mut el = EdgeList::new(rows * cols);
+    let id = |r: u64, c: u64| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    el
+}
+
+/// Complete binary tree with `n` vertices (vertex `v`'s children are
+/// `2v+1`, `2v+2`).
+pub fn binary_tree(n: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push((v - 1) / 2, v);
+    }
+    el
+}
+
+/// `k` disjoint cliques of `size` vertices each: known component
+/// structure and triangle count `k * C(size,3)`.
+pub fn disjoint_cliques(k: u64, size: u64) -> EdgeList {
+    let mut el = EdgeList::new(k * size);
+    for c in 0..k {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                el.push(base + u, base + v);
+            }
+        }
+    }
+    el
+}
+
+/// Two cliques of `size` joined by a single bridge edge.
+pub fn bridged_cliques(size: u64) -> EdgeList {
+    let mut el = disjoint_cliques(2, size);
+    el.push(size - 1, size); // bridge
+    el
+}
+
+/// Closed-form triangle count for a clique of `n` vertices.
+pub fn clique_triangles(n: u64) -> u64 {
+    if n < 3 {
+        0
+    } else {
+        n * (n - 1) * (n - 2) / 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_ring_edge_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(ring(5).num_edges(), 5);
+    }
+
+    #[test]
+    fn star_center_touches_all_leaves() {
+        let el = star(6);
+        assert_eq!(el.num_edges(), 5);
+        assert!(el.edges.iter().all(|&(u, _)| u == 0));
+    }
+
+    #[test]
+    fn clique_edge_count_closed_form() {
+        for n in [1u64, 2, 3, 5, 10] {
+            assert_eq!(clique(n).num_edges() as u64, n * n.saturating_sub(1) / 2);
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // r*(c-1) + c*(r-1) edges
+        let el = grid(3, 4);
+        assert_eq!(el.num_edges() as u64, 3 * 3 + 4 * 2);
+        assert_eq!(el.num_vertices, 12);
+    }
+
+    #[test]
+    fn binary_tree_is_a_tree() {
+        let el = binary_tree(15);
+        assert_eq!(el.num_edges(), 14);
+    }
+
+    #[test]
+    fn disjoint_cliques_structure() {
+        let el = disjoint_cliques(3, 4);
+        assert_eq!(el.num_vertices, 12);
+        assert_eq!(el.num_edges() as u64, 3 * 6);
+        // No cross-clique edges.
+        for &(u, v) in &el.edges {
+            assert_eq!(u / 4, v / 4);
+        }
+    }
+
+    #[test]
+    fn bridged_cliques_have_one_crossing_edge() {
+        let el = bridged_cliques(5);
+        let crossing = el.edges.iter().filter(|&&(u, v)| u / 5 != v / 5).count();
+        assert_eq!(crossing, 1);
+    }
+
+    #[test]
+    fn clique_triangle_formula() {
+        assert_eq!(clique_triangles(2), 0);
+        assert_eq!(clique_triangles(3), 1);
+        assert_eq!(clique_triangles(4), 4);
+        assert_eq!(clique_triangles(5), 10);
+    }
+}

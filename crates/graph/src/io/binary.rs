@@ -1,0 +1,190 @@
+//! Compact binary CSR serialization.
+//!
+//! Layout (all little-endian u64 unless noted):
+//!
+//! ```text
+//! magic "XMTG" + version (u32 + u32)
+//! flags (u64): bit0 directed, bit1 sorted, bit2 weighted
+//! n (u64), arcs (u64)
+//! offsets[n+1]
+//! adj[arcs]
+//! weights[arcs] (i64, only if weighted)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Csr, Weight};
+
+const MAGIC: u32 = 0x584d_5447; // "XMTG"
+const VERSION: u32 = 1;
+
+const FLAG_DIRECTED: u64 = 1;
+const FLAG_SORTED: u64 = 2;
+const FLAG_WEIGHTED: u64 = 4;
+
+/// Serialize a CSR to a writer.
+pub fn write_csr_binary<W: Write>(writer: &mut W, g: &Csr) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(64 + g.memory_bytes());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    let mut flags = 0u64;
+    if g.is_directed() {
+        flags |= FLAG_DIRECTED;
+    }
+    if g.is_sorted() {
+        flags |= FLAG_SORTED;
+    }
+    if g.is_weighted() {
+        flags |= FLAG_WEIGHTED;
+    }
+    buf.put_u64_le(flags);
+    buf.put_u64_le(g.num_vertices());
+    buf.put_u64_le(g.num_arcs());
+    for &o in g.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &a in g.adjacency() {
+        buf.put_u64_le(a);
+    }
+    if let Some(ws) = g.raw_weights() {
+        for &w in ws {
+            buf.put_i64_le(w);
+        }
+    }
+    writer.write_all(&buf)
+}
+
+/// Deserialize a CSR from a reader.
+pub fn read_csr_binary<R: Read>(reader: &mut R) -> io::Result<Csr> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    let need = |buf: &Bytes, n: usize| -> io::Result<()> {
+        if buf.remaining() < n {
+            Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated CSR file",
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported version",
+        ));
+    }
+    need(&buf, 24)?;
+    let flags = buf.get_u64_le();
+    let n = buf.get_u64_le();
+    let arcs = buf.get_u64_le();
+    let want = (n as usize + 1) * 8 + arcs as usize * 8;
+    need(&buf, want)?;
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le());
+    }
+    let mut adj = Vec::with_capacity(arcs as usize);
+    for _ in 0..arcs {
+        adj.push(buf.get_u64_le());
+    }
+    let weights = if flags & FLAG_WEIGHTED != 0 {
+        need(&buf, arcs as usize * 8)?;
+        let mut ws: Vec<Weight> = Vec::with_capacity(arcs as usize);
+        for _ in 0..arcs {
+            ws.push(buf.get_i64_le());
+        }
+        Some(ws)
+    } else {
+        None
+    };
+    if buf.has_remaining() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after CSR payload",
+        ));
+    }
+    Ok(Csr::from_parts(
+        n,
+        offsets,
+        adj,
+        weights,
+        flags & FLAG_DIRECTED != 0,
+        flags & FLAG_SORTED != 0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+    use crate::gen::structured::clique;
+    use crate::{CsrBuilder, BuildOptions, EdgeList};
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = build_undirected(&clique(6));
+        let mut buf = Vec::new();
+        write_csr_binary(&mut buf, &g).unwrap();
+        let back = read_csr_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_weighted_directed() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, -5);
+        el.push_weighted(2, 0, 8);
+        let g = CsrBuilder::new(BuildOptions {
+            symmetrize: false,
+            remove_self_loops: false,
+            dedup: false,
+            sort: true,
+        })
+        .build(&el);
+        let mut buf = Vec::new();
+        write_csr_binary(&mut buf, &g).unwrap();
+        let back = read_csr_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+        assert!(back.is_directed());
+        assert!(back.is_weighted());
+    }
+
+    #[test]
+    fn corrupt_inputs_error() {
+        assert!(read_csr_binary(&mut &b"xx"[..]).is_err());
+        let g = build_undirected(&clique(4));
+        let mut buf = Vec::new();
+        write_csr_binary(&mut buf, &g).unwrap();
+        // Truncate.
+        assert!(read_csr_binary(&mut &buf[..buf.len() - 4]).is_err());
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.extend_from_slice(&[0u8; 8]);
+        assert!(read_csr_binary(&mut long.as_slice()).is_err());
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(read_csr_binary(&mut bad.as_slice()).is_err());
+        // Bad version.
+        let mut badv = buf;
+        badv[4] ^= 0xff;
+        assert!(read_csr_binary(&mut badv.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = build_undirected(&EdgeList::new(0));
+        let mut buf = Vec::new();
+        write_csr_binary(&mut buf, &g).unwrap();
+        let back = read_csr_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 0);
+    }
+}

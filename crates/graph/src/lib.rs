@@ -1,0 +1,62 @@
+//! Graph substrate: CSR storage, generators, I/O, and graph operations.
+//!
+//! GraphCT (the paper's baseline framework) stores one efficient read-only
+//! graph representation in main memory and serves it to every analysis
+//! kernel.  This crate is that representation plus everything needed to
+//! produce the paper's workloads:
+//!
+//! * [`Csr`] — compressed sparse row storage, directed or undirected,
+//!   optionally weighted, built in parallel from an [`EdgeList`].
+//! * [`gen`] — graph generators: RMAT (the paper's workload, Chakrabarti
+//!   et al. with Graph500 parameters), Erdős–Rényi, and deterministic
+//!   families for tests.
+//! * [`io`] — text edge-list, DIMACS, and compact binary formats.
+//! * [`ops`] — degree statistics, subgraph extraction, transpose,
+//!   relabeling.
+//! * [`validate`] — Graph500-style BFS tree validation and component
+//!   label validation.
+//!
+//! # Example
+//!
+//! ```
+//! use xmt_graph::builder::build_undirected;
+//! use xmt_graph::gen::rmat::{rmat_edges, RmatParams};
+//!
+//! // The paper's workload, miniaturized: an undirected scale-free RMAT
+//! // graph with self loops and duplicates removed, sorted adjacency.
+//! let params = RmatParams::graph500(8); // 256 vertices, ~16 edges each
+//! let g = build_undirected(&rmat_edges(&params, 42));
+//!
+//! assert_eq!(g.num_vertices(), 256);
+//! assert!(g.is_sorted() && !g.is_directed());
+//! // Skewed degrees: the hub dwarfs the mean.
+//! let mean = g.num_arcs() as f64 / g.num_vertices() as f64;
+//! assert!(g.max_degree() as f64 > 3.0 * mean);
+//! // Adjacency queries:
+//! let hub = (0..256).max_by_key(|&v| g.degree(v)).unwrap();
+//! for &n in g.neighbors(hub) {
+//!     assert!(g.has_arc(n, hub), "undirected arcs are symmetric");
+//! }
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod edge_list;
+pub mod gen;
+pub mod io;
+pub mod ops;
+pub mod validate;
+
+pub use builder::{BuildOptions, CsrBuilder};
+pub use csr::Csr;
+pub use edge_list::EdgeList;
+
+/// Vertex identifier. The XMT is a 64-bit word machine and GraphCT uses
+/// 64-bit vertex ids; we do the same.
+pub type VertexId = u64;
+
+/// Edge weight type used by the weighted-graph paths.
+pub type Weight = i64;
+
+/// Sentinel "no vertex" value (used for BFS parents, etc.).
+pub const NO_VERTEX: VertexId = u64::MAX;

@@ -1,0 +1,144 @@
+//! Degree statistics.
+//!
+//! The paper's parallelism argument revolves around the skewed degree
+//! distribution of RMAT graphs; these helpers quantify it.
+
+use xmt_par::reduce;
+
+use crate::Csr;
+
+/// Summary statistics of the out-degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest out-degree.
+    pub min: u64,
+    /// Largest out-degree.
+    pub max: u64,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Variance of the out-degree.
+    pub variance: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: u64,
+}
+
+impl DegreeStats {
+    /// Compute stats over all vertices of `g` in parallel.
+    pub fn of(g: &Csr) -> DegreeStats {
+        let n = g.num_vertices() as usize;
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                variance: 0.0,
+                isolated: 0,
+            };
+        }
+        // (min, max, sum, sum_sq, isolated)
+        let acc = reduce(
+            0,
+            n,
+            || (u64::MAX, 0u64, 0u64, 0u128, 0u64),
+            |acc, v| {
+                let d = g.degree(v as u64);
+                (
+                    acc.0.min(d),
+                    acc.1.max(d),
+                    acc.2 + d,
+                    acc.3 + (d as u128) * (d as u128),
+                    acc.4 + (d == 0) as u64,
+                )
+            },
+            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3, a.4 + b.4),
+        );
+        let nf = n as f64;
+        let mean = acc.2 as f64 / nf;
+        let variance = (acc.3 as f64 / nf - mean * mean).max(0.0);
+        DegreeStats {
+            min: acc.0,
+            max: acc.1,
+            mean,
+            variance,
+            isolated: acc.4,
+        }
+    }
+
+    /// Skew indicator: max degree / mean degree.
+    pub fn skew(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max as f64 / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Histogram of `log2(degree)` buckets: `hist[i]` counts vertices with
+/// degree in `[2^i, 2^{i+1})`; bucket 0 also holds degree-0 vertices.
+pub fn degree_histogram(g: &Csr) -> Vec<u64> {
+    let mut hist = vec![0u64; 65];
+    for v in 0..g.num_vertices() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { 64 - (d - 1).leading_zeros() as usize };
+        hist[bucket] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+    use crate::gen::structured::{clique, star};
+    use crate::EdgeList;
+
+    #[test]
+    fn clique_stats_are_uniform() {
+        let g = build_undirected(&clique(5));
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!(s.variance < 1e-12);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn star_is_maximally_skewed() {
+        let g = build_undirected(&star(101));
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.min, 1);
+        assert!(s.skew() > 25.0);
+    }
+
+    #[test]
+    fn isolated_vertices_are_counted() {
+        let mut el = EdgeList::new(10);
+        el.push(0, 1);
+        let g = build_undirected(&el);
+        assert_eq!(DegreeStats::of(&g).isolated, 8);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = build_undirected(&EdgeList::new(0));
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.skew(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // star(9): center degree 8 (bucket 3), leaves degree 1 (bucket 0).
+        let g = build_undirected(&star(9));
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<u64>(), 9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Vertex-induced subgraph extraction (a GraphCT workflow utility).
+
+use crate::{Csr, EdgeList, NO_VERTEX, VertexId};
+
+/// Extract the subgraph induced by `vertices`.
+///
+/// Returns the new graph (vertices renumbered `0..k` in the order given)
+/// and the old-id list so callers can map results back.  Duplicate ids in
+/// `vertices` are rejected.
+pub fn extract_subgraph(g: &Csr, vertices: &[VertexId]) -> (Csr, Vec<VertexId>) {
+    let n = g.num_vertices() as usize;
+    let mut new_id = vec![NO_VERTEX; n];
+    for (k, &v) in vertices.iter().enumerate() {
+        assert!(v < g.num_vertices(), "vertex {v} out of range");
+        assert!(new_id[v as usize] == NO_VERTEX, "duplicate vertex {v}");
+        new_id[v as usize] = k as VertexId;
+    }
+
+    let mut el = EdgeList::new(vertices.len() as u64);
+    let mut weights: Option<Vec<i64>> = g.raw_weights().map(|_| Vec::new());
+    for (k, &v) in vertices.iter().enumerate() {
+        let nbrs = g.neighbors(v);
+        for (j, &u) in nbrs.iter().enumerate() {
+            let nu = new_id[u as usize];
+            if nu == NO_VERTEX {
+                continue;
+            }
+            // For undirected graphs keep each edge once (smaller new id
+            // emits); directed graphs keep every arc.
+            if g.is_directed() || (k as VertexId) < nu || (u == v) {
+                el.edges.push((k as VertexId, nu));
+                if let Some(w) = &mut weights {
+                    w.push(g.weights_of(v)[j]);
+                }
+            }
+        }
+    }
+    el.weights = weights;
+
+    let opts = crate::BuildOptions {
+        symmetrize: !g.is_directed(),
+        remove_self_loops: false,
+        dedup: false,
+        sort: g.is_sorted(),
+    };
+    (crate::CsrBuilder::new(opts).build(&el), vertices.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+    use crate::gen::structured::{bridged_cliques, clique};
+
+    #[test]
+    fn induced_clique_is_complete() {
+        let g = build_undirected(&clique(6));
+        let (sub, ids) = extract_subgraph(&g, &[0, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn bridge_edges_to_outside_are_dropped() {
+        // Two 4-cliques bridged at 3-4; take only the first clique.
+        let g = build_undirected(&bridged_cliques(4));
+        let (sub, _) = extract_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 6);
+    }
+
+    #[test]
+    fn renumbering_follows_input_order() {
+        let g = build_undirected(&clique(4));
+        let (sub, _) = extract_subgraph(&g, &[3, 1]);
+        // Old 3 -> new 0, old 1 -> new 1; the edge {1,3} survives.
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.neighbors(0), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn duplicates_rejected() {
+        let g = build_undirected(&clique(3));
+        extract_subgraph(&g, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let g = build_undirected(&clique(3));
+        extract_subgraph(&g, &[9]);
+    }
+
+    #[test]
+    fn empty_selection_is_empty_graph() {
+        let g = build_undirected(&clique(3));
+        let (sub, ids) = extract_subgraph(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Graph transpose (reverse every arc of a directed graph).
+
+use std::sync::atomic::Ordering;
+
+use xmt_par::atomic::as_atomic_u64;
+use xmt_par::{exclusive_prefix_sum, parallel_for};
+
+use crate::{Csr, VertexId};
+
+/// Reverse all arcs. For an undirected graph this returns a structurally
+/// identical graph (every arc already has its reverse stored).
+pub fn transpose(g: &Csr) -> Csr {
+    let n = g.num_vertices() as usize;
+    let mut counts = vec![0u64; n + 1];
+    {
+        let acounts = as_atomic_u64(&mut counts);
+        parallel_for(0, n, |v| {
+            for &u in g.neighbors(v as u64) {
+                acounts[u as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    let total = exclusive_prefix_sum(&mut counts);
+    debug_assert_eq!(total, g.num_arcs());
+    let offsets = counts;
+
+    let mut adj = vec![0 as VertexId; total as usize];
+    let mut weights = g.raw_weights().map(|_| vec![0i64; total as usize]);
+    {
+        let mut cursors = offsets.clone();
+        let acursors = as_atomic_u64(&mut cursors);
+        let adj_base = adj.as_mut_ptr() as usize;
+        let w_base = weights.as_mut().map(|w| w.as_mut_ptr() as usize);
+        parallel_for(0, n, |v| {
+            let nbrs = g.neighbors(v as u64);
+            for (j, &u) in nbrs.iter().enumerate() {
+                let slot = acursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                // SAFETY: fetch-and-add hands out each slot exactly once.
+                unsafe {
+                    *(adj_base as *mut VertexId).add(slot) = v as VertexId;
+                    if let Some(base) = w_base {
+                        *(base as *mut i64).add(slot) = g.weights_of(v as u64)[j];
+                    }
+                }
+            }
+        });
+    }
+
+    // Transposed adjacency is unsorted in general; sort to restore the
+    // input's invariant if it had one.
+    if g.is_sorted() {
+        let adj_base = adj.as_mut_ptr() as usize;
+        let offsets_ref = &offsets;
+        if let Some(ws) = weights.as_mut() {
+            let w_base = ws.as_mut_ptr() as usize;
+            parallel_for(0, n, |v| {
+                let lo = offsets_ref[v] as usize;
+                let hi = offsets_ref[v + 1] as usize;
+                // SAFETY: per-vertex slices are disjoint.
+                unsafe {
+                    let a =
+                        std::slice::from_raw_parts_mut((adj_base as *mut VertexId).add(lo), hi - lo);
+                    let w = std::slice::from_raw_parts_mut((w_base as *mut i64).add(lo), hi - lo);
+                    let mut perm: Vec<usize> = (0..a.len()).collect();
+                    perm.sort_unstable_by_key(|&i| a[i]);
+                    let sa: Vec<VertexId> = perm.iter().map(|&i| a[i]).collect();
+                    let sw: Vec<i64> = perm.iter().map(|&i| w[i]).collect();
+                    a.copy_from_slice(&sa);
+                    w.copy_from_slice(&sw);
+                }
+            });
+        } else {
+            parallel_for(0, n, |v| {
+                let lo = offsets_ref[v] as usize;
+                let hi = offsets_ref[v + 1] as usize;
+                // SAFETY: per-vertex slices are disjoint.
+                unsafe {
+                    std::slice::from_raw_parts_mut((adj_base as *mut VertexId).add(lo), hi - lo)
+                        .sort_unstable();
+                }
+            });
+        }
+    }
+
+    Csr::from_parts(
+        g.num_vertices(),
+        offsets,
+        adj,
+        weights,
+        g.is_directed(),
+        g.is_sorted(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_directed, build_undirected};
+    use crate::gen::structured::clique;
+    use crate::{BuildOptions, CsrBuilder, EdgeList};
+
+    #[test]
+    fn directed_transpose_reverses_arcs() {
+        let el = EdgeList::from_pairs([(0, 1), (0, 2), (2, 1)]);
+        let g = build_directed(&el);
+        let t = transpose(&g);
+        assert!(t.has_arc(1, 0));
+        assert!(t.has_arc(2, 0));
+        assert!(t.has_arc(1, 2));
+        assert!(!t.has_arc(0, 1));
+        assert_eq!(t.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn double_transpose_is_identity_up_to_order() {
+        let el = EdgeList::from_pairs([(0, 1), (0, 2), (2, 1), (3, 0)]);
+        let g = CsrBuilder::new(BuildOptions {
+            symmetrize: false,
+            remove_self_loops: false,
+            dedup: false,
+            sort: true,
+        })
+        .build(&el);
+        let tt = transpose(&transpose(&g));
+        assert_eq!(tt, g);
+    }
+
+    #[test]
+    fn undirected_transpose_is_identity() {
+        let g = build_undirected(&clique(5));
+        assert_eq!(transpose(&g), g);
+    }
+
+    #[test]
+    fn weighted_transpose_carries_weights() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 5);
+        el.push_weighted(0, 2, 7);
+        let g = CsrBuilder::new(BuildOptions {
+            symmetrize: false,
+            remove_self_loops: false,
+            dedup: false,
+            sort: true,
+        })
+        .build(&el);
+        let t = transpose(&g);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.weights_of(1), &[5]);
+        assert_eq!(t.weights_of(2), &[7]);
+    }
+}

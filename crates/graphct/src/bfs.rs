@@ -1,0 +1,214 @@
+//! Level-synchronous shared-memory breadth-first search.
+//!
+//! The paper (§IV): the shared-memory algorithm "enqueues only those
+//! vertices that are definitively unmarked and on the frontier" and
+//! "only places one copy of each vertex" — discovery is decided by an
+//! atomic claim on the distance word, and winners are appended to the
+//! next-frontier queue through a shared fetch-and-add cursor (the mild
+//! hotspot responsible for the reduced scalability at 128 processors in
+//! Fig. 3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xmt_graph::{Csr, NO_VERTEX, VertexId};
+use xmt_model::{PhaseCounts, Recorder};
+use xmt_par::atomic::claim;
+use xmt_par::parallel_for;
+
+/// Distances and BFS-tree parents from a source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `dist[v]` is the hop count from the source (`u64::MAX` if
+    /// unreachable).
+    pub dist: Vec<u64>,
+    /// `parent[v]` is the BFS-tree parent (`NO_VERTEX` if unreachable;
+    /// the source is its own parent).
+    pub parent: Vec<VertexId>,
+    /// Frontier size at each level, starting with level 0 (the source).
+    pub frontier_sizes: Vec<u64>,
+}
+
+/// Level-synchronous BFS from `source`.
+pub fn bfs(g: &Csr, source: VertexId) -> BfsResult {
+    run(g, source, &mut None)
+}
+
+/// As [`bfs`], recording one `"level"` phase per frontier expansion
+/// (observed = frontier size entering the level).
+pub fn bfs_instrumented(g: &Csr, source: VertexId, rec: &mut Recorder) -> BfsResult {
+    run(g, source, &mut Some(rec))
+}
+
+fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult {
+    let n = g.num_vertices() as usize;
+    assert!((source as usize) < n, "source out of range");
+
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_VERTEX)).collect();
+
+    if let Some(r) = rec.as_deref_mut() {
+        let mut c = PhaseCounts::with_items(n as u64);
+        c.writes = 2 * n as u64; // dist + parent initialization
+        c.charge_loop_overhead(chunk(n));
+        c.barriers = 1;
+        r.push("init", 0, c, 0);
+    }
+
+    dist[source as usize].store(0, Ordering::Relaxed);
+    parent[source as usize].store(source, Ordering::Relaxed);
+
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut frontier_sizes = vec![1u64];
+    let mut level = 0u64;
+    // Next-frontier queue, reused across levels; appended through a
+    // shared fetch-and-add cursor.
+    let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+
+    while !frontier.is_empty() {
+        let cursor = AtomicU64::new(0);
+        let edges_scanned = AtomicU64::new(0);
+
+        {
+            let frontier_ref = &frontier;
+            parallel_for(0, frontier_ref.len(), |i| {
+                let v = frontier_ref[i];
+                let d = level + 1;
+                let nbrs = g.neighbors(v);
+                edges_scanned.fetch_add(nbrs.len() as u64, Ordering::Relaxed);
+                for &u in nbrs {
+                    // Claim the distance word: exactly one discoverer wins.
+                    if claim(&dist[u as usize], u64::MAX, d) {
+                        parent[u as usize].store(v, Ordering::Relaxed);
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                        next[slot].store(u, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        let next_len = cursor.load(Ordering::Relaxed) as usize;
+        let discovered = next_len as u64;
+        if let Some(r) = rec.as_deref_mut() {
+            let scanned = edges_scanned.load(Ordering::Relaxed);
+            let mut c = PhaseCounts::with_items(scanned.max(frontier.len() as u64));
+            // Per frontier vertex: offsets read; per edge: neighbor id +
+            // dist probe; per discovery: dist claim + parent write +
+            // queue write, with the queue cursor as the hotspot.
+            c.reads = frontier.len() as u64 + 2 * scanned;
+            c.alu_ops = scanned;
+            c.atomics = discovered;
+            c.writes = 2 * discovered;
+            c.hotspot_ops = discovered;
+            c.charge_loop_overhead(chunk(frontier.len()));
+            c.barriers = 1;
+            r.push("level", level, c, frontier.len() as u64);
+        }
+
+        frontier = next[..next_len]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        if !frontier.is_empty() {
+            frontier_sizes.push(frontier.len() as u64);
+        }
+        level += 1;
+    }
+
+    BfsResult {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        parent: parent.into_iter().map(AtomicU64::into_inner).collect(),
+        frontier_sizes,
+    }
+}
+
+fn chunk(n: usize) -> u64 {
+    xmt_par::pfor::default_chunk(n.max(1), xmt_par::num_threads()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::{binary_tree, disjoint_cliques, grid, path, ring, star};
+    use xmt_graph::validate::{reference_bfs, validate_bfs};
+
+    #[test]
+    fn path_distances_are_indices() {
+        let g = build_undirected(&path(20));
+        let r = bfs(&g, 0);
+        validate_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        for v in 0..20 {
+            assert_eq!(r.dist[v], v as u64);
+        }
+        assert_eq!(r.frontier_sizes, vec![1; 20]);
+    }
+
+    #[test]
+    fn star_has_two_levels() {
+        let g = build_undirected(&star(100));
+        let r = bfs(&g, 0);
+        validate_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        assert_eq!(r.frontier_sizes, vec![1, 99]);
+    }
+
+    #[test]
+    fn ring_wraps_both_ways() {
+        let g = build_undirected(&ring(10));
+        let r = bfs(&g, 0);
+        validate_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        assert_eq!(r.dist[5], 5);
+        assert_eq!(r.dist[9], 1);
+        assert_eq!(r.frontier_sizes, vec![1, 2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unmarked() {
+        let g = build_undirected(&disjoint_cliques(2, 4));
+        let r = bfs(&g, 0);
+        validate_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        for v in 4..8 {
+            assert_eq!(r.dist[v], u64::MAX);
+            assert_eq!(r.parent[v], NO_VERTEX);
+        }
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = build_undirected(&grid(8, 8));
+        let r = bfs(&g, 0);
+        validate_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        for row in 0..8u64 {
+            for col in 0..8u64 {
+                assert_eq!(r.dist[(row * 8 + col) as usize], row + col);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_reference_distances() {
+        let el = xmt_graph::gen::er::gnm(3000, 9000, 5);
+        let g = build_undirected(&el);
+        let r = bfs(&g, 7);
+        let (ref_dist, _) = reference_bfs(&g, 7);
+        assert_eq!(r.dist, ref_dist);
+        validate_bfs(&g, 7, &r.dist, &r.parent).unwrap();
+    }
+
+    #[test]
+    fn instrumented_levels_track_frontier() {
+        let g = build_undirected(&binary_tree(255));
+        let mut rec = Recorder::new();
+        let r = bfs_instrumented(&g, 0, &mut rec);
+        // Tree of depth 7: levels 0..7.
+        assert_eq!(rec.steps("level"), 8);
+        let observed: Vec<u64> = rec.with_label("level").map(|x| x.observed).collect();
+        assert_eq!(observed, r.frontier_sizes);
+        assert_eq!(observed, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn source_out_of_range_panics() {
+        let g = build_undirected(&path(3));
+        assert!(std::panic::catch_unwind(|| bfs(&g, 99)).is_err());
+    }
+}

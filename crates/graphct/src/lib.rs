@@ -1,0 +1,69 @@
+//! GraphCT-style shared-memory graph kernels — the paper's baseline.
+//!
+//! GraphCT is the open-source multithreaded graph toolkit the paper uses
+//! as its hand-tuned shared-memory reference.  This crate re-implements
+//! the three kernels the paper measures, in the same algorithmic style
+//! (loop-level parallelism, atomic fetch-and-add, immediate visibility of
+//! updates), plus the surrounding toolkit capabilities the paper lists
+//! (§II: "clustering coefficients, connected components, betweenness
+//! centrality, k-core, and others"):
+//!
+//! * [`components`] — Shiloach-Vishkin-style connected components with
+//!   in-iteration label propagation (§III);
+//! * [`bfs`] — level-synchronous breadth-first search with a shared
+//!   frontier queue (§IV);
+//! * [`triangles`] — triangle counting and clustering coefficients by
+//!   sorted-adjacency intersection (§V);
+//! * [`kcore`], [`betweenness`], [`pagerank`], [`sssp`] — toolkit extras;
+//! * [`workflow`] — the chained-analysis driver (one read-only graph,
+//!   a series of kernel calls, an accumulated report).
+//!
+//! Every kernel has an `*_instrumented` variant that records exact
+//! per-iteration operation counts into an [`xmt_model::Recorder`]; the
+//! analytic machine model turns those into Cray XMT time predictions.
+//!
+//! # Example: a GraphCT workflow
+//!
+//! ```
+//! use xmt_graph::builder::build_undirected;
+//! use xmt_graph::gen::structured::bridged_cliques;
+//!
+//! // Two 5-cliques joined by a bridge.
+//! let g = build_undirected(&bridged_cliques(5));
+//!
+//! let labels = graphct::connected_components(&g);
+//! assert!(labels.iter().all(|&l| l == 0), "one component");
+//!
+//! let bfs = graphct::bfs(&g, 0);
+//! assert_eq!(bfs.dist[9], 3, "across the bridge");
+//!
+//! let (cc, triangles) = graphct::clustering_coefficients(&g);
+//! assert_eq!(triangles, 2 * 10, "two K5s");
+//! assert!(cc[0] > 0.9, "clique members are tightly clustered");
+//!
+//! let core = graphct::kcore_decomposition(&g);
+//! assert!(core.iter().all(|&k| k == 4), "each clique is a 4-core");
+//! ```
+
+pub mod betweenness;
+pub mod bfs;
+pub mod components;
+pub mod kcore;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;
+pub mod workflow;
+
+pub use betweenness::betweenness_centrality;
+pub use bfs::{bfs, bfs_instrumented, BfsResult};
+pub use components::{
+    connected_components, connected_components_instrumented, connected_components_jacobi,
+};
+pub use kcore::kcore_decomposition;
+pub use pagerank::pagerank;
+pub use sssp::sssp;
+pub use workflow::Workflow;
+pub use triangles::{
+    clustering_coefficients, count_triangles, count_triangles_binsearch,
+    count_triangles_instrumented,
+};

@@ -1,0 +1,157 @@
+//! Single-source shortest paths on non-negatively weighted graphs.
+//!
+//! Frontier-driven parallel Bellman-Ford: each round relaxes the out
+//! edges of vertices whose distance improved in the previous round.  This
+//! is the shared-memory analogue of the Giraph SSSP runs the paper cites
+//! (Kajdanowicz et al. \[23\]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xmt_graph::{Csr, VertexId};
+use xmt_par::parallel_for;
+
+/// Distance labels from `source`; `u64::MAX` marks unreachable vertices.
+pub fn sssp(g: &Csr, source: VertexId) -> Vec<u64> {
+    let n = g.num_vertices() as usize;
+    assert!((source as usize) < n, "source out of range");
+    assert!(g.is_weighted(), "sssp requires arc weights");
+    if let Some(ws) = g.raw_weights() {
+        assert!(ws.iter().all(|&w| w >= 0), "negative weights unsupported");
+    }
+
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        rounds += 1;
+        assert!(
+            rounds <= n + 1,
+            "relaxation failed to converge (negative cycle?)"
+        );
+        let improved: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        {
+            let f = &frontier;
+            parallel_for(0, f.len(), |i| {
+                let v = f[i];
+                let dv = dist[v as usize].load(Ordering::Relaxed);
+                if dv == u64::MAX {
+                    return;
+                }
+                let ws = g.weights_of(v);
+                for (j, &u) in g.neighbors(v).iter().enumerate() {
+                    let cand = dv.saturating_add(ws[j] as u64);
+                    let prev = dist[u as usize].fetch_min(cand, Ordering::Relaxed);
+                    if cand < prev {
+                        improved[u as usize].store(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        frontier = (0..n as u64)
+            .filter(|&v| improved[v as usize].load(Ordering::Relaxed) == 1)
+            .collect();
+    }
+
+    dist.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Serial Dijkstra reference for testing.
+pub fn reference_sssp(g: &Csr, source: VertexId) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices() as usize;
+    let mut dist = vec![u64::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let ws = g.weights_of(v);
+        for (j, &u) in g.neighbors(v).iter().enumerate() {
+            let cand = d + ws[j] as u64;
+            if cand < dist[u as usize] {
+                dist[u as usize] = cand;
+                heap.push(Reverse((cand, u)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::{BuildOptions, CsrBuilder, EdgeList};
+
+    fn weighted_graph(n: u64, edges: &[(u64, u64, i64)]) -> Csr {
+        let mut el = EdgeList::new(n);
+        for &(u, v, w) in edges {
+            el.push_weighted(u, v, w);
+        }
+        CsrBuilder::new(BuildOptions {
+            symmetrize: true,
+            remove_self_loops: false,
+            dedup: false,
+            sort: true,
+        })
+        .build(&el)
+    }
+
+    #[test]
+    fn picks_the_cheaper_route() {
+        // 0 -10- 1, 0 -1- 2, 2 -1- 1: route through 2 costs 2 < 10.
+        let g = weighted_graph(3, &[(0, 1, 10), (0, 2, 1), (2, 1, 1)]);
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = weighted_graph(4, &[(0, 1, 3)]);
+        let d = sssp(&g, 0);
+        assert_eq!(d[2], u64::MAX);
+        assert_eq!(d[3], u64::MAX);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let g = weighted_graph(3, &[(0, 1, 0), (1, 2, 0)]);
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..3u64 {
+            let el = xmt_graph::gen::er::gnm_weighted(200, 900, 20, seed);
+            let g = CsrBuilder::new(BuildOptions {
+                symmetrize: true,
+                remove_self_loops: true,
+                dedup: false,
+                sort: true,
+            })
+            .build(&el);
+            let got = sssp(&g, 0);
+            let want = reference_sssp(&g, 0);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires arc weights")]
+    fn unweighted_graph_panics() {
+        let g = xmt_graph::builder::build_undirected(&xmt_graph::gen::structured::path(3));
+        sssp(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weights")]
+    fn negative_weights_panic() {
+        let g = weighted_graph(2, &[(0, 1, -5)]);
+        sssp(&g, 0);
+    }
+}

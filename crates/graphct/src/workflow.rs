@@ -1,0 +1,296 @@
+//! The GraphCT workflow driver.
+//!
+//! Paper §II: GraphCT "is designed to enable a workflow of graph
+//! analysis algorithms to be developed through a series of function
+//! calls.  Graph kernels utilize a single, efficient graph data
+//! representation that is stored in main memory and served read-only to
+//! analysis applications."  This module is that surface: one read-only
+//! [`Csr`], chained kernel invocations, and an accumulated report.
+
+use std::time::Instant;
+
+use xmt_graph::ops::degree::DegreeStats;
+use xmt_graph::{Csr, VertexId};
+
+/// The outcome of one workflow step.
+#[derive(Clone, Debug)]
+pub enum KernelOutput {
+    /// Connected components: labels plus component count.
+    Components {
+        /// Per-vertex component label (minimum member id).
+        labels: Vec<VertexId>,
+        /// Number of components.
+        count: u64,
+    },
+    /// BFS from a source: distances, parents, level count.
+    Bfs {
+        /// The traversal source.
+        source: VertexId,
+        /// Per-vertex hop counts.
+        dist: Vec<u64>,
+        /// Number of levels (max finite distance + 1).
+        levels: u64,
+        /// Vertices reached.
+        reached: u64,
+    },
+    /// Triangle counting / clustering.
+    Clustering {
+        /// Per-vertex local clustering coefficients.
+        coefficients: Vec<f64>,
+        /// Global triangle count.
+        triangles: u64,
+        /// Mean coefficient.
+        mean: f64,
+    },
+    /// k-core decomposition.
+    Kcore {
+        /// Per-vertex core numbers.
+        core: Vec<u64>,
+        /// The degeneracy (max core number).
+        degeneracy: u64,
+    },
+    /// (Sampled) betweenness centrality.
+    Betweenness {
+        /// Per-vertex scores.
+        scores: Vec<f64>,
+        /// The highest-scoring vertex.
+        top: VertexId,
+    },
+    /// Degree statistics.
+    Degrees(DegreeStats),
+}
+
+/// One executed step: what ran, how long it took on the host, what came
+/// out.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Host wall-clock seconds.
+    pub seconds: f64,
+    /// The result payload.
+    pub output: KernelOutput,
+}
+
+/// A chained analysis over one read-only graph.
+pub struct Workflow<'g> {
+    graph: &'g Csr,
+    steps: Vec<Step>,
+}
+
+impl<'g> Workflow<'g> {
+    /// Start a workflow over `graph`.
+    pub fn new(graph: &'g Csr) -> Self {
+        Workflow {
+            graph,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The graph being analyzed.
+    pub fn graph(&self) -> &'g Csr {
+        self.graph
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    fn record(&mut self, kernel: &'static str, t0: Instant, output: KernelOutput) -> &mut Self {
+        self.steps.push(Step {
+            kernel,
+            seconds: t0.elapsed().as_secs_f64(),
+            output,
+        });
+        self
+    }
+
+    /// Run degree statistics.
+    pub fn degrees(&mut self) -> &mut Self {
+        let t0 = Instant::now();
+        let stats = DegreeStats::of(self.graph);
+        self.record("degrees", t0, KernelOutput::Degrees(stats))
+    }
+
+    /// Run connected components.
+    pub fn components(&mut self) -> &mut Self {
+        let t0 = Instant::now();
+        let labels = crate::connected_components(self.graph);
+        let count = crate::components::count_components(&labels);
+        self.record("components", t0, KernelOutput::Components { labels, count })
+    }
+
+    /// Run BFS from `source`.
+    pub fn bfs(&mut self, source: VertexId) -> &mut Self {
+        let t0 = Instant::now();
+        let r = crate::bfs(self.graph, source);
+        let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count() as u64;
+        let levels = r.frontier_sizes.len() as u64;
+        self.record(
+            "bfs",
+            t0,
+            KernelOutput::Bfs {
+                source,
+                dist: r.dist,
+                levels,
+                reached,
+            },
+        )
+    }
+
+    /// Run clustering coefficients (includes triangle counting).
+    pub fn clustering(&mut self) -> &mut Self {
+        let t0 = Instant::now();
+        let (coefficients, triangles) = crate::clustering_coefficients(self.graph);
+        let mean = if coefficients.is_empty() {
+            0.0
+        } else {
+            coefficients.iter().sum::<f64>() / coefficients.len() as f64
+        };
+        self.record(
+            "clustering",
+            t0,
+            KernelOutput::Clustering {
+                coefficients,
+                triangles,
+                mean,
+            },
+        )
+    }
+
+    /// Run the k-core decomposition.
+    pub fn kcore(&mut self) -> &mut Self {
+        let t0 = Instant::now();
+        let core = crate::kcore_decomposition(self.graph);
+        let degeneracy = core.iter().max().copied().unwrap_or(0);
+        self.record("kcore", t0, KernelOutput::Kcore { core, degeneracy })
+    }
+
+    /// Run betweenness centrality with `samples` sources (`None` = exact).
+    pub fn betweenness(&mut self, samples: Option<usize>) -> &mut Self {
+        let t0 = Instant::now();
+        let scores = crate::betweenness_centrality(self.graph, samples);
+        let top = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(v, _)| v as VertexId)
+            .unwrap_or(0);
+        self.record("betweenness", t0, KernelOutput::Betweenness { scores, top })
+    }
+
+    /// Fetch the most recent output of a kernel by name.
+    pub fn latest(&self, kernel: &str) -> Option<&KernelOutput> {
+        self.steps
+            .iter()
+            .rev()
+            .find(|s| s.kernel == kernel)
+            .map(|s| &s.output)
+    }
+
+    /// A one-line-per-step text report.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "workflow over {} vertices / {} edges:\n",
+            self.graph.num_vertices(),
+            self.graph.num_edges()
+        );
+        for s in &self.steps {
+            let summary = match &s.output {
+                KernelOutput::Components { count, .. } => format!("{count} components"),
+                KernelOutput::Bfs {
+                    source,
+                    levels,
+                    reached,
+                    ..
+                } => format!("from {source}: {reached} reached in {levels} levels"),
+                KernelOutput::Clustering {
+                    triangles, mean, ..
+                } => format!("{triangles} triangles, mean cc {mean:.4}"),
+                KernelOutput::Kcore { degeneracy, .. } => format!("degeneracy {degeneracy}"),
+                KernelOutput::Betweenness { top, .. } => format!("top broker {top}"),
+                KernelOutput::Degrees(d) => {
+                    format!("mean degree {:.1}, max {}", d.mean, d.max)
+                }
+            };
+            out.push_str(&format!(
+                "  {:<12} {:>10.3} ms  {}\n",
+                s.kernel,
+                s.seconds * 1e3,
+                summary
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::bridged_cliques;
+
+    fn demo_graph() -> Csr {
+        build_undirected(&bridged_cliques(5))
+    }
+
+    #[test]
+    fn chained_workflow_records_every_step() {
+        let g = demo_graph();
+        let mut w = Workflow::new(&g);
+        w.degrees().components().bfs(0).clustering().kcore().betweenness(None);
+        assert_eq!(w.steps().len(), 6);
+        let names: Vec<&str> = w.steps().iter().map(|s| s.kernel).collect();
+        assert_eq!(
+            names,
+            vec!["degrees", "components", "bfs", "clustering", "kcore", "betweenness"]
+        );
+    }
+
+    #[test]
+    fn outputs_are_correct() {
+        let g = demo_graph();
+        let mut w = Workflow::new(&g);
+        w.components().clustering().kcore();
+        match w.latest("components").unwrap() {
+            KernelOutput::Components { count, labels } => {
+                assert_eq!(*count, 1);
+                assert!(labels.iter().all(|&l| l == 0));
+            }
+            other => panic!("wrong output {other:?}"),
+        }
+        match w.latest("clustering").unwrap() {
+            KernelOutput::Clustering { triangles, .. } => assert_eq!(*triangles, 20),
+            other => panic!("wrong output {other:?}"),
+        }
+        match w.latest("kcore").unwrap() {
+            KernelOutput::Kcore { degeneracy, .. } => assert_eq!(*degeneracy, 4),
+            other => panic!("wrong output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latest_returns_most_recent_run() {
+        let g = demo_graph();
+        let mut w = Workflow::new(&g);
+        w.bfs(0).bfs(7);
+        match w.latest("bfs").unwrap() {
+            KernelOutput::Bfs { source, .. } => assert_eq!(*source, 7),
+            other => panic!("wrong output {other:?}"),
+        }
+        assert!(w.latest("kcore").is_none());
+    }
+
+    #[test]
+    fn report_mentions_every_kernel() {
+        let g = demo_graph();
+        let mut w = Workflow::new(&g);
+        w.degrees().components().bfs(1).clustering().kcore().betweenness(Some(4));
+        let r = w.report();
+        for k in ["degrees", "components", "bfs", "clustering", "kcore", "betweenness"] {
+            assert!(r.contains(k), "report missing {k}: {r}");
+        }
+        assert!(r.contains("1 components") || r.contains("components"));
+    }
+}

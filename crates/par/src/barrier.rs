@@ -1,0 +1,125 @@
+//! A reusable sense-reversing barrier.
+//!
+//! The BSP runtime separates supersteps with barriers; the cost model
+//! charges each one, so we implement the textbook centralized
+//! sense-reversing barrier (one fetch-add plus a flag spin per episode)
+//! rather than hiding the cost in a heavier primitive.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed number of participants.
+pub struct SenseBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SenseBarrier {
+    /// Barrier for `parties` threads (`parties >= 1`).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1);
+        SenseBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all `parties` threads have called `wait`.
+    ///
+    /// Returns `true` for exactly one caller per episode (the last to
+    /// arrive), mirroring `std::sync::Barrier`'s leader election.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        let parties = 4;
+        let episodes = 50;
+        let b = Arc::new(SenseBarrier::new(parties));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..parties)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..episodes {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), episodes as u64);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Each thread increments phase-0 counter, crosses the barrier, and
+        // checks the counter is complete before touching phase 1.
+        let parties = 8;
+        let b = Arc::new(SenseBarrier::new(parties));
+        let phase0 = Arc::new(AtomicU64::new(0));
+        let violations = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..parties)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let phase0 = Arc::clone(&phase0);
+                let violations = Arc::clone(&violations);
+                std::thread::spawn(move || {
+                    phase0.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    if phase0.load(Ordering::SeqCst) != parties as u64 {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! XMT-style shared-memory parallel runtime.
+//!
+//! The Cray XMT tolerates memory latency with massive hardware
+//! multithreading and exposes loop-level parallelism plus a small set of
+//! synchronization primitives: atomic `int_fetch_add`, and full/empty bits
+//! on every memory word (`readfe`, `writeef`, `readff`).  This crate
+//! provides the software equivalents used by both the shared-memory
+//! (GraphCT-style) and BSP implementations in this workspace, so that the
+//! two programming models run on an identical substrate — exactly the
+//! experimental setup of the paper.
+//!
+//! Provided primitives:
+//!
+//! * [`Pool`] — a persistent worker pool; [`global`] returns the
+//!   process-wide instance.
+//! * [`parallel_for`] / [`parallel_for_chunked`] — dynamically chunked
+//!   loop parallelism over an index range (the XMT compiler's `#pragma mta
+//!   assert parallel` analogue).
+//! * [`reduce`] and [`scan`] — parallel reductions and prefix sums.
+//! * [`atomic`] — `int_fetch_add`-style helpers plus atomic-min/max CAS
+//!   loops used by label-update kernels.
+//! * [`FullEmptyCell`] — a full/empty-bit word (`readfe`/`writeef`).
+//! * [`SenseBarrier`] — a sense-reversing barrier.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // A self-scheduled parallel loop with an atomic reduction — the
+//! // canonical XMT kernel shape.
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let sum = AtomicU64::new(0);
+//! xmt_par::parallel_for(0, data.len(), |i| {
+//!     if data[i] % 3 == 0 {
+//!         sum.fetch_add(data[i], Ordering::Relaxed);
+//!     }
+//! });
+//! let expect: u64 = (0..10_000).filter(|x| x % 3 == 0).sum();
+//! assert_eq!(sum.load(Ordering::Relaxed), expect);
+//!
+//! // Or as a proper reduction without the shared counter:
+//! let sum2 = xmt_par::reduce::sum_u64(0, data.len(), |i| {
+//!     if data[i] % 3 == 0 { data[i] } else { 0 }
+//! });
+//! assert_eq!(sum2, expect);
+//! ```
+
+pub mod atomic;
+pub mod barrier;
+pub mod full_empty;
+pub mod pfor;
+pub mod pool;
+pub mod reduce;
+pub mod scan;
+
+pub use barrier::SenseBarrier;
+pub use full_empty::FullEmptyCell;
+pub use pfor::{parallel_for, parallel_for_chunked};
+pub use pool::{global, Pool};
+pub use reduce::{reduce, reduce_commutative};
+pub use scan::{exclusive_prefix_sum, exclusive_prefix_sum_seq};
+
+/// Number of workers in the global pool.
+pub fn num_threads() -> usize {
+    global().num_workers()
+}

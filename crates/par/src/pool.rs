@@ -1,0 +1,228 @@
+//! A persistent worker pool with scoped broadcast jobs.
+//!
+//! Every parallel construct in this crate funnels through [`Pool::run`]: a
+//! closure is broadcast to all workers, each worker invokes it with its
+//! worker id, and the caller blocks until every worker has finished.  The
+//! closure may borrow from the caller's stack; soundness relies on `run`
+//! never returning before all workers are done with the closure (including
+//! on panic, which is caught in the worker and re-raised in the caller).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// Type-erased borrowed job: invoked once per worker with the worker id.
+type RawJob = *const (dyn Fn(usize) + Sync);
+
+/// A unit of work broadcast to the pool, paired with its completion latch.
+struct Broadcast {
+    job: RawJob,
+    done: Arc<Latch>,
+}
+
+// SAFETY: the job pointer is only dereferenced while the submitting thread
+// is blocked inside `Pool::run`, which keeps the referent alive.
+unsafe impl Send for Broadcast {}
+
+/// Counts worker completions and wakes the submitter when all have finished.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(n),
+            panicked: AtomicBool::new(false),
+            mutex: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.mutex.lock();
+            *done = true;
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.mutex.lock();
+        while !*done {
+            self.cond.wait(&mut done);
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct Pool {
+    senders: Vec<Sender<Broadcast>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool with `n` workers (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "pool needs at least one worker");
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n {
+            let (tx, rx) = bounded::<Broadcast>(1);
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("xmt-par-{id}"))
+                .spawn(move || {
+                    while let Ok(bc) = rx.recv() {
+                        // SAFETY: the submitter blocks in `run` until we
+                        // call `arrive`, so the referent outlives this call.
+                        let job = unsafe { &*bc.job };
+                        let res = catch_unwind(AssertUnwindSafe(|| job(id)));
+                        if res.is_err() {
+                            bc.done.panicked.store(true, Ordering::Release);
+                        }
+                        bc.done.arrive();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Pool { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Broadcast `f` to every worker and block until all have returned.
+    ///
+    /// `f` receives the worker id in `0..num_workers()`.  Panics in any
+    /// worker are re-raised here after all workers have finished.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = self.num_workers();
+        let latch = Arc::new(Latch::new(n));
+        let wide: *const (dyn Fn(usize) + Sync + '_) = &f;
+        // Erase the lifetime; see the SAFETY comment on `Broadcast`.
+        let raw: RawJob =
+            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), RawJob>(wide) };
+        for tx in &self.senders {
+            tx.send(Broadcast {
+                job: raw,
+                done: Arc::clone(&latch),
+            })
+            .expect("pool worker exited unexpectedly");
+        }
+        latch.wait();
+        if latch.panicked.load(Ordering::Acquire) {
+            panic!("a pool worker panicked during Pool::run");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes channels; workers exit their loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool.
+///
+/// Size is `XMT_PAR_THREADS` if set, otherwise the number of available
+/// hardware threads.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let n = std::env::var("XMT_PAR_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Pool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_reaches_every_worker() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|id| {
+            hits[id].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn run_can_borrow_stack_data() {
+        let pool = Pool::new(3);
+        let data = [1u64, 2, 3, 4, 5];
+        let total = AtomicU64::new(0);
+        pool.run(|id| {
+            if id == 0 {
+                total.fetch_add(data.iter().sum::<u64>(), Ordering::Relaxed);
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = Pool::new(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = Pool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|id| {
+                if id == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // Pool must still be usable afterwards.
+        let counter = AtomicU64::new(0);
+        pool.run(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn global_pool_exists() {
+        assert!(global().num_workers() >= 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Parallel prefix sums.
+//!
+//! CSR construction and frontier compaction both need an exclusive prefix
+//! sum over per-vertex counts.  We use the classic three-phase scheme:
+//! block-local sums, a sequential scan over block totals, then a parallel
+//! fix-up pass.
+
+use crate::pool::global;
+
+/// In-place exclusive prefix sum; returns the grand total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
+pub fn exclusive_prefix_sum(data: &mut [u64]) -> u64 {
+    let n = data.len();
+    let pool = global();
+    let workers = pool.num_workers();
+    // Sequential is faster below a few hundred thousand elements.
+    if n < 1 << 16 || workers == 1 {
+        return exclusive_prefix_sum_seq(data);
+    }
+    let nblocks = (workers * 4).min(n);
+    let block = n.div_ceil(nblocks);
+    let nblocks = n.div_ceil(block);
+
+    // Phase 1: per-block totals.
+    let mut totals = vec![0u64; nblocks];
+    {
+        let totals_base = totals.as_mut_ptr() as usize;
+        let data_ref = &*data;
+        crate::pfor::parallel_for(0, nblocks, |b| {
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(n);
+            let s: u64 = data_ref[lo..hi].iter().sum();
+            // SAFETY: one writer per block index.
+            unsafe { *(totals_base as *mut u64).add(b) = s };
+        });
+    }
+
+    // Phase 2: sequential scan of block totals.
+    let grand = exclusive_prefix_sum_seq(&mut totals);
+
+    // Phase 3: local exclusive scan with block offset.
+    {
+        let data_base = data.as_mut_ptr() as usize;
+        let totals_ref = &*totals;
+        crate::pfor::parallel_for(0, nblocks, |b| {
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(n);
+            let mut acc = totals_ref[b];
+            for i in lo..hi {
+                // SAFETY: blocks are disjoint; one writer per index.
+                unsafe {
+                    let p = (data_base as *mut u64).add(i);
+                    let v = *p;
+                    *p = acc;
+                    acc += v;
+                }
+            }
+        });
+    }
+    grand
+}
+
+/// Sequential exclusive prefix sum; returns the grand total.
+pub fn exclusive_prefix_sum_seq(data: &mut [u64]) -> u64 {
+    let mut acc = 0u64;
+    for v in data.iter_mut() {
+        let x = *v;
+        *v = acc;
+        acc += x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_small_case() {
+        let mut v = vec![3u64, 1, 4, 1, 5];
+        let total = exclusive_prefix_sum_seq(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 300_000;
+        let orig: Vec<u64> = (0..n).map(|i| (i as u64 * 37) % 11).collect();
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        let ta = exclusive_prefix_sum(&mut a);
+        let tb = exclusive_prefix_sum_seq(&mut b);
+        assert_eq!(ta, tb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u64> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut v), 0);
+        let mut v = vec![7u64];
+        assert_eq!(exclusive_prefix_sum(&mut v), 7);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn all_zero_stays_zero() {
+        let mut v = vec![0u64; 100_000];
+        assert_eq!(exclusive_prefix_sum(&mut v), 0);
+        assert!(v.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,25 @@
+//! STINGER-lite: a dynamic (streaming) graph with incremental analytics.
+//!
+//! The paper's context (§II) puts GraphCT alongside the XMT's streaming
+//! work: "massive streaming data analytics: a case study with clustering
+//! coefficients" \[12\] and "tracking structure of streaming social
+//! networks" \[13\], both built on the STINGER dynamic-graph structure.
+//! This crate is a compact shared-memory analogue:
+//!
+//! * [`DynGraph`] — an undirected dynamic graph with per-vertex sorted
+//!   adjacency, edge insertion/deletion, parallel batch updates, and
+//!   CSR import/export;
+//! * [`StreamingClustering`] — per-vertex triangle counts maintained
+//!   incrementally under edge insertions and deletions (the \[12\]
+//!   algorithm: the delta for edge `{u,v}` is `|N(u) ∩ N(v)|`);
+//! * [`StreamingComponents`] — connected-component labels maintained
+//!   under insertions by union-find, with a recompute fallback for
+//!   deletions (as in \[13\], deletions are the hard case).
+
+pub mod components;
+pub mod dyngraph;
+pub mod triangles;
+
+pub use components::StreamingComponents;
+pub use dyngraph::DynGraph;
+pub use triangles::StreamingClustering;

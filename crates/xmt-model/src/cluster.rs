@@ -1,0 +1,200 @@
+//! A distributed-cluster BSP cost model (for the paper's related-work
+//! comparisons).
+//!
+//! The paper contrasts its shared-memory XMT results with published
+//! BSP-on-cluster numbers: Giraph connected components in ~4 s on a
+//! 6-node cluster (§III), Giraph SSSP in ~30 s on 60 machines with flat
+//! scaling (§IV), Trinity BFS in ~400 s on 14 machines (§IV).  This
+//! model predicts cluster execution from the *same* phase records the
+//! XMT model consumes: per superstep, compute is spread over all cores,
+//! messages to other partitions cross the network, and a synchronization
+//! latency is paid — the classic BSP `w + g·h + l` decomposition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Recorder;
+
+/// Parameters of a commodity cluster running a Pregel-style framework.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ClusterParams {
+    /// Number of worker machines.
+    pub nodes: usize,
+    /// Worker cores per machine.
+    pub cores_per_node: usize,
+    /// Effective simple operations per second per core (graph codes are
+    /// memory-bound; ~10^9 is generous for 2012 Opterons on random
+    /// access).
+    pub core_ops_per_sec: f64,
+    /// Usable network bandwidth per node, bytes/second.
+    pub net_bandwidth: f64,
+    /// Per-superstep synchronization cost, seconds (barrier + framework
+    /// overhead; JVM frameworks like Giraph pay tens of milliseconds).
+    pub superstep_latency: f64,
+    /// Serialization overhead per message, bytes (envelope, vertex id).
+    pub msg_overhead_bytes: u64,
+}
+
+impl ClusterParams {
+    /// The §III Giraph testbed: "6 compute nodes, each having two
+    /// four-core AMD Opteron processors and 32 GiB main memory".
+    pub fn giraph_six_nodes() -> Self {
+        ClusterParams {
+            nodes: 6,
+            cores_per_node: 8,
+            core_ops_per_sec: 5.0e8,
+            net_bandwidth: 125.0e6, // gigabit ethernet
+            superstep_latency: 0.25, // Hadoop-era coordination
+            msg_overhead_bytes: 16,
+        }
+    }
+
+    /// The §IV Trinity testbed (14 machines, in-memory engine — lighter
+    /// coordination than Giraph).
+    pub fn trinity_fourteen_nodes() -> Self {
+        ClusterParams {
+            nodes: 14,
+            cores_per_node: 8,
+            core_ops_per_sec: 5.0e8,
+            net_bandwidth: 125.0e6,
+            superstep_latency: 0.05,
+            msg_overhead_bytes: 8,
+        }
+    }
+
+    /// Total worker cores.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        Self::giraph_six_nodes()
+    }
+}
+
+/// Predicted total seconds for a recorded BSP run on the cluster.
+///
+/// Uses the per-superstep `observed` field (messages sent) for the
+/// network term and the phase counts for compute.
+pub fn predict_cluster_seconds(rec: &Recorder, params: &ClusterParams, msg_words: u64) -> f64 {
+    let p = params.total_cores() as f64;
+    let mut total = 0.0;
+    for r in &rec.records {
+        // Compute term.
+        let k = (r.counts.items.max(1) as f64).min(p);
+        total += r.counts.total_ops() as f64 / (k * params.core_ops_per_sec);
+        // Synchronization term.
+        total += params.superstep_latency * r.counts.barriers as f64;
+        // Network term: only superstep records carry messages in
+        // `observed`.
+        if r.label == "superstep" {
+            let messages = r.observed as f64;
+            let crossing = messages * (params.nodes as f64 - 1.0) / params.nodes as f64;
+            let bytes = crossing * (8.0 * msg_words as f64 + params.msg_overhead_bytes as f64);
+            total += bytes / (params.net_bandwidth * params.nodes as f64);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhaseCounts;
+
+    fn demo_recorder(messages: u64, supersteps: u64) -> Recorder {
+        let mut rec = Recorder::new();
+        for s in 0..supersteps {
+            let mut c = PhaseCounts::with_items(1_000_000);
+            c.reads = 4_000_000;
+            c.alu_ops = 1_000_000;
+            c.barriers = 2;
+            rec.push("superstep", s, c, messages / supersteps);
+            let mut e = PhaseCounts::with_items(1_000_000);
+            e.writes = messages / supersteps;
+            e.barriers = 1;
+            rec.push("exchange", s, e, messages / supersteps);
+        }
+        rec
+    }
+
+    #[test]
+    fn superstep_latency_floors_small_computations() {
+        let params = ClusterParams::giraph_six_nodes();
+        let rec = demo_recorder(1000, 12);
+        let t = predict_cluster_seconds(&rec, &params, 1);
+        // 12 supersteps x 3 barriers x 0.25s = 9s of pure coordination.
+        assert!(t >= 9.0, "t={t}");
+    }
+
+    #[test]
+    fn network_bound_grows_with_messages() {
+        let params = ClusterParams::giraph_six_nodes();
+        let light = predict_cluster_seconds(&demo_recorder(1_000_000, 4), &params, 1);
+        let heavy = predict_cluster_seconds(&demo_recorder(400_000_000, 4), &params, 1);
+        assert!(heavy > 2.0 * light, "light={light} heavy={heavy}");
+    }
+
+    #[test]
+    fn wider_messages_cost_more_wire_time() {
+        let params = ClusterParams::giraph_six_nodes();
+        let rec = demo_recorder(100_000_000, 4);
+        let narrow = predict_cluster_seconds(&rec, &params, 1);
+        let wide = predict_cluster_seconds(&rec, &params, 4);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn more_nodes_help_until_latency_dominates() {
+        let rec = demo_recorder(50_000_000, 6);
+        let small = ClusterParams {
+            nodes: 2,
+            ..ClusterParams::giraph_six_nodes()
+        };
+        let big = ClusterParams {
+            nodes: 60,
+            ..ClusterParams::giraph_six_nodes()
+        };
+        let t_small = predict_cluster_seconds(&rec, &small, 1);
+        let t_big = predict_cluster_seconds(&rec, &big, 1);
+        assert!(t_big < t_small, "{t_big} vs {t_small}");
+        // But the floor remains: the big cluster cannot beat its own
+        // coordination cost (the Kajdanowicz flat-scaling observation).
+        let floor = 6.0 * 3.0 * big.superstep_latency;
+        assert!(t_big >= floor);
+    }
+
+    #[test]
+    fn giraph_testbed_shape_matches_the_papers_anecdote() {
+        // §III: CC on a 6M-vertex/200M-edge graph took ~4s on the 6-node
+        // cluster and ~12 supersteps. Build a recorder with that shape
+        // and check the model lands within a factor of a few.
+        let mut rec = Recorder::new();
+        for s in 0..12u64 {
+            // Work concentrated in the first ~5 supersteps.
+            let scale = if s < 5 { 1.0 } else { 0.01 };
+            let mut c = PhaseCounts::with_items((6_000_000.0 * scale) as u64);
+            c.reads = (400_000_000.0 * scale) as u64;
+            c.alu_ops = (200_000_000.0 * scale) as u64;
+            c.barriers = 2;
+            rec.push("superstep", s, c, (200_000_000.0 * scale) as u64);
+        }
+        let t = predict_cluster_seconds(&rec, &ClusterParams::giraph_six_nodes(), 1);
+        // Order-of-magnitude agreement is all an anecdote supports: the
+        // talk did not state Giraph's combiner configuration (send-side
+        // combining cuts the wire traffic to one message per (node,
+        // destination) pair) or the interconnect. Without combining the
+        // model lands in the tens of seconds; with it, single digits.
+        assert!(
+            (1.0..60.0).contains(&t),
+            "predicted {t}s; paper anecdote ~4s"
+        );
+        // And the coordination floor alone explains the paper's §III
+        // observation that supersteps 6-12 run "several orders of
+        // magnitude faster" than 1-5 yet the job cannot finish faster
+        // than ~latency x supersteps.
+        let floor = 12.0 * 2.0 * ClusterParams::giraph_six_nodes().superstep_latency;
+        assert!(t >= floor);
+    }
+}

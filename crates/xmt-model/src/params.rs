@@ -1,0 +1,93 @@
+//! Model parameters: machine shape plus calibrated constants.
+
+use serde::{Deserialize, Serialize};
+
+use xmt_sim::{CalibratedConstants, MachineConfig};
+
+/// Everything the predictor needs to know about the machine.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ModelParams {
+    /// Hardware streams per processor.
+    pub streams_per_proc: usize,
+    /// Clock frequency (Hz).
+    pub clock_hz: f64,
+    /// λ — cycles per memory reference for one dependent stream.
+    pub mem_period: f64,
+    /// Cycles between operations retired at one hotspot word.
+    pub hotspot_interval: f64,
+    /// Barrier cost intercept (cycles).
+    pub barrier_base: f64,
+    /// Barrier cost slope (cycles per processor).
+    pub barrier_per_proc: f64,
+    /// Peak per-processor issue rate for ALU work.
+    pub alu_ipc: f64,
+}
+
+impl Default for ModelParams {
+    /// Constants for the default [`MachineConfig`] (the PNNL XMT shape),
+    /// matching what `xmt_sim::calibrate` measures on it.  Keeping them
+    /// inline avoids re-running calibration in every test; the
+    /// `calibration_matches_defaults` integration test pins the agreement.
+    fn default() -> Self {
+        ModelParams {
+            streams_per_proc: 128,
+            clock_hz: 500.0e6,
+            mem_period: 68.0,
+            hotspot_interval: 4.0,
+            barrier_base: 124.0,
+            barrier_per_proc: 13.0,
+            alu_ipc: 1.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Derive parameters by running the `xmt-sim` calibration kernels on
+    /// machines shaped like `cfg`.
+    pub fn from_calibration(cfg: &MachineConfig) -> Self {
+        let c: CalibratedConstants = xmt_sim::calibrate(cfg);
+        ModelParams {
+            streams_per_proc: cfg.streams_per_proc,
+            clock_hz: cfg.clock_hz,
+            mem_period: c.mem_period,
+            hotspot_interval: c.hotspot_interval,
+            barrier_base: c.barrier_base,
+            barrier_per_proc: c.barrier_per_proc,
+            alu_ipc: c.alu_ipc,
+        }
+    }
+
+    /// Convert cycles to seconds at this clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_machine_shape() {
+        let p = ModelParams::default();
+        assert_eq!(p.streams_per_proc, 128);
+        assert_eq!(p.clock_hz, 500.0e6);
+        assert!(p.mem_period > 1.0);
+    }
+
+    #[test]
+    fn calibration_on_tiny_machine_is_sane() {
+        let cfg = MachineConfig::tiny();
+        let p = ModelParams::from_calibration(&cfg);
+        // tiny(): mem_latency 10 -> chase ≈ 11 cycles/ref.
+        assert!((p.mem_period - 11.0).abs() < 2.0, "mem_period={}", p.mem_period);
+        assert!(p.hotspot_interval >= 1.0);
+        assert!(p.alu_ipc > 0.5);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let p = ModelParams::default();
+        assert!((p.cycles_to_seconds(5.0e8) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Predictions over processor sweeps — the raw material of every figure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelParams, Recorder};
+
+/// Predicted time of one step at one processor count.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct StepTime {
+    /// Step index (superstep number, BFS level, iteration).
+    pub step: u64,
+    /// Processor count.
+    pub procs: usize,
+    /// Predicted seconds.
+    pub seconds: f64,
+    /// The step's observed quantity (messages, frontier size, …).
+    pub observed: u64,
+}
+
+/// Total predicted seconds for all records in `rec` at `procs`.
+pub fn predict_total_seconds(rec: &Recorder, params: &ModelParams, procs: usize) -> f64 {
+    rec.records
+        .iter()
+        .map(|r| r.counts.predict_seconds(params, procs))
+        .sum()
+}
+
+/// Per-record predicted seconds under one label at one processor count.
+pub fn predict_record_seconds(
+    rec: &Recorder,
+    params: &ModelParams,
+    label: &str,
+    procs: usize,
+) -> Vec<StepTime> {
+    rec.with_label(label)
+        .map(|r| StepTime {
+            step: r.step,
+            procs,
+            seconds: r.counts.predict_seconds(params, procs),
+            observed: r.observed,
+        })
+        .collect()
+}
+
+/// Full scaling sweep: per-step predicted times for every processor count
+/// in `procs` (the doubling ladder of the paper's figures).
+pub fn scaling_series(
+    rec: &Recorder,
+    params: &ModelParams,
+    label: &str,
+    procs: &[usize],
+) -> Vec<StepTime> {
+    let mut out = Vec::new();
+    for &p in procs {
+        out.extend(predict_record_seconds(rec, params, label, p));
+    }
+    out
+}
+
+/// The paper's processor ladder: 8, 16, 32, 64, 128.
+pub const PAPER_PROC_LADDER: [usize; 5] = [8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhaseCounts;
+
+    fn recorder() -> Recorder {
+        let mut r = Recorder::new();
+        for step in 0..3u64 {
+            let mut c = PhaseCounts::with_items(1_000_000 >> step);
+            c.reads = 4_000_000 >> step;
+            r.push("superstep", step, c, 100 >> step);
+        }
+        r
+    }
+
+    #[test]
+    fn totals_are_sums_of_steps() {
+        let r = recorder();
+        let p = ModelParams::default();
+        let total = predict_total_seconds(&r, &p, 16);
+        let by_step: f64 = predict_record_seconds(&r, &p, "superstep", 16)
+            .iter()
+            .map(|s| s.seconds)
+            .sum();
+        assert!((total - by_step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_ladder_times_steps() {
+        let r = recorder();
+        let p = ModelParams::default();
+        let series = scaling_series(&r, &p, "superstep", &PAPER_PROC_LADDER);
+        assert_eq!(series.len(), 5 * 3);
+        // Larger machines are never slower for these (parallel-rich) steps.
+        for step in 0..3u64 {
+            let times: Vec<f64> = series
+                .iter()
+                .filter(|s| s.step == step)
+                .map(|s| s.seconds)
+                .collect();
+            for w in times.windows(2) {
+                assert!(w[1] <= w[0] * 1.0001);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_quantities_ride_along() {
+        let r = recorder();
+        let p = ModelParams::default();
+        let s = predict_record_seconds(&r, &p, "superstep", 8);
+        assert_eq!(s[0].observed, 100);
+        assert_eq!(s[2].observed, 25);
+    }
+
+    #[test]
+    fn missing_label_is_empty() {
+        let r = recorder();
+        let p = ModelParams::default();
+        assert!(predict_record_seconds(&r, &p, "nope", 8).is_empty());
+    }
+}

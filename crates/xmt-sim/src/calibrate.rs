@@ -1,0 +1,123 @@
+//! Fit the analytic model constants from simulator micro-kernels.
+//!
+//! `xmt-model` predicts phase times from operation counts using four
+//! constants; this module measures each one on the simulated machine so
+//! the model provably agrees with the mechanics it abstracts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernels;
+use crate::MachineConfig;
+
+/// Constants extracted from simulation, consumed by `xmt-model`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CalibratedConstants {
+    /// λ: cycles per memory reference for a single dependent stream
+    /// (pointer chase). A processor needs ≈λ ready streams to saturate.
+    pub mem_period: f64,
+    /// Cycles between successive operations retired at one hotspot word.
+    pub hotspot_interval: f64,
+    /// Barrier cost intercept (cycles).
+    pub barrier_base: f64,
+    /// Barrier cost slope per processor (cycles/processor).
+    pub barrier_per_proc: f64,
+    /// Issue rate of pure ALU work per processor (instructions/cycle).
+    pub alu_ipc: f64,
+}
+
+/// Run the calibration kernels against `cfg`-shaped machines.
+///
+/// The kernels use scaled-down stream counts so calibration is fast; the
+/// constants are per-mechanism and independent of machine size.
+pub fn calibrate(cfg: &MachineConfig) -> CalibratedConstants {
+    // λ from a dependent pointer chase.
+    let chase_len = 400;
+    let chase = kernels::pointer_chase(cfg, chase_len);
+    let mem_period = chase.cycles as f64 / chase_len as f64;
+
+    // Hotspot interval from the slope of single-word fetch-add time.
+    let small_cfg = MachineConfig {
+        processors: cfg.processors.min(4),
+        streams_per_proc: cfg.streams_per_proc.min(32),
+        ..*cfg
+    };
+    let streams = small_cfg.total_streams();
+    let (ops_lo, ops_hi) = (10usize, 40usize);
+    let lo = kernels::hotspot_fetch_add(&small_cfg, streams, ops_lo, 1);
+    let hi = kernels::hotspot_fetch_add(&small_cfg, streams, ops_hi, 1);
+    let d_ops = (streams * (ops_hi - ops_lo)) as f64;
+    let hotspot_interval = ((hi.cycles - lo.cycles) as f64 / d_ops).max(1.0);
+
+    // Barrier: fit base + slope from two processor counts.
+    let p_lo = 1usize;
+    let p_hi = cfg.processors.clamp(2, 8);
+    let b_lo = kernels::barrier_cost(&MachineConfig {
+        processors: p_lo,
+        streams_per_proc: cfg.streams_per_proc.min(32),
+        ..*cfg
+    });
+    let b_hi = kernels::barrier_cost(&MachineConfig {
+        processors: p_hi,
+        streams_per_proc: cfg.streams_per_proc.min(32),
+        ..*cfg
+    });
+    let barrier_per_proc =
+        ((b_hi.cycles as f64 - b_lo.cycles as f64) / (p_hi - p_lo) as f64).max(0.0);
+    let barrier_base = (b_lo.cycles as f64 - barrier_per_proc * p_lo as f64).max(0.0);
+
+    // ALU issue rate: many streams of pure ALU on one processor.
+    let alu = kernels::stream_saturation(
+        &MachineConfig {
+            mem_latency: 1, // effectively ALU-only
+            ..*cfg
+        },
+        cfg.streams_per_proc.min(32),
+        200,
+    );
+    let alu_ipc = alu.ipc().min(1.0);
+
+    CalibratedConstants {
+        mem_period,
+        hotspot_interval,
+        barrier_base,
+        barrier_per_proc,
+        alu_ipc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_recovers_configured_mechanics() {
+        let cfg = MachineConfig {
+            processors: 4,
+            streams_per_proc: 16,
+            mem_latency: 25,
+            hotspot_interval: 6,
+            fe_retry_interval: 8,
+            clock_hz: 500.0e6,
+        };
+        let c = calibrate(&cfg);
+        // Pointer chase sees latency + issue cycle.
+        assert!(
+            (c.mem_period - 26.0).abs() < 3.0,
+            "mem_period={}",
+            c.mem_period
+        );
+        assert!(
+            (c.hotspot_interval - 6.0).abs() < 2.0,
+            "hotspot_interval={}",
+            c.hotspot_interval
+        );
+        assert!(c.alu_ipc > 0.9, "alu_ipc={}", c.alu_ipc);
+        assert!(c.barrier_base >= 0.0 && c.barrier_per_proc >= 0.0);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let cfg = MachineConfig::tiny();
+        assert_eq!(calibrate(&cfg), calibrate(&cfg));
+    }
+}

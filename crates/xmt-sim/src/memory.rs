@@ -1,0 +1,275 @@
+//! The simulated globally hashed shared memory.
+//!
+//! Values and full/empty tags live in sparse maps (the simulated address
+//! space is huge and mostly untouched).  The key modeled behaviour is
+//! *per-word serialization*: the memory can begin at most one operation
+//! on a given word every [`hotspot_interval`](crate::MachineConfig)
+//! cycles, which is what turns a shared fetch-and-add counter into the
+//! scalability bottleneck the paper discusses.
+//!
+//! The XMT hashes addresses across physical banks to spread load; we
+//! follow suit in spirit by *not* modeling bank conflicts between
+//! distinct words at all — distinct words never contend, matching the
+//! machine's design goal.
+
+use std::collections::HashMap;
+
+/// Full/empty tag state of a word. XMT memory initializes *full*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tag {
+    /// Word is full (default).
+    Full,
+    /// Word is empty.
+    Empty,
+}
+
+/// Outcome of attempting a memory operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOutcome {
+    /// Operation accepted; completes at the given cycle, yielding a value.
+    Done {
+        /// Cycle at which the requesting stream wakes.
+        at: u64,
+        /// Result value (loads, fetch-adds, readfe).
+        value: Option<u64>,
+    },
+    /// Full/empty tag in the wrong state; retry after the interval.
+    TagBlocked,
+}
+
+/// The shared memory: word values, tags, and per-word service times.
+pub struct Memory {
+    values: HashMap<u64, u64>,
+    tags: HashMap<u64, Tag>,
+    /// Earliest cycle at which the next op on this word may *begin*.
+    word_free_at: HashMap<u64, u64>,
+    latency: u64,
+    hotspot_interval: u64,
+    /// Operations serviced (for stats).
+    pub ops_serviced: u64,
+    /// Tag-blocked retries observed (for stats).
+    pub tag_retries: u64,
+}
+
+impl Memory {
+    /// Fresh memory (all words zero and full).
+    pub fn new(latency: u64, hotspot_interval: u64) -> Self {
+        Memory {
+            values: HashMap::new(),
+            tags: HashMap::new(),
+            word_free_at: HashMap::new(),
+            latency,
+            hotspot_interval,
+            ops_serviced: 0,
+            tag_retries: 0,
+        }
+    }
+
+    /// Read a value outside the timing model (test/setup convenience).
+    pub fn peek(&self, addr: u64) -> u64 {
+        *self.values.get(&addr).unwrap_or(&0)
+    }
+
+    /// Write a value outside the timing model (test/setup convenience).
+    pub fn poke(&mut self, addr: u64, value: u64) {
+        self.values.insert(addr, value);
+    }
+
+    /// Set a tag outside the timing model.
+    pub fn set_tag(&mut self, addr: u64, tag: Tag) {
+        self.tags.insert(addr, tag);
+    }
+
+    /// Current tag of a word.
+    pub fn tag(&self, addr: u64) -> Tag {
+        *self.tags.get(&addr).unwrap_or(&Tag::Full)
+    }
+
+    /// Begin-service time respecting per-word serialization, and record
+    /// the reservation.
+    fn reserve(&mut self, addr: u64, now: u64) -> u64 {
+        let free = self.word_free_at.get(&addr).copied().unwrap_or(0);
+        let begin = now.max(free);
+        self.word_free_at.insert(addr, begin + self.hotspot_interval);
+        begin
+    }
+
+    /// Plain load.
+    pub fn load(&mut self, addr: u64, now: u64) -> MemOutcome {
+        let begin = self.reserve(addr, now);
+        self.ops_serviced += 1;
+        MemOutcome::Done {
+            at: begin + self.latency,
+            value: Some(self.peek(addr)),
+        }
+    }
+
+    /// Plain store.
+    pub fn store(&mut self, addr: u64, value: u64, now: u64) -> MemOutcome {
+        let begin = self.reserve(addr, now);
+        self.values.insert(addr, value);
+        self.ops_serviced += 1;
+        MemOutcome::Done {
+            at: begin + self.latency,
+            value: None,
+        }
+    }
+
+    /// `int_fetch_add` at the controller; returns the previous value.
+    pub fn fetch_add(&mut self, addr: u64, delta: i64, now: u64) -> MemOutcome {
+        let begin = self.reserve(addr, now);
+        let old = self.peek(addr);
+        self.values
+            .insert(addr, (old as i64).wrapping_add(delta) as u64);
+        self.ops_serviced += 1;
+        MemOutcome::Done {
+            at: begin + self.latency,
+            value: Some(old),
+        }
+    }
+
+    /// `readfe`: only succeeds on a full word, leaving it empty.
+    pub fn read_fe(&mut self, addr: u64, now: u64) -> MemOutcome {
+        if self.tag(addr) != Tag::Full {
+            self.tag_retries += 1;
+            return MemOutcome::TagBlocked;
+        }
+        let begin = self.reserve(addr, now);
+        self.tags.insert(addr, Tag::Empty);
+        self.ops_serviced += 1;
+        MemOutcome::Done {
+            at: begin + self.latency,
+            value: Some(self.peek(addr)),
+        }
+    }
+
+    /// `writeef`: only succeeds on an empty word, leaving it full.
+    pub fn write_ef(&mut self, addr: u64, value: u64, now: u64) -> MemOutcome {
+        if self.tag(addr) != Tag::Empty {
+            self.tag_retries += 1;
+            return MemOutcome::TagBlocked;
+        }
+        let begin = self.reserve(addr, now);
+        self.tags.insert(addr, Tag::Full);
+        self.values.insert(addr, value);
+        self.ops_serviced += 1;
+        MemOutcome::Done {
+            at: begin + self.latency,
+            value: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(10, 4)
+    }
+
+    #[test]
+    fn load_returns_stored_value() {
+        let mut m = mem();
+        m.poke(100, 7);
+        match m.load(100, 0) {
+            MemOutcome::Done { at, value } => {
+                assert_eq!(at, 10);
+                assert_eq!(value, Some(7));
+            }
+            _ => panic!("unexpected block"),
+        }
+    }
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let mut m = mem();
+        assert!(matches!(
+            m.load(555, 0),
+            MemOutcome::Done { value: Some(0), .. }
+        ));
+    }
+
+    #[test]
+    fn same_word_requests_serialize() {
+        let mut m = mem();
+        let t1 = match m.load(8, 0) {
+            MemOutcome::Done { at, .. } => at,
+            _ => unreachable!(),
+        };
+        let t2 = match m.load(8, 0) {
+            MemOutcome::Done { at, .. } => at,
+            _ => unreachable!(),
+        };
+        let t3 = match m.load(8, 0) {
+            MemOutcome::Done { at, .. } => at,
+            _ => unreachable!(),
+        };
+        assert_eq!(t1, 10);
+        assert_eq!(t2, 14); // begin at 4 (hotspot interval), +10 latency
+        assert_eq!(t3, 18);
+    }
+
+    #[test]
+    fn distinct_words_do_not_contend() {
+        let mut m = mem();
+        for i in 0..10u64 {
+            match m.load(i * 8, 0) {
+                MemOutcome::Done { at, .. } => assert_eq!(at, 10),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_add_returns_old_and_accumulates() {
+        let mut m = mem();
+        assert!(matches!(
+            m.fetch_add(4, 5, 0),
+            MemOutcome::Done { value: Some(0), .. }
+        ));
+        assert!(matches!(
+            m.fetch_add(4, 3, 20),
+            MemOutcome::Done { value: Some(5), .. }
+        ));
+        assert_eq!(m.peek(4), 8);
+    }
+
+    #[test]
+    fn fetch_add_handles_negative_deltas() {
+        let mut m = mem();
+        m.poke(4, 10);
+        m.fetch_add(4, -3, 0);
+        assert_eq!(m.peek(4), 7);
+    }
+
+    #[test]
+    fn full_empty_protocol() {
+        let mut m = mem();
+        // Memory starts full: readfe succeeds, then the word is empty.
+        m.poke(16, 42);
+        assert!(matches!(
+            m.read_fe(16, 0),
+            MemOutcome::Done { value: Some(42), .. }
+        ));
+        assert_eq!(m.tag(16), Tag::Empty);
+        // Second readfe blocks.
+        assert_eq!(m.read_fe(16, 5), MemOutcome::TagBlocked);
+        // writeef refills it.
+        assert!(matches!(m.write_ef(16, 9, 10), MemOutcome::Done { .. }));
+        assert_eq!(m.tag(16), Tag::Full);
+        // writeef on a full word blocks.
+        assert_eq!(m.write_ef(16, 1, 20), MemOutcome::TagBlocked);
+        assert_eq!(m.peek(16), 9);
+        assert_eq!(m.tag_retries, 2);
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let mut m = mem();
+        m.load(0, 0);
+        m.store(8, 1, 0);
+        m.fetch_add(16, 1, 0);
+        assert_eq!(m.ops_serviced, 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Superstep checkpointing, Pregel-style (§3.3 of the Pregel paper:
+//! "fault tolerance is achieved through checkpointing" at superstep
+//! boundaries): run connected components in bounded slices, "crash"
+//! between slices, and resume from the checkpoint — the final answer is
+//! bit-identical to an uninterrupted run.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use xmt_bsp_repro::bsp::algorithms::components::CcProgram;
+use xmt_bsp_repro::bsp::runtime::{resume_bsp, run_bsp, run_bsp_slice, BspConfig};
+use xmt_bsp_repro::graph::builder::build_undirected;
+use xmt_bsp_repro::graph::gen::rmat::{rmat_edges, RmatParams};
+
+fn main() {
+    let g = build_undirected(&rmat_edges(&RmatParams::graph500(13), 11));
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Reference: one uninterrupted run.
+    let whole = run_bsp(&g, &CcProgram, BspConfig::default(), None);
+    println!(
+        "uninterrupted run: {} supersteps, {} components",
+        whole.supersteps,
+        whole
+            .states
+            .iter()
+            .enumerate()
+            .filter(|&(v, &l)| v as u64 == l)
+            .count()
+    );
+
+    // The same computation, 2 supersteps at a time, checkpointing at
+    // every boundary (a real deployment would serialize the ResumePoint
+    // to stable storage here).
+    let mut limit = 2u64;
+    let mut slice = run_bsp_slice(
+        &g,
+        &CcProgram,
+        BspConfig {
+            max_supersteps: limit,
+            ..Default::default()
+        },
+        None,
+        None,
+    );
+    let mut crashes = 0;
+    while let Some(ckpt) = slice.resume.take() {
+        crashes += 1;
+        println!(
+            "  crash #{crashes} after superstep {}: checkpoint holds {} pending messages, {} halted vertices",
+            ckpt.superstep,
+            ckpt.pending.len(),
+            ckpt.halted.iter().filter(|&&h| h).count()
+        );
+        limit += 2;
+        slice = resume_bsp(
+            &g,
+            &CcProgram,
+            BspConfig {
+                max_supersteps: limit,
+                ..Default::default()
+            },
+            None,
+            slice.result.states,
+            ckpt,
+        );
+    }
+
+    assert_eq!(slice.result.states, whole.states, "recovery must be exact");
+    assert_eq!(slice.result.supersteps, whole.supersteps);
+    println!(
+        "recovered through {crashes} crashes; final labeling identical to the uninterrupted run ✓"
+    );
+}

@@ -1,0 +1,115 @@
+//! A GraphCT-style analysis workflow on a synthetic social network —
+//! the "massive social network analysis" use case the paper's toolkit
+//! targets (§II lists clustering coefficients, connected components,
+//! betweenness centrality, k-core and subgraph extraction as the
+//! workflow building blocks).
+//!
+//! ```text
+//! cargo run --release --example social_network_analysis
+//! ```
+
+use xmt_bsp_repro::graph::builder::build_undirected;
+use xmt_bsp_repro::graph::gen::rmat::{rmat_edges, RmatParams};
+use xmt_bsp_repro::graph::ops::degree::{degree_histogram, DegreeStats};
+use xmt_bsp_repro::graph::ops::subgraph::extract_subgraph;
+use xmt_bsp_repro::graphct;
+
+fn main() {
+    // A scale-free "social network": hubs, triangles, one big community.
+    let g = build_undirected(&rmat_edges(&RmatParams::graph500(13), 7));
+    println!(
+        "network: {} people, {} friendships",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // --- Degree structure ---------------------------------------------
+    let stats = DegreeStats::of(&g);
+    println!(
+        "degrees: mean {:.1}, max {} (skew {:.0}x), {} isolated",
+        stats.mean,
+        stats.max,
+        stats.skew(),
+        stats.isolated
+    );
+    let hist = degree_histogram(&g);
+    print!("log2-degree histogram:");
+    for (bucket, count) in hist.iter().enumerate() {
+        if *count > 0 {
+            print!(" [2^{bucket}]={count}");
+        }
+    }
+    println!();
+
+    // --- Connectivity ---------------------------------------------------
+    let labels = graphct::connected_components(&g);
+    let mut sizes = std::collections::HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0u64) += 1;
+    }
+    let biggest = sizes.values().max().copied().unwrap_or(0);
+    println!(
+        "components: {} total; giant component holds {:.1}% of the network",
+        sizes.len(),
+        100.0 * biggest as f64 / g.num_vertices() as f64
+    );
+
+    // --- Cohesion: triangles & clustering -------------------------------
+    let (cc, triangles) = graphct::clustering_coefficients(&g);
+    let mean_cc = cc.iter().sum::<f64>() / cc.len() as f64;
+    println!("cohesion: {triangles} triangles, mean clustering coefficient {mean_cc:.4}");
+
+    // --- k-core: the engaged core of the network -------------------------
+    let core = graphct::kcore_decomposition(&g);
+    let kmax = core.iter().max().copied().unwrap_or(0);
+    let core_members: Vec<u64> = core
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= kmax)
+        .map(|(v, _)| v as u64)
+        .collect();
+    println!(
+        "k-core: degeneracy {} ({} members in the innermost core)",
+        kmax,
+        core_members.len()
+    );
+
+    // --- Influencers: sampled betweenness centrality ---------------------
+    let bc = graphct::betweenness_centrality(&g, Some(64));
+    let mut ranked: Vec<(u64, f64)> = bc.iter().enumerate().map(|(v, &b)| (v as u64, b)).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top-5 brokers (sampled betweenness):");
+    for (v, b) in ranked.iter().take(5) {
+        println!("  person {v:>6}: score {b:>12.0}, degree {}", g.degree(*v));
+    }
+
+    // --- Zoom in: extract and re-analyze the innermost core --------------
+    let (core_graph, _ids) = extract_subgraph(&g, &core_members);
+    let (core_cc, core_tris) = graphct::clustering_coefficients(&core_graph);
+    let core_mean = if core_cc.is_empty() {
+        0.0
+    } else {
+        core_cc.iter().sum::<f64>() / core_cc.len() as f64
+    };
+    println!(
+        "innermost core subgraph: {} vertices, {} edges, {} triangles, mean cc {:.4} ({}x denser than the full network)",
+        core_graph.num_vertices(),
+        core_graph.num_edges(),
+        core_tris,
+        core_mean,
+        (core_mean / mean_cc.max(1e-12)) as u64
+    );
+
+    // --- The same pipeline as a GraphCT workflow ------------------------
+    // (one read-only graph served to a chain of kernels, paper §II).
+    let hub = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
+    let mut wf = graphct::Workflow::new(&g);
+    wf.degrees()
+        .components()
+        .bfs(hub)
+        .clustering()
+        .kcore()
+        .betweenness(Some(32));
+    println!();
+    print!("{}", wf.report());
+}

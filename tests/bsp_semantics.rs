@@ -1,0 +1,279 @@
+//! Pregel semantics of the BSP runtime, tested through custom vertex
+//! programs: superstep-boundary message delivery, halt/reactivation,
+//! aggregator visibility, state persistence and termination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xmt_bsp_repro::bsp::runtime::{run_bsp, BspConfig};
+use xmt_bsp_repro::bsp::{Context, VertexProgram};
+use xmt_bsp_repro::graph::builder::build_undirected;
+use xmt_bsp_repro::graph::gen::structured::{clique, path, ring, star};
+use xmt_bsp_repro::graph::Csr;
+
+fn g_path(n: u64) -> Csr {
+    build_undirected(&path(n))
+}
+
+/// Messages sent in superstep s are visible in s+1 and ONLY s+1.
+#[test]
+fn messages_cross_exactly_one_superstep_boundary() {
+    struct Echo;
+    impl VertexProgram for Echo {
+        type State = Vec<(u64, u64)>; // (superstep, payload) as received
+        type Message = u64;
+        fn init(&self, _v: u64) -> Self::State {
+            Vec::new()
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, log: &mut Self::State, msgs: &[u64]) {
+            for &m in msgs {
+                log.push((ctx.superstep(), m));
+            }
+            // Vertex 0 sends its superstep number to vertex 1 during
+            // supersteps 0..3 (staying active itself; a halted vertex
+            // with no messages would never compute again).
+            if ctx.vertex() == 0 && ctx.superstep() < 3 {
+                ctx.send_to(1, ctx.superstep() * 10);
+                ctx.stay_active();
+            } else {
+                ctx.vote_to_halt();
+            }
+        }
+    }
+    let g = g_path(3);
+    let r = run_bsp(&g, &Echo, BspConfig::default(), None);
+    // Vertex 1 must have received payload s*10 exactly at superstep s+1.
+    assert_eq!(r.states[1], vec![(1, 0), (2, 10), (3, 20)]);
+    assert!(r.states[2].is_empty());
+}
+
+/// A halted vertex is not recomputed until a message reactivates it.
+#[test]
+fn halted_vertices_sleep_until_messaged() {
+    static COMPUTES: AtomicU64 = AtomicU64::new(0);
+    struct Sleeper;
+    impl VertexProgram for Sleeper {
+        type State = u64; // number of times compute ran
+        type Message = u64;
+        fn init(&self, _v: u64) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, runs: &mut u64, _msgs: &[u64]) {
+            *runs += 1;
+            COMPUTES.fetch_add(1, Ordering::Relaxed);
+            // Vertex 0 pings vertex 2 (not a neighbor!) at superstep 2.
+            if ctx.vertex() == 0 {
+                if ctx.superstep() < 2 {
+                    ctx.stay_active(); // stay awake without messaging
+                } else if ctx.superstep() == 2 {
+                    ctx.send_to(2, 99);
+                }
+            }
+            if ctx.vertex() != 0 || ctx.superstep() >= 2 {
+                ctx.vote_to_halt();
+            }
+        }
+    }
+    let g = g_path(4);
+    let r = run_bsp(&g, &Sleeper, BspConfig::default(), None);
+    // Vertex 0 ran supersteps 0,1,2. Vertices 1,3 ran only superstep 0.
+    // Vertex 2 ran superstep 0 and was reactivated at superstep 3.
+    assert_eq!(r.states[0], 3);
+    assert_eq!(r.states[1], 1);
+    assert_eq!(r.states[2], 2);
+    assert_eq!(r.states[3], 1);
+}
+
+/// `send_to` reaches arbitrary vertices, not just neighbors (Pregel:
+/// "a message may be sent to any vertex whose identifier is known").
+#[test]
+fn send_to_arbitrary_vertex_works() {
+    struct LongJump;
+    impl VertexProgram for LongJump {
+        type State = u64;
+        type Message = u64;
+        fn init(&self, _v: u64) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, got: &mut u64, msgs: &[u64]) {
+            for &m in msgs {
+                *got += m;
+            }
+            if ctx.superstep() == 0 {
+                // Everyone messages the last vertex directly.
+                let target = ctx.num_vertices() - 1;
+                let me = ctx.vertex();
+                if me != target {
+                    ctx.send_to(target, me);
+                }
+            }
+            ctx.vote_to_halt();
+        }
+    }
+    let g = build_undirected(&ring(10));
+    let r = run_bsp(&g, &LongJump, BspConfig::default(), None);
+    assert_eq!(r.states[9], (0..9u64).sum::<u64>());
+}
+
+/// Aggregates computed in superstep s are visible in superstep s+1.
+#[test]
+fn aggregator_visibility_is_one_superstep_delayed() {
+    struct AggWatcher;
+    impl VertexProgram for AggWatcher {
+        type State = Vec<u64>; // prev_aggregate_u64 per superstep
+        type Message = u64;
+        fn init(&self, _v: u64) -> Self::State {
+            Vec::new()
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, seen: &mut Self::State, _msgs: &[u64]) {
+            seen.push(ctx.prev_aggregate_u64());
+            ctx.aggregate_u64(ctx.superstep() + 1);
+            if ctx.superstep() < 2 {
+                let v = ctx.vertex();
+                ctx.send_to(v, 0); // self-message to stay alive
+            }
+            ctx.vote_to_halt();
+        }
+    }
+    let g = g_path(4); // 4 vertices
+    let r = run_bsp(&g, &AggWatcher, BspConfig::default(), None);
+    // Superstep 0: prev agg 0. Superstep 1: 4 vertices aggregated 1 -> 4.
+    // Superstep 2: 4 vertices aggregated 2 -> 8.
+    for v in 0..4 {
+        assert_eq!(r.states[v], vec![0, 4, 8], "vertex {v}");
+    }
+    assert_eq!(r.aggregates, vec![(4, 0.0), (8, 0.0), (12, 0.0)]);
+}
+
+/// State persists across supersteps even while the vertex is halted.
+#[test]
+fn state_persists_across_halted_supersteps() {
+    struct Stamp;
+    impl VertexProgram for Stamp {
+        type State = u64;
+        type Message = u64;
+        fn init(&self, v: u64) -> u64 {
+            v * 1000
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, _msgs: &[u64]) {
+            // Vertex 0 keeps itself alive via self-messages for a few
+            // supersteps; everyone else sleeps after superstep 0.
+            if ctx.vertex() == 0 && ctx.superstep() < 3 {
+                ctx.send_to(0, 1);
+            }
+            *state += 1;
+            ctx.vote_to_halt();
+        }
+    }
+    let g = g_path(3);
+    let r = run_bsp(&g, &Stamp, BspConfig::default(), None);
+    // Vertices 1 and 2 computed only in superstep 0; their init-derived
+    // states survived the supersteps they slept through.
+    assert_eq!(r.states[1], 1001);
+    assert_eq!(r.states[2], 2001);
+    // Vertex 0 computed in supersteps 0..=3 (self-message chain).
+    assert_eq!(r.states[0], 4);
+}
+
+/// Termination requires BOTH all-halted and no messages in flight.
+#[test]
+fn termination_needs_quiescence() {
+    struct CountDown;
+    impl VertexProgram for CountDown {
+        type State = u64;
+        type Message = u64;
+        fn init(&self, _v: u64) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, msgs: &[u64]) {
+            let budget = msgs.first().copied().unwrap_or(5);
+            *state = budget;
+            if budget > 0 {
+                let v = ctx.vertex();
+                ctx.send_to(v, budget - 1);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+    let g = g_path(2);
+    let r = run_bsp(&g, &CountDown, BspConfig::default(), None);
+    // Budgets 5,4,3,2,1,0: six computing supersteps.
+    assert_eq!(r.supersteps, 6);
+    assert!(r.states.iter().all(|&s| s == 0));
+    assert_eq!(r.superstep_stats.last().unwrap().messages_sent, 0);
+}
+
+/// Empty graphs and single vertices run without panicking.
+#[test]
+fn degenerate_graphs_are_fine() {
+    struct Noop;
+    impl VertexProgram for Noop {
+        type State = ();
+        type Message = u64;
+        fn init(&self, _v: u64) {}
+        fn compute(&self, ctx: &mut Context<'_, u64>, _s: &mut (), _m: &[u64]) {
+            ctx.vote_to_halt();
+        }
+    }
+    let empty = build_undirected(&xmt_bsp_repro::graph::EdgeList::new(0));
+    let r = run_bsp(&empty, &Noop, BspConfig::default(), None);
+    assert_eq!(r.supersteps, 0);
+    assert!(r.states.is_empty());
+
+    let single = build_undirected(&xmt_bsp_repro::graph::EdgeList::new(1));
+    let r = run_bsp(&single, &Noop, BspConfig::default(), None);
+    assert_eq!(r.supersteps, 1);
+}
+
+/// Messages to every vertex in a dense burst are all delivered
+/// (stress on the exchange path with a clique).
+#[test]
+fn dense_burst_delivers_every_message() {
+    struct Blast;
+    impl VertexProgram for Blast {
+        type State = u64;
+        type Message = u64;
+        fn init(&self, _v: u64) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, got: &mut u64, msgs: &[u64]) {
+            *got += msgs.iter().sum::<u64>();
+            if ctx.superstep() == 0 {
+                ctx.send_to_neighbors(1);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+    let n = 40u64;
+    let g = build_undirected(&clique(n));
+    let r = run_bsp(&g, &Blast, BspConfig::default(), None);
+    // Every vertex hears from its n-1 neighbors.
+    assert!(r.states.iter().all(|&s| s == n - 1));
+    assert_eq!(
+        r.superstep_stats[0].messages_sent,
+        n * (n - 1)
+    );
+}
+
+/// The star graph exercises the hub-receiver path: one vertex receives
+/// from every leaf in one superstep.
+#[test]
+fn hub_receives_all_leaf_messages() {
+    struct LeafToHub;
+    impl VertexProgram for LeafToHub {
+        type State = u64;
+        type Message = u64;
+        fn init(&self, _v: u64) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, got: &mut u64, msgs: &[u64]) {
+            *got += msgs.len() as u64;
+            if ctx.superstep() == 0 && ctx.vertex() != 0 {
+                ctx.send_to(0, ctx.vertex());
+            }
+            ctx.vote_to_halt();
+        }
+    }
+    let g = build_undirected(&star(512));
+    let r = run_bsp(&g, &LeafToHub, BspConfig::default(), None);
+    assert_eq!(r.states[0], 511);
+}

@@ -1,0 +1,117 @@
+//! Property tests for superstep checkpointing: sliced runs must compose
+//! to the uninterrupted result for any graph and any slice boundary, and
+//! panics inside vertex programs must not poison the runtime.
+
+use proptest::prelude::*;
+
+use xmt_bsp_repro::bsp::algorithms::components::CcProgram;
+use xmt_bsp_repro::bsp::algorithms::sssp::SsspProgram;
+use xmt_bsp_repro::bsp::runtime::{resume_bsp, run_bsp, run_bsp_slice, BspConfig};
+use xmt_bsp_repro::bsp::{Context, VertexProgram};
+use xmt_bsp_repro::graph::builder::build_undirected;
+use xmt_bsp_repro::graph::{BuildOptions, CsrBuilder, EdgeList};
+
+fn arb_graph(max_n: u64, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 1..max_m).prop_map(move |edges| EdgeList {
+            num_vertices: n,
+            edges,
+            weights: None,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cc_slices_compose_for_any_boundary(el in arb_graph(40, 120), cut in 1u64..8) {
+        let g = build_undirected(&el);
+        let whole = run_bsp(&g, &CcProgram, BspConfig::default(), None);
+
+        let first = run_bsp_slice(
+            &g,
+            &CcProgram,
+            BspConfig { max_supersteps: cut, ..Default::default() },
+            None,
+            None,
+        );
+        let final_states = match first.resume {
+            None => first.result.states, // finished before the cut
+            Some(ckpt) => {
+                let second = resume_bsp(
+                    &g,
+                    &CcProgram,
+                    BspConfig::default(),
+                    None,
+                    first.result.states,
+                    ckpt,
+                );
+                prop_assert!(second.resume.is_none());
+                prop_assert_eq!(second.result.supersteps, whole.supersteps);
+                second.result.states
+            }
+        };
+        prop_assert_eq!(final_states, whole.states);
+    }
+
+    #[test]
+    fn sssp_slices_compose(el in arb_graph(30, 90), cut in 1u64..6) {
+        // Give the random graph unit weights via the weighted builder.
+        let mut wel = EdgeList::new(el.num_vertices);
+        for (i, &(u, v)) in el.edges.iter().enumerate() {
+            wel.push_weighted(u, v, 1 + (i as i64 % 5));
+        }
+        let g = CsrBuilder::new(BuildOptions {
+            symmetrize: true,
+            remove_self_loops: true,
+            dedup: false,
+            sort: true,
+        })
+        .build(&wel);
+        let prog = SsspProgram { source: 0 };
+        let whole = run_bsp(&g, &prog, BspConfig::default(), None);
+
+        let first = run_bsp_slice(
+            &g,
+            &prog,
+            BspConfig { max_supersteps: cut, ..Default::default() },
+            None,
+            None,
+        );
+        let final_states = match first.resume {
+            None => first.result.states,
+            Some(ckpt) => {
+                resume_bsp(&g, &prog, BspConfig::default(), None, first.result.states, ckpt)
+                    .result
+                    .states
+            }
+        };
+        prop_assert_eq!(final_states, whole.states);
+    }
+}
+
+/// A vertex program that panics at a chosen vertex must surface the
+/// panic to the caller without wedging the worker pool.
+#[test]
+fn panicking_program_propagates_and_pool_survives() {
+    struct Bomb;
+    impl VertexProgram for Bomb {
+        type State = ();
+        type Message = u64;
+        fn init(&self, _v: u64) {}
+        fn compute(&self, ctx: &mut Context<'_, u64>, _s: &mut (), _m: &[u64]) {
+            if ctx.vertex() == 3 {
+                panic!("boom at vertex 3");
+            }
+            ctx.vote_to_halt();
+        }
+    }
+    let g = build_undirected(&xmt_bsp_repro::graph::gen::structured::path(8));
+    let res = std::panic::catch_unwind(|| run_bsp(&g, &Bomb, BspConfig::default(), None));
+    assert!(res.is_err(), "panic must propagate");
+
+    // The global pool must still work afterwards.
+    let labels = xmt_bsp_repro::graphct::connected_components(&g);
+    assert!(labels.iter().all(|&l| l == 0));
+}

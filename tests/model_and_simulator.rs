@@ -1,0 +1,126 @@
+//! Agreement between the analytic model, the pinned constants, and the
+//! discrete-event simulator — the chain of custody for every figure.
+
+use xmt_bsp_repro::model::{ModelParams, PhaseCounts};
+use xmt_bsp_repro::sim::{kernels, MachineConfig};
+
+/// The harness uses pinned constants so experiments do not re-run
+/// calibration; this test is the pin — if the simulator's mechanics
+/// change, it fails until the defaults are re-derived.
+#[test]
+fn pinned_defaults_match_live_calibration() {
+    let live = ModelParams::from_calibration(&MachineConfig::default());
+    let pinned = ModelParams::default();
+    let close = |a: f64, b: f64, tol: f64, what: &str| {
+        assert!(
+            (a - b).abs() <= tol,
+            "{what}: pinned {b} vs calibrated {a} (tol {tol})"
+        );
+    };
+    close(live.mem_period, pinned.mem_period, 2.0, "mem_period");
+    close(
+        live.hotspot_interval,
+        pinned.hotspot_interval,
+        1.0,
+        "hotspot_interval",
+    );
+    close(live.barrier_base, pinned.barrier_base, 100.0, "barrier_base");
+    close(
+        live.barrier_per_proc,
+        pinned.barrier_per_proc,
+        10.0,
+        "barrier_per_proc",
+    );
+    close(live.alu_ipc, pinned.alu_ipc, 0.05, "alu_ipc");
+}
+
+/// Model predictions for the canonical self-scheduled loop must track
+/// the simulator within a modest tolerance across processor counts and
+/// workload shapes.
+#[test]
+fn model_tracks_simulator_on_parallel_loops() {
+    let base = MachineConfig {
+        streams_per_proc: 16,
+        ..MachineConfig::default()
+    };
+    let consts = xmt_bsp_repro::sim::calibrate(&base);
+    for procs in [1usize, 2, 4, 8] {
+        let cfg = MachineConfig {
+            processors: procs,
+            ..base
+        };
+        let model = ModelParams {
+            streams_per_proc: cfg.streams_per_proc,
+            clock_hz: cfg.clock_hz,
+            mem_period: consts.mem_period,
+            hotspot_interval: consts.hotspot_interval,
+            barrier_base: consts.barrier_base,
+            barrier_per_proc: consts.barrier_per_proc,
+            alu_ipc: consts.alu_ipc,
+        };
+        for (items, alu, loads) in [(4000usize, 1u32, 4usize), (4000, 16, 1), (64, 2, 2)] {
+            let stats = kernels::parallel_loop(&cfg, items, alu, loads);
+            assert!(!stats.hit_cycle_limit);
+            let mut c = PhaseCounts::with_items(items as u64);
+            c.alu_ops = items as u64 * alu as u64;
+            c.reads = (items * loads) as u64;
+            let chunk = (items / (cfg.total_streams() * 4)).clamp(1, 256) as u64;
+            c.hotspot_ops = (items as u64).div_ceil(chunk) + cfg.total_streams() as u64;
+            let predicted = c.predict_cycles(&model, procs);
+            let err = (predicted - stats.cycles as f64).abs() / stats.cycles as f64;
+            assert!(
+                err < 0.35,
+                "items={items} alu={alu} loads={loads} P={procs}: sim {} vs model {predicted:.0} ({:.0}% off)",
+                stats.cycles,
+                err * 100.0
+            );
+        }
+    }
+}
+
+/// The simulator must reproduce the three scalability regimes the
+/// figures rely on: linear scaling with abundant parallelism, flat
+/// scaling with scarce parallelism, and hotspot-bound flatness.
+#[test]
+fn simulator_reproduces_the_three_regimes() {
+    let shape = |p: usize| MachineConfig {
+        processors: p,
+        streams_per_proc: 16,
+        ..MachineConfig::default()
+    };
+
+    // Abundant parallelism: near-linear.
+    let rich2 = kernels::parallel_loop(&shape(2), 20_000, 2, 2);
+    let rich8 = kernels::parallel_loop(&shape(8), 20_000, 2, 2);
+    let speedup = rich2.cycles as f64 / rich8.cycles as f64;
+    assert!(speedup > 3.0, "rich speedup {speedup}");
+
+    // Scarce parallelism: flat.
+    let poor2 = kernels::parallel_loop(&shape(2), 16, 2, 2);
+    let poor8 = kernels::parallel_loop(&shape(8), 16, 2, 2);
+    let speedup = poor2.cycles as f64 / poor8.cycles as f64;
+    assert!(speedup < 1.7, "poor speedup {speedup}");
+
+    // Hotspot-bound: flat and proportional to total ops.
+    let hot2 = kernels::hotspot_fetch_add(&shape(2), 32, 50, 1);
+    let hot8 = kernels::hotspot_fetch_add(&shape(8), 32, 50, 1);
+    let ratio = hot2.cycles as f64 / hot8.cycles as f64;
+    assert!((0.6..1.7).contains(&ratio), "hotspot ratio {ratio}");
+}
+
+/// Predictions must be deterministic and monotone in processor count for
+/// barrier-free phases (the basis for reading the scaling figures).
+#[test]
+fn predictions_are_deterministic_and_monotone() {
+    let model = ModelParams::default();
+    let mut c = PhaseCounts::with_items(1 << 20);
+    c.reads = 1 << 22;
+    c.alu_ops = 1 << 21;
+    let mut prev = f64::INFINITY;
+    for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let t = c.predict_cycles(&model, p);
+        assert_eq!(t, c.predict_cycles(&model, p), "deterministic");
+        assert!(t <= prev, "monotone at P={p}");
+        prev = t;
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! algorithm invariants listed in DESIGN.md §8.
+
+use proptest::prelude::*;
+
+use xmt_bsp_repro::bsp::algorithms as bsp_alg;
+use xmt_bsp_repro::graph::builder::{build_directed, build_undirected};
+use xmt_bsp_repro::graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
+use xmt_bsp_repro::graph::validate::{
+    reference_bfs, reference_components, reference_triangles, validate_bfs, validate_components,
+};
+use xmt_bsp_repro::graph::EdgeList;
+use xmt_bsp_repro::graphct;
+use xmt_bsp_repro::par;
+
+/// Strategy: a random edge list over `1..=n` vertices.
+fn arb_edge_list(max_n: u64, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |edges| EdgeList {
+            num_vertices: n,
+            edges,
+            weights: None,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_preserves_degree_sums(el in arb_edge_list(64, 300)) {
+        let g = build_directed(&el);
+        prop_assert_eq!(g.num_arcs() as usize, el.num_edges());
+        let degsum: u64 = (0..g.num_vertices()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum as usize, el.num_edges());
+    }
+
+    #[test]
+    fn undirected_csr_is_symmetric_and_simple(el in arb_edge_list(48, 200)) {
+        let g = build_undirected(&el);
+        for v in 0..g.num_vertices() {
+            let nbrs = g.neighbors(v);
+            // Sorted, no self loops, no duplicates.
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "v={v} {nbrs:?}");
+            prop_assert!(!nbrs.contains(&v));
+            // Symmetry.
+            for &u in nbrs {
+                prop_assert!(g.has_arc(u, v), "missing reverse of {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_io_roundtrips(el in arb_edge_list(40, 150)) {
+        let g = build_undirected(&el);
+        let mut buf = Vec::new();
+        write_csr_binary(&mut buf, &g).unwrap();
+        let back = read_csr_binary(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_io_roundtrips(el in arb_edge_list(40, 150)) {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &el).unwrap();
+        let back = read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.edges, el.edges);
+    }
+
+    #[test]
+    fn components_are_a_minimal_fixed_point(el in arb_edge_list(48, 200)) {
+        let g = build_undirected(&el);
+        let labels = graphct::connected_components(&g);
+        prop_assert!(validate_components(&g, &labels).is_ok());
+        prop_assert_eq!(&labels, &reference_components(&g));
+        let bsp = bsp_alg::components::bsp_connected_components(&g, None);
+        prop_assert_eq!(&bsp.states, &labels);
+    }
+
+    #[test]
+    fn bfs_distance_recurrence_holds(el in arb_edge_list(48, 200), src_sel in 0u64..48) {
+        let g = build_undirected(&el);
+        let source = src_sel % g.num_vertices();
+        let r = graphct::bfs(&g, source);
+        prop_assert!(validate_bfs(&g, source, &r.dist, &r.parent).is_ok());
+        let (ref_dist, _) = reference_bfs(&g, source);
+        prop_assert_eq!(&r.dist, &ref_dist);
+        let b = bsp_alg::bfs::bsp_bfs(&g, source, None);
+        prop_assert_eq!(&b.dist(), &ref_dist);
+        // Frontier sizes sum to the number of reached vertices.
+        let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count() as u64;
+        prop_assert_eq!(r.frontier_sizes.iter().sum::<u64>(), reached);
+    }
+
+    #[test]
+    fn triangle_counts_match_brute_force(el in arb_edge_list(32, 160)) {
+        let g = build_undirected(&el);
+        let want = reference_triangles(&g);
+        prop_assert_eq!(graphct::count_triangles(&g), want);
+        prop_assert_eq!(bsp_alg::triangles::bsp_count_triangles(&g, None), want);
+    }
+
+    #[test]
+    fn clustering_coefficients_are_probabilities(el in arb_edge_list(32, 160)) {
+        let g = build_undirected(&el);
+        let (cc, _) = graphct::clustering_coefficients(&g);
+        for (v, &c) in cc.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&c), "cc[{v}]={c}");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_sequential(values in proptest::collection::vec(0u64..1000, 0..2000)) {
+        let mut par_v = values.clone();
+        let mut seq_v = values;
+        let tp = par::exclusive_prefix_sum(&mut par_v);
+        let ts = par::exclusive_prefix_sum_seq(&mut seq_v);
+        prop_assert_eq!(tp, ts);
+        prop_assert_eq!(par_v, seq_v);
+    }
+
+    #[test]
+    fn kcore_is_monotone_under_edge_removal(el in arb_edge_list(24, 100)) {
+        let g = build_undirected(&el);
+        let core = graphct::kcore_decomposition(&g);
+        // Dropping edges can only lower core numbers.
+        if el.num_edges() > 1 {
+            let half = EdgeList {
+                num_vertices: el.num_vertices,
+                edges: el.edges[..el.num_edges() / 2].to_vec(),
+                weights: None,
+            };
+            let h = build_undirected(&half);
+            let core_h = graphct::kcore_decomposition(&h);
+            for v in 0..el.num_vertices as usize {
+                prop_assert!(core_h[v] <= core[v], "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn inbox_delivery_is_exactly_once(
+        sends in proptest::collection::vec((0u64..32, 0u64..1000), 0..400),
+        workers in 1usize..6,
+    ) {
+        use xmt_bsp_repro::bsp::Inbox;
+        // Split sends across worker batches arbitrarily (round-robin).
+        let mut batches: Vec<Vec<(u64, u64)>> = vec![Vec::new(); workers];
+        for (i, &s) in sends.iter().enumerate() {
+            batches[i % workers].push(s);
+        }
+        let ib = Inbox::build(32, &batches, None);
+        prop_assert_eq!(ib.total_messages() as usize, sends.len());
+        // Every vertex's multiset of payloads matches what was sent.
+        for v in 0..32u64 {
+            let mut got: Vec<u64> = ib.messages(v).to_vec();
+            let mut want: Vec<u64> = sends.iter().filter(|&&(d, _)| d == v).map(|&(_, m)| m).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn rmat_is_scale_bounded(scale in 4u32..9, seed in 0u64..8) {
+        use xmt_bsp_repro::graph::gen::rmat::{rmat_edges, RmatParams};
+        let p = RmatParams::graph500(scale);
+        let el = rmat_edges(&p, seed);
+        prop_assert!(el.is_consistent());
+        prop_assert_eq!(el.num_vertices, 1u64 << scale);
+        prop_assert_eq!(el.num_edges() as u64, (1u64 << scale) * 16);
+    }
+
+    #[test]
+    fn atomic_min_is_linearizable_to_global_min(values in proptest::collection::vec(0u64..u64::MAX - 1, 1..500)) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cell = AtomicU64::new(u64::MAX);
+        let vref = &values;
+        par::parallel_for(0, vref.len(), |i| {
+            par::atomic::fetch_min(&cell, vref[i]);
+        });
+        prop_assert_eq!(cell.load(Ordering::Relaxed), *values.iter().min().unwrap());
+    }
+}

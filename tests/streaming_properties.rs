@@ -1,0 +1,74 @@
+//! Property tests for the STINGER-lite streaming structures: after any
+//! sequence of insertions and deletions, the incremental state must
+//! equal a from-scratch computation by the static toolkit.
+
+use proptest::prelude::*;
+
+use xmt_bsp_repro::graphct;
+use xmt_bsp_repro::stinger::{DynGraph, StreamingClustering, StreamingComponents};
+
+/// An operation stream: insert (true) or delete (false) the i-th
+/// candidate edge of a fixed pseudo-random pool.
+fn arb_ops(n: u64, len: usize) -> impl Strategy<Value = Vec<(bool, u64, u64)>> {
+    proptest::collection::vec((any::<bool>(), 0..n, 0..n), 1..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_triangles_match_static_after_any_churn(ops in arb_ops(24, 300)) {
+        let mut s = StreamingClustering::new(24);
+        for (insert, u, v) in ops {
+            if insert {
+                s.insert_edge(u, v);
+            } else {
+                s.remove_edge(u, v);
+            }
+        }
+        prop_assert!(s.graph().check_consistency());
+        let csr = s.graph().to_csr();
+        prop_assert_eq!(s.triangles(), graphct::count_triangles(&csr));
+        let (cc, _) = graphct::clustering_coefficients(&csr);
+        for v in 0..24u64 {
+            prop_assert!((s.coefficient(v) - cc[v as usize]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_components_match_static_after_any_churn(ops in arb_ops(24, 300)) {
+        let mut s = StreamingComponents::new(24);
+        for (insert, u, v) in ops {
+            if insert {
+                s.insert_edge(u, v);
+            } else {
+                s.remove_edge(u, v);
+            }
+        }
+        let csr = s.graph().to_csr();
+        let expected = xmt_bsp_repro::graph::validate::reference_components(&csr);
+        prop_assert_eq!(s.labels(), expected);
+    }
+
+    #[test]
+    fn dyngraph_batch_equals_serial(edges in proptest::collection::vec((0u64..32, 0u64..32), 0..200)) {
+        let mut serial = DynGraph::new(32);
+        for &(u, v) in &edges {
+            serial.insert_edge(u, v);
+        }
+        let mut batched = DynGraph::new(32);
+        batched.insert_batch(&edges);
+        prop_assert_eq!(&batched, &serial);
+        prop_assert!(batched.check_consistency());
+    }
+
+    #[test]
+    fn dyngraph_csr_roundtrip(edges in proptest::collection::vec((0u64..32, 0u64..32), 0..150)) {
+        let mut g = DynGraph::new(32);
+        for &(u, v) in &edges {
+            g.insert_edge(u, v);
+        }
+        let back = DynGraph::from_csr(&g.to_csr());
+        prop_assert_eq!(back, g);
+    }
+}
