@@ -29,7 +29,12 @@ fn bench_table1(c: &mut Criterion) {
             let tc = run_tc(&g, BspConfig::default());
             let mut acc = 0.0;
             for rec in [
-                &cc.bsp_rec, &cc.ct_rec, &bfs.bsp_rec, &bfs.ct_rec, &tc.bsp_rec, &tc.ct_rec,
+                &cc.bsp_rec,
+                &cc.ct_rec,
+                &bfs.bsp_rec,
+                &bfs.ct_rec,
+                &tc.bsp_rec,
+                &tc.ct_rec,
             ] {
                 acc += total_seconds(rec, &model, 128);
             }
@@ -105,5 +110,11 @@ fn bench_fig4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table1, bench_fig1, bench_fig2_fig3, bench_fig4);
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig1,
+    bench_fig2_fig3,
+    bench_fig4
+);
 criterion_main!(benches);

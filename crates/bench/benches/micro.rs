@@ -73,6 +73,56 @@ fn bench_exchange(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_exchange_transports(c: &mut Criterion) {
+    // The full superstep-boundary path — concurrent deposits through the
+    // collector, then inbox construction — for each transport, at 1, 4
+    // and 8 depositing workers.  The mutex outbox pays one lock per
+    // deposit, the single queue pays a fetch-and-add per message (the
+    // paper's §VII hotspot), and the bucketed transport pays neither.
+    use xmt_bsp::transport::{CollectedBatches, MessageCollector, Transport};
+
+    let mut group = c.benchmark_group("exchange_transport");
+    group.sample_size(20);
+    let n = 100_000usize;
+    let total = 800_000usize;
+    for workers in [1usize, 4, 8] {
+        let per = total / workers;
+        let batches: Vec<Vec<(u64, u64)>> = (0..workers)
+            .map(|w| {
+                (0..per)
+                    .map(|i| ((i * 13 + w * 5) as u64 % n as u64, i as u64))
+                    .collect()
+            })
+            .collect();
+        group.throughput(Throughput::Elements((workers * per) as u64));
+        for (name, transport) in [
+            ("mutex_outbox", Transport::PerThreadOutbox),
+            ("single_queue", Transport::SingleQueue),
+            ("bucketed", Transport::Bucketed),
+        ] {
+            group.bench_function(format!("{name}/w{workers}"), |b| {
+                b.iter(|| {
+                    let collector = MessageCollector::new(transport, workers, n, false);
+                    std::thread::scope(|scope| {
+                        for (w, batch) in batches.iter().enumerate() {
+                            let collector = &collector;
+                            let batch = batch.clone();
+                            scope.spawn(move || collector.deposit(w, batch, None));
+                        }
+                    });
+                    match collector.collect() {
+                        CollectedBatches::Flat(flat) => Inbox::build(n, &flat, None),
+                        CollectedBatches::Bucketed { stride, per_worker } => {
+                            Inbox::build_bucketed(n, stride, &per_worker, None)
+                        }
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_intersection(c: &mut Criterion) {
     // The triangle inner loop: counting via sorted adjacency on a graph
     // with hubs (skewed list lengths).
@@ -142,6 +192,7 @@ criterion_group!(
     bench_parallel_for,
     bench_csr_build,
     bench_exchange,
+    bench_exchange_transports,
     bench_intersection,
     bench_streaming,
     bench_full_empty

@@ -116,7 +116,14 @@ mod tests {
         let c = HarnessConfig::parse(
             20,
             strs(&[
-                "--scale", "12", "--seed", "7", "--procs", "4,8", "--edge-factor", "8",
+                "--scale",
+                "12",
+                "--seed",
+                "7",
+                "--procs",
+                "4,8",
+                "--edge-factor",
+                "8",
                 "--calibrate",
             ]),
         );

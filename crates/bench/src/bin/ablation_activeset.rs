@@ -69,7 +69,13 @@ fn main() {
         "ABLATION — BSP active-set strategy (BFS per-superstep time at P={pmax}), RMAT scale {}",
         cfg.scale
     );
-    let mut t = Table::new(&["superstep", "active", "dense-scan", "worklist", "scan/worklist"]);
+    let mut t = Table::new(&[
+        "superstep",
+        "active",
+        "dense-scan",
+        "worklist",
+        "scan/worklist",
+    ]);
     let max_step = rows.iter().map(|r| r.superstep).max().unwrap_or(0);
     for step in 0..=max_step {
         let find = |name: &str| {

@@ -70,7 +70,10 @@ fn main() {
     ];
 
     println!();
-    println!("ABLATION — in-iteration label propagation (§VI), RMAT scale {}", cfg.scale);
+    println!(
+        "ABLATION — in-iteration label propagation (§VI), RMAT scale {}",
+        cfg.scale
+    );
     let mut t = Table::new(&["variant", "iterations", &format!("time @ P={pmax}")]);
     for r in &rows {
         t.row(&[

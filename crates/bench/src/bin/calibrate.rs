@@ -30,18 +30,42 @@ fn main() {
 
     eprintln!("calibrating against the simulator (this runs the micro-kernels) ...");
     let constants = xmt_sim::calibrate(&machine);
-    println!("\ncalibrated constants (machine: {} procs x {} streams @ {} MHz):",
-        machine.processors, machine.streams_per_proc, machine.clock_hz / 1e6);
-    println!("  mem_period (λ)      = {:>8.1} cycles/ref", constants.mem_period);
-    println!("  hotspot_interval    = {:>8.1} cycles/op", constants.hotspot_interval);
-    println!("  barrier_base        = {:>8.1} cycles", constants.barrier_base);
-    println!("  barrier_per_proc    = {:>8.1} cycles/proc", constants.barrier_per_proc);
-    println!("  alu_ipc             = {:>8.2} instr/cycle/proc", constants.alu_ipc);
+    println!(
+        "\ncalibrated constants (machine: {} procs x {} streams @ {} MHz):",
+        machine.processors,
+        machine.streams_per_proc,
+        machine.clock_hz / 1e6
+    );
+    println!(
+        "  mem_period (λ)      = {:>8.1} cycles/ref",
+        constants.mem_period
+    );
+    println!(
+        "  hotspot_interval    = {:>8.1} cycles/op",
+        constants.hotspot_interval
+    );
+    println!(
+        "  barrier_base        = {:>8.1} cycles",
+        constants.barrier_base
+    );
+    println!(
+        "  barrier_per_proc    = {:>8.1} cycles/proc",
+        constants.barrier_per_proc
+    );
+    println!(
+        "  alu_ipc             = {:>8.2} instr/cycle/proc",
+        constants.alu_ipc
+    );
 
     let pinned = ModelParams::default();
-    println!("\npinned defaults used by the harness: λ={}, hotspot={}, barrier={}+{}·P, ipc={}",
-        pinned.mem_period, pinned.hotspot_interval, pinned.barrier_base,
-        pinned.barrier_per_proc, pinned.alu_ipc);
+    println!(
+        "\npinned defaults used by the harness: λ={}, hotspot={}, barrier={}+{}·P, ipc={}",
+        pinned.mem_period,
+        pinned.hotspot_interval,
+        pinned.barrier_base,
+        pinned.barrier_per_proc,
+        pinned.alu_ipc
+    );
 
     // Validation: self-scheduled loops on small machines, sim vs model.
     let model = ModelParams {

@@ -119,9 +119,7 @@ fn main() {
     );
 
     println!();
-    println!(
-        "TABLE I — execution times on a simulated {procs}-processor Cray XMT"
-    );
+    println!("TABLE I — execution times on a simulated {procs}-processor Cray XMT");
     println!(
         "(RMAT scale {}, {} edges; paper columns: scale 24, 268M edges)",
         cfg.scale,

@@ -3,10 +3,10 @@
 
 use std::time::Instant;
 
+use xmt_bsp::algorithms as bsp_alg;
+use xmt_bsp::runtime::{BspConfig, BspResult};
 use xmt_graph::{Csr, VertexId};
 use xmt_model::{ModelParams, Recorder};
-use xmt_bsp::runtime::{BspConfig, BspResult};
-use xmt_bsp::algorithms as bsp_alg;
 
 /// A connected-components run in both models.
 pub struct CcRun {
@@ -24,7 +24,8 @@ pub struct CcRun {
 pub fn run_cc(g: &Csr, config: BspConfig) -> CcRun {
     let mut bsp_rec = Recorder::new();
     let t = Instant::now();
-    let bsp = bsp_alg::components::bsp_connected_components_with_config(g, config, Some(&mut bsp_rec));
+    let bsp =
+        bsp_alg::components::bsp_connected_components_with_config(g, config, Some(&mut bsp_rec));
     let bsp_host = t.elapsed().as_secs_f64();
     assert!(!bsp.hit_superstep_limit, "BSP CC did not converge");
 
@@ -107,7 +108,10 @@ pub fn run_tc(g: &Csr, config: BspConfig) -> TcRun {
     let ct_count = graphct::count_triangles_instrumented(g, &mut ct_rec);
     let ct_host = t.elapsed().as_secs_f64();
 
-    assert_eq!(bsp_count, ct_count, "BSP and GraphCT triangle counts disagree");
+    assert_eq!(
+        bsp_count, ct_count,
+        "BSP and GraphCT triangle counts disagree"
+    );
     TcRun {
         bsp_rec,
         ct_rec,

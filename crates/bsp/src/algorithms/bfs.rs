@@ -9,7 +9,7 @@
 //! discard the messages."  The per-superstep message count (an order of
 //! magnitude above the true frontier after the apex) is Figure 2.
 
-use xmt_graph::{Csr, NO_VERTEX, VertexId};
+use xmt_graph::{Csr, VertexId, NO_VERTEX};
 use xmt_model::Recorder;
 
 use crate::program::{Combiner, Context, VertexProgram};
@@ -78,6 +78,20 @@ impl VertexProgram for BfsProgram {
 
     fn combiner(&self) -> Option<&dyn Combiner<Msg>> {
         Some(&MinDistCombiner)
+    }
+
+    /// Pull rule: a discovered neighbor offers its distance (what it
+    /// broadcast when it was discovered).  Re-offering old distances is
+    /// safe — `d + 1 < dist` rejects anything that is not a strict
+    /// improvement — and the tree parent stays exact because a vertex at
+    /// depth *k* only ever gathers offers from depth *k − 1* the
+    /// superstep it is discovered.
+    fn pull_from(&self, _g: &Csr, u: VertexId, state: &BfsState) -> Option<Msg> {
+        (state.dist != u64::MAX).then_some((state.dist, u))
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
     }
 }
 

@@ -44,6 +44,18 @@ impl VertexProgram for CcProgram {
     fn combiner(&self) -> Option<&dyn Combiner<VertexId>> {
         Some(&MinCombiner)
     }
+
+    /// Pull rule: a neighbor always offers its current label.  This is a
+    /// superset of what push delivers (only *improved* labels are sent),
+    /// which is safe because the min fold is monotone — stale labels are
+    /// no-ops.
+    fn pull_from(&self, _g: &Csr, _u: VertexId, label: &VertexId) -> Option<VertexId> {
+        Some(*label)
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
 }
 
 /// Run Algorithm 1 with the default runtime configuration.

@@ -141,13 +141,18 @@ mod tests {
             let el = xmt_graph::gen::er::gnm(400, 2400, seed);
             let g = build_undirected(&el);
             let r = bsp_kcore(&g, None);
-            assert_eq!(core_numbers(&r), graphct::kcore_decomposition(&g), "seed {seed}");
+            assert_eq!(
+                core_numbers(&r),
+                graphct::kcore_decomposition(&g),
+                "seed {seed}"
+            );
         }
     }
 
     #[test]
     fn matches_on_rmat() {
-        let el = xmt_graph::gen::rmat::rmat_edges(&xmt_graph::gen::rmat::RmatParams::graph500(9), 6);
+        let el =
+            xmt_graph::gen::rmat::rmat_edges(&xmt_graph::gen::rmat::RmatParams::graph500(9), 6);
         let g = build_undirected(&el);
         let r = bsp_kcore(&g, None);
         assert_eq!(core_numbers(&r), graphct::kcore_decomposition(&g));

@@ -18,8 +18,8 @@ pub mod triangles;
 
 pub use bfs::{bsp_bfs, bsp_bfs_with_config, BspBfsOutput};
 pub use clustering::bsp_clustering;
-pub use kcore::{bsp_kcore, core_numbers};
 pub use components::{bsp_connected_components, bsp_connected_components_with_config};
+pub use kcore::{bsp_kcore, core_numbers};
 pub use pagerank::bsp_pagerank;
 pub use sssp::bsp_sssp;
 pub use triangles::{bsp_count_triangles, bsp_count_triangles_with_config};

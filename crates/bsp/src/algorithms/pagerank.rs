@@ -61,6 +61,21 @@ impl VertexProgram for PagerankProgram {
     fn combiner(&self) -> Option<&dyn Combiner<f64>> {
         Some(&SumCombiner)
     }
+
+    /// Pull rule: a non-dangling neighbor offers its rank share — exactly
+    /// what it pushed after its last compute.  This is *exact* (not just
+    /// a safe superset): before convergence every non-dangling vertex
+    /// sends each superstep, and convergence is a global aggregate, so
+    /// sending stops for all vertices at once — after which no traffic
+    /// flows and the runtime never engages pull.
+    fn pull_from(&self, g: &Csr, u: u64, rank: &f64) -> Option<f64> {
+        let degree = g.degree(u);
+        (degree > 0).then(|| *rank / degree as f64)
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
 }
 
 /// Run BSP PageRank to convergence; returns ranks and run statistics.
@@ -70,12 +85,23 @@ pub fn bsp_pagerank(
     max_supersteps: u64,
     rec: Option<&mut Recorder>,
 ) -> BspResult<f64> {
+    bsp_pagerank_with_config(g, program, max_supersteps, BspConfig::default(), rec)
+}
+
+/// Run BSP PageRank with an explicit runtime configuration.
+pub fn bsp_pagerank_with_config(
+    g: &Csr,
+    program: PagerankProgram,
+    max_supersteps: u64,
+    config: BspConfig,
+    rec: Option<&mut Recorder>,
+) -> BspResult<f64> {
     run_bsp(
         g,
         &program,
         BspConfig {
             max_supersteps,
-            ..Default::default()
+            ..config
         },
         rec,
     )

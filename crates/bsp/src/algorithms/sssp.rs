@@ -111,7 +111,11 @@ mod tests {
             .build(&el);
             let bsp = bsp_sssp(&g, 0, None);
             assert_eq!(bsp.states, graphct::sssp(&g, 0), "seed {seed}");
-            assert_eq!(bsp.states, graphct::sssp::reference_sssp(&g, 0), "seed {seed}");
+            assert_eq!(
+                bsp.states,
+                graphct::sssp::reference_sssp(&g, 0),
+                "seed {seed}"
+            );
         }
     }
 

@@ -85,7 +85,10 @@ pub fn bsp_count_triangles_with_config(
     config: BspConfig,
     rec: Option<&mut Recorder>,
 ) -> BspResult<u64> {
-    assert!(!g.is_directed(), "triangle counting needs an undirected graph");
+    assert!(
+        !g.is_directed(),
+        "triangle counting needs an undirected graph"
+    );
     assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
     run_bsp(g, &TcProgram, config, rec)
 }
@@ -163,7 +166,10 @@ mod tests {
         let r = bsp_count_triangles_with_config(&g, BspConfig::default(), None);
         let candidates = r.superstep_stats[1].messages_sent;
         let confirmed = r.superstep_stats[2].messages_sent;
-        assert!(candidates > 3 * confirmed.max(1), "{candidates} vs {confirmed}");
+        assert!(
+            candidates > 3 * confirmed.max(1),
+            "{candidates} vs {confirmed}"
+        );
         assert_eq!(confirmed, total_triangles(&r));
     }
 

@@ -83,6 +83,102 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         inbox
     }
 
+    /// Group radix-partitioned batches by destination *without atomics*.
+    ///
+    /// `per_worker[w][b]` holds worker `w`'s sends whose destinations lie
+    /// in bucket `b`'s vertex range `[b·stride, (b+1)·stride)` (the shape
+    /// produced by the bucketed transport).  Because every destination in
+    /// bucket `b` is owned by exactly one parallel task, that task can
+    /// count, prefix-sum, and scatter its contiguous `offsets`/`data`
+    /// regions with plain reads and writes — no `fetch_add` per message,
+    /// unlike [`Inbox::build`].
+    pub fn build_bucketed(
+        n: usize,
+        stride: u64,
+        per_worker: &[Vec<Vec<(VertexId, M)>>],
+        combiner: Option<&dyn Combiner<M>>,
+    ) -> Self {
+        let num_buckets = per_worker.first().map_or(0, |w| w.len());
+        debug_assert!(per_worker.iter().all(|w| w.len() == num_buckets));
+        debug_assert!(stride.max(1) * num_buckets.max(1) as u64 >= n as u64);
+
+        // Per-bucket totals -> each bucket's base offset into `data`.
+        // Sequential: one addition per (worker, bucket) pair.
+        let mut bucket_base = vec![0u64; num_buckets + 1];
+        for w in per_worker {
+            for (b, batch) in w.iter().enumerate() {
+                bucket_base[b + 1] += batch.len() as u64;
+            }
+        }
+        for b in 0..num_buckets {
+            bucket_base[b + 1] += bucket_base[b];
+        }
+        let total = bucket_base[num_buckets] as usize;
+
+        let mut offsets = vec![0u64; n + 1];
+        let mut data: Vec<M> = Vec::with_capacity(total);
+        {
+            let offsets_base = offsets.as_mut_ptr() as usize;
+            let data_base = data.as_mut_ptr() as usize;
+            let bucket_base = &bucket_base;
+            parallel_for(0, num_buckets, |b| {
+                let lo = (b as u64 * stride).min(n as u64) as usize;
+                let hi = ((b as u64 + 1) * stride).min(n as u64) as usize;
+                if lo >= hi {
+                    debug_assert_eq!(bucket_base[b], bucket_base[b + 1]);
+                    return;
+                }
+                // Count this bucket's messages per destination.
+                let mut cursors = vec![0u64; hi - lo];
+                for w in per_worker {
+                    for &(dst, _) in &w[b] {
+                        debug_assert!((lo..hi).contains(&(dst as usize)));
+                        cursors[dst as usize - lo] += 1;
+                    }
+                }
+                // Local exclusive prefix starting at the bucket's base;
+                // publish each destination's offset.  SAFETY: bucket
+                // vertex ranges are disjoint, so offset writes are too.
+                let mut acc = bucket_base[b];
+                for (i, c) in cursors.iter_mut().enumerate() {
+                    let count = *c;
+                    *c = acc;
+                    unsafe { (offsets_base as *mut u64).add(lo + i).write(acc) };
+                    acc += count;
+                }
+                debug_assert_eq!(acc, bucket_base[b + 1]);
+                // Scatter. SAFETY: `cursors` now hold unique slots within
+                // this bucket's private `[bucket_base[b], bucket_base[b+1])`
+                // region of `data`.
+                for w in per_worker {
+                    for &(dst, msg) in &w[b] {
+                        let cursor = &mut cursors[dst as usize - lo];
+                        unsafe { (data_base as *mut M).add(*cursor as usize).write(msg) };
+                        *cursor += 1;
+                    }
+                }
+            });
+            // SAFETY: the buckets' disjoint regions cover all `total`
+            // slots and each was written exactly once.
+            unsafe { data.set_len(total) };
+        }
+        offsets[n] = total as u64;
+        // Vertices beyond the last non-empty bucket range were never
+        // visited; their offsets must close the CSR (empty groups).
+        let covered = ((num_buckets as u64) * stride).min(n as u64) as usize;
+        offsets[covered..n].fill(total as u64);
+
+        let mut inbox = Inbox {
+            offsets,
+            data,
+            combined: false,
+        };
+        if let Some(c) = combiner {
+            inbox.combine_in_place(c);
+        }
+        inbox
+    }
+
     /// Fold each vertex's group to one message (kept at the group head).
     fn combine_in_place(&mut self, combiner: &dyn Combiner<M>) {
         let n = self.num_vertices();
@@ -178,11 +274,7 @@ mod tests {
 
     #[test]
     fn build_groups_by_destination() {
-        let batches = vec![
-            vec![(1u64, 10u64), (3, 30)],
-            vec![(1, 11), (0, 1)],
-            vec![],
-        ];
+        let batches = vec![vec![(1u64, 10u64), (3, 30)], vec![(1, 11), (0, 1)], vec![]];
         let ib = Inbox::build(4, &batches, None);
         assert_eq!(ib.total_messages(), 4);
         assert_eq!(ib.messages(0), &[1]);
@@ -203,6 +295,66 @@ mod tests {
         // Raw counts still reflect what was sent (for Fig. 2).
         assert_eq!(ib.raw_count(0), 3);
         assert_eq!(ib.total_messages(), 4);
+    }
+
+    #[test]
+    fn bucketed_build_matches_flat_build() {
+        // 10 vertices, 2 workers -> stride 5. Shape the same messages
+        // both ways and compare the resulting inboxes.
+        let n = 10usize;
+        let stride = 5u64;
+        let flat = vec![
+            vec![(1u64, 10u64), (7, 70), (1, 11), (4, 40)],
+            vec![(5, 50), (9, 90), (1, 12)],
+        ];
+        let per_worker: Vec<Vec<Vec<(u64, u64)>>> = flat
+            .iter()
+            .map(|batch| {
+                let mut buckets = vec![Vec::new(), Vec::new()];
+                for &(dst, m) in batch {
+                    buckets[(dst / stride) as usize].push((dst, m));
+                }
+                buckets
+            })
+            .collect();
+        let a = Inbox::build(n, &flat, None);
+        let b = Inbox::build_bucketed(n, stride, &per_worker, None);
+        assert_eq!(a.total_messages(), b.total_messages());
+        for v in 0..n as u64 {
+            let mut ma: Vec<u64> = a.messages(v).to_vec();
+            let mut mb: Vec<u64> = b.messages(v).to_vec();
+            ma.sort_unstable();
+            mb.sort_unstable();
+            assert_eq!(ma, mb, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bucketed_build_combines_at_the_receiver() {
+        // Two workers both target vertex 2 — sender-side combining keeps
+        // one copy per worker; the receiver fold collapses them.
+        let per_worker = vec![
+            vec![vec![(2u64, 9u64)], vec![(5, 55)]],
+            vec![vec![(2, 3)], vec![]],
+        ];
+        let ib = Inbox::build_bucketed(6, 3, &per_worker, Some(&MinCombiner));
+        assert!(ib.is_combined());
+        assert_eq!(ib.messages(2), &[3]);
+        assert_eq!(ib.messages(5), &[55]);
+        assert_eq!(ib.raw_count(2), 2);
+    }
+
+    #[test]
+    fn bucketed_build_handles_partial_final_bucket() {
+        // n = 7 with stride 3 -> buckets [0,3) [3,6) [6,7): the last
+        // bucket is a stub and vertex 6 still resolves correctly.
+        let per_worker = vec![vec![vec![(0u64, 1u64)], vec![(3, 2)], vec![(6, 3)]]];
+        let ib = Inbox::build_bucketed(7, 3, &per_worker, None);
+        assert_eq!(ib.total_messages(), 3);
+        assert_eq!(ib.messages(0), &[1]);
+        assert_eq!(ib.messages(3), &[2]);
+        assert_eq!(ib.messages(6), &[3]);
+        assert!(!ib.has_messages(5));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod transport;
 pub use inbox::Inbox;
 pub use program::{Combiner, Context, VertexProgram};
 pub use runtime::{
-    resume_bsp, run_bsp, run_bsp_slice, ActiveSetStrategy, BspConfig, BspResult, ResumePoint,
-    SlicedRun,
+    resume_bsp, run_bsp, run_bsp_slice, ActiveSetStrategy, BspConfig, BspResult, Delivery,
+    ResumePoint, SlicedRun,
 };
 pub use transport::Transport;

@@ -85,6 +85,29 @@ pub trait VertexProgram: Sync {
     fn combiner(&self) -> Option<&dyn Combiner<Self::Message>> {
         None
     }
+
+    /// The message vertex `u` (with state `state`) would offer a
+    /// neighbor this superstep, for pull-mode delivery: on dense
+    /// supersteps the runtime may skip shipping pushed messages and
+    /// instead have each vertex gather `pull_from` over its neighbors,
+    /// folding the results with the combiner.
+    ///
+    /// Contract (see `runtime::Delivery`): the value must equal what the
+    /// vertex would have sent to every neighbor via `send_to_neighbors`
+    /// after its last compute, or `None` if it (possibly) did not send.
+    /// Returning a *superset* of the pushed messages is allowed only for
+    /// programs whose compute is idempotent under stale re-delivery
+    /// (monotone folds like min-label and BFS distances).
+    fn pull_from(&self, graph: &Csr, u: VertexId, state: &Self::State) -> Option<Self::Message> {
+        let _ = (graph, u, state);
+        None
+    }
+
+    /// Whether [`pull_from`](Self::pull_from) is implemented and honors
+    /// its contract.  Pull delivery additionally requires a combiner.
+    fn supports_pull(&self) -> bool {
+        false
+    }
 }
 
 /// Everything a vertex may do during `compute`.

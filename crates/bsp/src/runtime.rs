@@ -14,12 +14,12 @@ use parking_lot::Mutex;
 
 use xmt_graph::{Csr, VertexId};
 use xmt_model::{PhaseCounts, Recorder};
-use xmt_par::pfor::parallel_for_chunked;
 use xmt_par::parallel_for;
+use xmt_par::pfor::parallel_for_chunked;
 
 use crate::inbox::Inbox;
 use crate::program::{Context, VertexProgram};
-use crate::transport::{charge_exchange, MessageCollector, Transport};
+use crate::transport::{charge_exchange, CollectedBatches, MessageCollector, Transport};
 
 /// How the runtime finds the active vertices each superstep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +36,26 @@ pub enum ActiveSetStrategy {
     Worklist,
 }
 
+/// How messages reach the next superstep's `compute`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Classic Pregel: senders ship messages through the transport and
+    /// the runtime groups them into an inbox.
+    Push,
+    /// Receivers gather: on supersteps with traffic, each vertex folds
+    /// `pull_from` over its neighbors' (snapshotted) states instead of
+    /// receiving shipped messages.  Requires the program to implement
+    /// [`VertexProgram::pull_from`] and to have a combiner; otherwise the
+    /// runtime silently stays in push mode.
+    Pull,
+    /// Per-superstep choice: pull on dense supersteps (estimated active
+    /// fraction at least `BspConfig::pull_threshold`), push on sparse
+    /// ones — push wins on small frontiers where an O(V) gather would
+    /// dwarf the few real messages, pull wins when traffic approaches
+    /// O(E) and shipping it costs more than re-reading neighbor state.
+    Auto,
+}
+
 /// Runtime configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BspConfig {
@@ -43,6 +63,11 @@ pub struct BspConfig {
     pub transport: Transport,
     /// Active-set strategy.
     pub active_set: ActiveSetStrategy,
+    /// Message delivery mode (push, pull, or per-superstep auto).
+    pub delivery: Delivery,
+    /// `Delivery::Auto` pulls when the estimated active fraction of the
+    /// next superstep is at least this (0.0 ‥ 1.0).
+    pub pull_threshold: f64,
     /// Hard stop after this many supersteps (guards non-converging
     /// programs).
     pub max_supersteps: u64,
@@ -53,6 +78,8 @@ impl Default for BspConfig {
         BspConfig {
             transport: Transport::PerThreadOutbox,
             active_set: ActiveSetStrategy::DenseScan,
+            delivery: Delivery::Push,
+            pull_threshold: 0.5,
             max_supersteps: 10_000,
         }
     }
@@ -63,10 +90,20 @@ impl Default for BspConfig {
 pub struct SuperstepStats {
     /// Vertices that executed `compute` this superstep.
     pub active: u64,
-    /// Messages generated this superstep.
+    /// Messages that crossed the superstep boundary (post sender-side
+    /// combining; zero when the next superstep pulled instead).
     pub messages_sent: u64,
+    /// Messages produced by `compute` (pre sender-side combining).
+    /// Equals `messages_sent` except under the bucketed transport with a
+    /// combiner.
+    pub messages_generated: u64,
     /// Messages delivered to `compute` (post-combiner).
     pub messages_delivered: u64,
+    /// Whether this superstep's inputs were gathered (pull mode) rather
+    /// than received from shipped messages.
+    pub pulled: bool,
+    /// Neighbor states probed by pull-mode gathers this superstep.
+    pub pull_probes: u64,
 }
 
 /// The outcome of a BSP run.
@@ -104,8 +141,10 @@ pub struct ResumePoint<M> {
 
 /// A running computation's persisted state: the vertex states plus the
 /// runtime checkpoint.
-pub type Snapshot<P> =
-    (Vec<<P as VertexProgram>::State>, ResumePoint<<P as VertexProgram>::Message>);
+pub type Snapshot<P> = (
+    Vec<<P as VertexProgram>::State>,
+    ResumePoint<<P as VertexProgram>::Message>,
+);
 
 /// A bounded slice of a BSP computation: the partial result plus, if the
 /// superstep limit interrupted it, the checkpoint to continue from.
@@ -186,7 +225,13 @@ pub fn run_bsp_slice<P: VertexProgram>(
                 .map(|&h| AtomicU64::new(h as u64))
                 .collect();
             let inbox = Inbox::build(n, &[resume.pending], program.combiner());
-            (states, halted, inbox, resume.prev_aggregates, resume.superstep)
+            (
+                states,
+                halted,
+                inbox,
+                resume.prev_aggregates,
+                resume.superstep,
+            )
         }
     };
 
@@ -204,10 +249,25 @@ pub fn run_bsp_slice<P: VertexProgram>(
     } else {
         Vec::new()
     };
+    // Pull-mode delivery requires a gather rule and a combiner to fold
+    // the gathered messages with; otherwise Delivery::Pull/Auto silently
+    // degrade to push.
+    let supports_pull = program.supports_pull() && program.combiner().is_some();
+    // Set at the end of superstep s when s + 1 will gather instead of
+    // receiving shipped messages.
+    let mut pulling = false;
 
     loop {
         // ---- Phase A: find active vertices -------------------------------
-        let active: Vec<VertexId> = if s == 0 {
+        let active: Vec<VertexId> = if pulling {
+            // Pull superstep: any vertex with a neighbor may gather a
+            // message, so the active set is every non-isolated vertex
+            // plus the already-awake (a superset of push's receivers —
+            // safe per the `pull_from` contract).
+            (0..n as u64)
+                .filter(|&v| graph.degree(v) > 0 || halted[v as usize].load(Ordering::Relaxed) == 0)
+                .collect()
+        } else if s == 0 {
             (0..n as u64).collect()
         } else if worklist && !(resumed && s == start_s) {
             std::mem::take(&mut next_active)
@@ -224,22 +284,31 @@ pub fn run_bsp_slice<P: VertexProgram>(
             v
         };
         if let Some(r) = rec.as_deref_mut() {
-            let mut c = match config.active_set {
-                ActiveSetStrategy::DenseScan => {
-                    // Test halt flag + inbox offsets for every vertex.
-                    let mut c = PhaseCounts::with_items(n as u64);
-                    c.reads = 3 * n as u64;
-                    c.alu_ops = n as u64;
-                    c
-                }
-                ActiveSetStrategy::Worklist => {
-                    // The list was built incrementally (charged in the
-                    // previous exchange); here it is only read.
-                    let a = active.len() as u64;
-                    let mut c = PhaseCounts::with_items(a.max(1));
-                    c.reads = a;
-                    c.alu_ops = a;
-                    c
+            let mut c = if pulling {
+                // Pull supersteps scan degrees + halt flags densely no
+                // matter the strategy.
+                let mut c = PhaseCounts::with_items(n as u64);
+                c.reads = 2 * n as u64;
+                c.alu_ops = n as u64;
+                c
+            } else {
+                match config.active_set {
+                    ActiveSetStrategy::DenseScan => {
+                        // Test halt flag + inbox offsets for every vertex.
+                        let mut c = PhaseCounts::with_items(n as u64);
+                        c.reads = 3 * n as u64;
+                        c.alu_ops = n as u64;
+                        c
+                    }
+                    ActiveSetStrategy::Worklist => {
+                        // The list was built incrementally (charged in the
+                        // previous exchange); here it is only read.
+                        let a = active.len() as u64;
+                        let mut c = PhaseCounts::with_items(a.max(1));
+                        c.reads = a;
+                        c.alu_ops = a;
+                        c
+                    }
                 }
             };
             c.charge_loop_overhead(chunk_for(n));
@@ -256,27 +325,55 @@ pub fn run_bsp_slice<P: VertexProgram>(
 
         // ---- Phase B: compute ---------------------------------------------
         let collector: MessageCollector<P::Message> =
-            MessageCollector::new(config.transport, workers);
+            MessageCollector::new(config.transport, workers, n, program.combiner().is_some());
         let agg_parts: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::new());
         let delivered = AtomicU64::new(0);
+        let pull_probes = AtomicU64::new(0);
+        let pull_hits = AtomicU64::new(0);
         let extra_reads = AtomicU64::new(0);
         let extra_alu = AtomicU64::new(0);
         let next_active_parts: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        // Pull supersteps gather from the states as of the *end of the
+        // previous superstep*; snapshot them so concurrent writes during
+        // this superstep cannot leak in (BSP read semantics).
+        let snapshot: Option<Vec<P::State>> = if pulling { Some(states.clone()) } else { None };
         let states_base = states.as_mut_ptr() as usize;
         {
             let active_ref = &active;
             let inbox_ref = &inbox;
             let halted_ref = &halted;
+            let snapshot_ref = &snapshot;
             let chunk = chunk_for(active_ref.len());
             parallel_for_chunked(0, active_ref.len(), chunk as usize, |worker, range| {
                 let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
                 let mut agg = (0u64, 0.0f64);
                 let mut local_delivered = 0u64;
+                let mut local_probes = (0u64, 0u64);
                 let mut local_extra = (0u64, 0u64);
                 let mut local_awake: Vec<VertexId> = Vec::new();
                 for i in range {
                     let v = active_ref[i];
-                    let msgs = inbox_ref.messages(v);
+                    // Pull mode: fold `pull_from` over the neighbors'
+                    // snapshotted states; push mode: read the inbox.
+                    let mut gathered: Option<P::Message> = None;
+                    if let Some(snap) = snapshot_ref {
+                        let comb = program.combiner().expect("pull mode requires a combiner");
+                        for &u in graph.neighbors(v) {
+                            local_probes.0 += 1;
+                            if let Some(m) = program.pull_from(graph, u, &snap[u as usize]) {
+                                local_probes.1 += 1;
+                                gathered = Some(match gathered {
+                                    None => m,
+                                    Some(acc) => comb.combine(acc, m),
+                                });
+                            }
+                        }
+                    }
+                    let msgs: &[P::Message] = if snapshot_ref.is_some() {
+                        gathered.as_slice()
+                    } else {
+                        inbox_ref.messages(v)
+                    };
                     local_delivered += msgs.len() as u64;
                     let mut ctx = Context {
                         graph,
@@ -299,7 +396,9 @@ pub fn run_bsp_slice<P: VertexProgram>(
                     halted_ref[v as usize].store(ctx.halt as u64, Ordering::Relaxed);
                     // Worklist: a vertex that stayed awake is active next
                     // superstep regardless of messages; claim its slot.
-                    if worklist && !ctx.halt && gen[v as usize].swap(s + 1, Ordering::Relaxed) != s + 1
+                    if worklist
+                        && !ctx.halt
+                        && gen[v as usize].swap(s + 1, Ordering::Relaxed) != s + 1
                     {
                         local_awake.push(v);
                     }
@@ -311,7 +410,11 @@ pub fn run_bsp_slice<P: VertexProgram>(
                 extra_reads.fetch_add(local_extra.0, Ordering::Relaxed);
                 extra_alu.fetch_add(local_extra.1, Ordering::Relaxed);
                 delivered.fetch_add(local_delivered, Ordering::Relaxed);
-                collector.deposit(worker, outbox);
+                if local_probes.0 > 0 {
+                    pull_probes.fetch_add(local_probes.0, Ordering::Relaxed);
+                    pull_hits.fetch_add(local_probes.1, Ordering::Relaxed);
+                }
+                collector.deposit(worker, outbox, program.combiner());
                 if !local_awake.is_empty() {
                     next_active_parts.lock().extend(local_awake);
                 }
@@ -320,54 +423,108 @@ pub fn run_bsp_slice<P: VertexProgram>(
                 }
             });
         }
-        let messages_sent = collector.total();
+        let shipped = collector.total();
+        let messages_generated = collector.total_generated();
         let messages_delivered = delivered.load(Ordering::Relaxed);
+        let probes = pull_probes.load(Ordering::Relaxed);
+        let hits = pull_hits.load(Ordering::Relaxed);
 
         // ---- Phase C: exchange --------------------------------------------
-        let batches = collector.into_batches();
-        if worklist {
-            // Message destinations are active next superstep; claim each
-            // exactly once. O(messages), never O(V).
-            let batches_ref = &batches;
-            parallel_for(0, batches_ref.len(), |b| {
-                let mut local: Vec<VertexId> = Vec::new();
-                for &(dst, _) in &batches_ref[b] {
-                    if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
-                        local.push(dst);
+        // Decide the next superstep's delivery.  Pulling is only
+        // meaningful when there is traffic to replace, and never on the
+        // superstep the limit will interrupt (checkpoints persist the
+        // inbox, which a pull superstep would not have).
+        let pull_next = supports_pull
+            && shipped > 0
+            && s + 1 < config.max_supersteps
+            && match config.delivery {
+                Delivery::Push => false,
+                Delivery::Pull => true,
+                Delivery::Auto => {
+                    // Estimate the next active fraction from boundary
+                    // traffic (each shipped message wakes at most one
+                    // distinct vertex).
+                    let est_active = shipped.min(n as u64);
+                    est_active as f64 >= config.pull_threshold * n as f64
+                }
+            };
+        // Messages that actually cross the boundary: none when the next
+        // superstep gathers instead.
+        let messages_sent = if pull_next { 0 } else { shipped };
+
+        let collected = collector.collect();
+        let next_inbox = if pull_next {
+            // The pushed messages are discarded: the next superstep
+            // re-derives them (and possibly more, harmlessly) from
+            // neighbor state.  The worklist is likewise bypassed — the
+            // pull superstep activates every non-isolated vertex.
+            if worklist {
+                next_active = Vec::new();
+            }
+            Inbox::empty(n)
+        } else {
+            if worklist {
+                // Message destinations are active next superstep; claim
+                // each exactly once. O(messages), never O(V).
+                let slices = collected.slices();
+                let slices_ref = &slices;
+                parallel_for(0, slices_ref.len(), |b| {
+                    let mut local: Vec<VertexId> = Vec::new();
+                    for &(dst, _) in slices_ref[b] {
+                        if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
+                            local.push(dst);
+                        }
                     }
+                    if !local.is_empty() {
+                        next_active_parts.lock().extend(local);
+                    }
+                });
+                next_active = next_active_parts.into_inner();
+            }
+            match &collected {
+                CollectedBatches::Flat(batches) => Inbox::build(n, batches, program.combiner()),
+                CollectedBatches::Bucketed { stride, per_worker } => {
+                    Inbox::build_bucketed(n, *stride, per_worker, program.combiner())
                 }
-                if !local.is_empty() {
-                    next_active_parts.lock().extend(local);
-                }
-            });
-            next_active = next_active_parts.into_inner();
-        }
-        let next_inbox = Inbox::build(n, &batches, program.combiner());
+            }
+        };
 
         if let Some(r) = rec.as_deref_mut() {
             let a = active.len() as u64;
-            let msg_words = (std::mem::size_of::<P::Message>() as u64).div_ceil(8).max(1);
+            let msg_words = (std::mem::size_of::<P::Message>() as u64)
+                .div_ceil(8)
+                .max(1);
             // Compute phase: parallelism is the active set (+ the message
             // fan-out): state read+write and halt write per active
-            // vertex; per-word reads for delivered messages; one
-            // neighbor-id read and one ALU op per sent message.
-            let mut c = PhaseCounts::with_items(a.max(messages_sent).max(1));
-            c.reads = 2 * a
-                + messages_delivered * msg_words
-                + messages_sent
-                + extra_reads.load(Ordering::Relaxed);
+            // vertex; one neighbor-id read and one ALU op per generated
+            // message.  Push supersteps read the delivered words from the
+            // inbox; pull supersteps charge the gather probes instead.
+            let mut c = PhaseCounts::with_items(a.max(messages_generated).max(1));
+            c.reads = 2 * a + messages_generated + extra_reads.load(Ordering::Relaxed);
             c.writes = 2 * a;
-            c.alu_ops = a + messages_sent + extra_alu.load(Ordering::Relaxed);
+            c.alu_ops = a + messages_generated + extra_alu.load(Ordering::Relaxed);
+            if pulling {
+                xmt_model::charge_pull_gather(&mut c, probes, hits, msg_words);
+            } else {
+                c.reads += messages_delivered * msg_words;
+            }
             c.charge_loop_overhead(chunk_for(active.len()));
             r.push("superstep", s, c, messages_sent);
             // Exchange phase: grouping messages into the next inbox is a
             // vertex-wide operation (counts, prefix sum, scatter) whose
-            // parallelism is V / messages, NOT the active set.
+            // parallelism is V / messages, NOT the active set.  When the
+            // next superstep pulls, the boundary only pays the state
+            // snapshot.
             let mut e = PhaseCounts::with_items((n as u64).max(messages_sent).max(1));
-            charge_exchange(&mut e, config.transport, messages_sent, msg_words, n as u64);
-            if worklist {
-                // Generation-tag claims for the next active list.
-                e.atomics += messages_sent + a;
+            if pull_next {
+                let state_words = (std::mem::size_of::<P::State>() as u64).div_ceil(8).max(1);
+                xmt_model::charge_pull_exchange(&mut e, n as u64, state_words);
+            } else {
+                charge_exchange(&mut e, config.transport, messages_sent, msg_words, n as u64);
+                if worklist {
+                    // Generation-tag claims for the next active list.
+                    e.atomics += messages_sent + a;
+                }
             }
             e.charge_loop_overhead(chunk_for(n));
             r.push("exchange", s, e, messages_sent);
@@ -382,9 +539,13 @@ pub fn run_bsp_slice<P: VertexProgram>(
         superstep_stats.push(SuperstepStats {
             active: active.len() as u64,
             messages_sent,
+            messages_generated,
             messages_delivered,
+            pulled: pulling,
+            pull_probes: probes,
         });
         inbox = next_inbox;
+        pulling = pull_next;
         s += 1;
     }
 
@@ -492,6 +653,296 @@ mod tests {
         );
         assert_eq!(a.states, b.states);
         assert_eq!(a.supersteps, b.supersteps);
+    }
+
+    #[test]
+    fn bucketed_transport_gives_identical_results() {
+        let g = build_undirected(&path(20));
+        let a = run_bsp(&g, &MinFlood, BspConfig::default(), None);
+        let b = run_bsp(
+            &g,
+            &MinFlood,
+            BspConfig {
+                transport: Transport::Bucketed,
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.supersteps, b.supersteps);
+    }
+
+    #[test]
+    fn sender_side_combining_ships_fewer_messages() {
+        // On a star, every leaf sends its label to the hub in superstep
+        // 0: per-thread outboxes ship all of them, the bucketed
+        // transport folds each worker's copies to one per (worker, hub).
+        let g = build_undirected(&star(64));
+        let push = run_bsp(&g, &MinFlood, BspConfig::default(), None);
+        let bucketed = run_bsp(
+            &g,
+            &MinFlood,
+            BspConfig {
+                transport: Transport::Bucketed,
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(push.states, bucketed.states);
+        // Same compute -> same generated volume; fewer cross the boundary.
+        assert_eq!(
+            push.superstep_stats[0].messages_generated,
+            bucketed.superstep_stats[0].messages_generated
+        );
+        assert!(
+            bucketed.superstep_stats[0].messages_sent < push.superstep_stats[0].messages_sent,
+            "bucketed {} !< outbox {}",
+            bucketed.superstep_stats[0].messages_sent,
+            push.superstep_stats[0].messages_sent
+        );
+        // Without combining, generated == sent.
+        assert_eq!(
+            push.superstep_stats[0].messages_sent,
+            push.superstep_stats[0].messages_generated
+        );
+    }
+
+    #[test]
+    fn pull_delivery_gives_identical_results() {
+        struct PullMinFlood;
+        impl VertexProgram for PullMinFlood {
+            type State = u64;
+            type Message = u64;
+            fn init(&self, v: VertexId) -> u64 {
+                v
+            }
+            fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, msgs: &[u64]) {
+                let mut improved = ctx.superstep() == 0;
+                for &m in msgs {
+                    if m < *state {
+                        *state = m;
+                        improved = true;
+                    }
+                }
+                if improved {
+                    let s = *state;
+                    ctx.send_to_neighbors(s);
+                }
+                ctx.vote_to_halt();
+            }
+            fn combiner(&self) -> Option<&dyn Combiner<u64>> {
+                Some(&MinCombiner)
+            }
+            fn pull_from(&self, _g: &Csr, _u: VertexId, state: &u64) -> Option<u64> {
+                Some(*state)
+            }
+            fn supports_pull(&self) -> bool {
+                true
+            }
+        }
+        for delivery in [Delivery::Pull, Delivery::Auto] {
+            let g = build_undirected(&path(20));
+            let push = run_bsp(&g, &PullMinFlood, BspConfig::default(), None);
+            let pull = run_bsp(
+                &g,
+                &PullMinFlood,
+                BspConfig {
+                    delivery,
+                    ..Default::default()
+                },
+                None,
+            );
+            assert_eq!(push.states, pull.states, "{delivery:?}");
+            assert!(!pull.hit_superstep_limit, "{delivery:?}");
+        }
+    }
+
+    #[test]
+    fn forced_pull_marks_supersteps_and_probes() {
+        struct PullFlood;
+        impl VertexProgram for PullFlood {
+            type State = u64;
+            type Message = u64;
+            fn init(&self, v: VertexId) -> u64 {
+                v
+            }
+            fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, msgs: &[u64]) {
+                let mut improved = ctx.superstep() == 0;
+                for &m in msgs {
+                    if m < *state {
+                        *state = m;
+                        improved = true;
+                    }
+                }
+                if improved {
+                    let s = *state;
+                    ctx.send_to_neighbors(s);
+                }
+                ctx.vote_to_halt();
+            }
+            fn combiner(&self) -> Option<&dyn Combiner<u64>> {
+                Some(&MinCombiner)
+            }
+            fn pull_from(&self, _g: &Csr, _u: VertexId, state: &u64) -> Option<u64> {
+                Some(*state)
+            }
+            fn supports_pull(&self) -> bool {
+                true
+            }
+        }
+        let g = build_undirected(&path(10));
+        let r = run_bsp(
+            &g,
+            &PullFlood,
+            BspConfig {
+                delivery: Delivery::Pull,
+                ..Default::default()
+            },
+            None,
+        );
+        // Superstep 0 always pushes (there is nothing to pull from yet);
+        // superstep 0 generated traffic, so superstep 1 pulls.
+        assert!(!r.superstep_stats[0].pulled);
+        assert_eq!(r.superstep_stats[0].messages_sent, 0); // discarded for pull
+        assert!(r.superstep_stats[1].pulled);
+        // A pull superstep over a path probes each non-isolated vertex's
+        // neighbors: sum of degrees = 2 * edges.
+        assert_eq!(r.superstep_stats[1].pull_probes, 2 * (10 - 1));
+        // Push supersteps never probe.
+        assert_eq!(r.superstep_stats[0].pull_probes, 0);
+    }
+
+    #[test]
+    fn pull_ignores_programs_without_support() {
+        // MinFlood has a combiner but no pull rule: Delivery::Pull must
+        // silently stay in push mode and still converge.
+        let g = build_undirected(&path(12));
+        let push = run_bsp(&g, &MinFlood, BspConfig::default(), None);
+        let pull = run_bsp(
+            &g,
+            &MinFlood,
+            BspConfig {
+                delivery: Delivery::Pull,
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(push.states, pull.states);
+        assert!(pull.superstep_stats.iter().all(|s| !s.pulled));
+    }
+
+    #[test]
+    fn auto_delivery_pushes_on_sparse_supersteps() {
+        struct PullFlood;
+        impl VertexProgram for PullFlood {
+            type State = u64;
+            type Message = u64;
+            fn init(&self, v: VertexId) -> u64 {
+                v
+            }
+            fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, msgs: &[u64]) {
+                let mut improved = ctx.superstep() == 0;
+                for &m in msgs {
+                    if m < *state {
+                        *state = m;
+                        improved = true;
+                    }
+                }
+                if improved {
+                    let s = *state;
+                    ctx.send_to_neighbors(s);
+                }
+                ctx.vote_to_halt();
+            }
+            fn combiner(&self) -> Option<&dyn Combiner<u64>> {
+                Some(&MinCombiner)
+            }
+            fn pull_from(&self, _g: &Csr, _u: VertexId, state: &u64) -> Option<u64> {
+                Some(*state)
+            }
+            fn supports_pull(&self) -> bool {
+                true
+            }
+        }
+        // An unreachable threshold keeps every superstep in push mode; a
+        // zero threshold pulls whenever there is any traffic.  Both must
+        // agree on the answer.
+        let g = build_undirected(&path(50));
+        let never = run_bsp(
+            &g,
+            &PullFlood,
+            BspConfig {
+                delivery: Delivery::Auto,
+                pull_threshold: 1.1,
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(never.superstep_stats.iter().all(|s| !s.pulled));
+        let always = run_bsp(
+            &g,
+            &PullFlood,
+            BspConfig {
+                delivery: Delivery::Auto,
+                pull_threshold: 0.0,
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(always.superstep_stats.iter().skip(1).any(|s| s.pulled));
+        assert_eq!(never.states, always.states);
+        assert!(never.states.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn pull_composes_with_worklist_and_bucketed_transport() {
+        struct PullFlood;
+        impl VertexProgram for PullFlood {
+            type State = u64;
+            type Message = u64;
+            fn init(&self, v: VertexId) -> u64 {
+                v
+            }
+            fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, msgs: &[u64]) {
+                let mut improved = ctx.superstep() == 0;
+                for &m in msgs {
+                    if m < *state {
+                        *state = m;
+                        improved = true;
+                    }
+                }
+                if improved {
+                    let s = *state;
+                    ctx.send_to_neighbors(s);
+                }
+                ctx.vote_to_halt();
+            }
+            fn combiner(&self) -> Option<&dyn Combiner<u64>> {
+                Some(&MinCombiner)
+            }
+            fn pull_from(&self, _g: &Csr, _u: VertexId, state: &u64) -> Option<u64> {
+                Some(*state)
+            }
+            fn supports_pull(&self) -> bool {
+                true
+            }
+        }
+        let g = build_undirected(&path(30));
+        let reference = run_bsp(&g, &PullFlood, BspConfig::default(), None);
+        for delivery in [Delivery::Push, Delivery::Pull, Delivery::Auto] {
+            let r = run_bsp(
+                &g,
+                &PullFlood,
+                BspConfig {
+                    transport: Transport::Bucketed,
+                    active_set: ActiveSetStrategy::Worklist,
+                    delivery,
+                    ..Default::default()
+                },
+                None,
+            );
+            assert_eq!(r.states, reference.states, "{delivery:?}");
+        }
     }
 
     #[test]
@@ -605,7 +1056,9 @@ mod tests {
             None,
         );
         assert!(first.result.hit_superstep_limit);
-        let ckpt = first.resume.expect("interrupted run must yield a checkpoint");
+        let ckpt = first
+            .resume
+            .expect("interrupted run must yield a checkpoint");
         assert_eq!(ckpt.superstep, 5);
         let second = resume_bsp(
             &g,
@@ -695,7 +1148,10 @@ mod tests {
         assert_eq!(ckpt.halted.len(), 10);
         // Superstep 0 broadcast: messages are pending for superstep 1.
         assert!(!ckpt.pending.is_empty());
-        assert!(ckpt.halted.iter().all(|&h| h), "MinFlood always votes to halt");
+        assert!(
+            ckpt.halted.iter().all(|&h| h),
+            "MinFlood always votes to halt"
+        );
     }
 
     #[test]

@@ -2,15 +2,37 @@
 //!
 //! §VII of the paper: "Without native support for message features such
 //! as enqueueing and dequeueing, serialization around a single atomic
-//! fetch-and-add is possible, inhibiting scalability."  We implement both
-//! the scalable per-worker-outbox design and that naive single shared
-//! queue, and let the experiment harness compare them
-//! (`ablation_queue`).
+//! fetch-and-add is possible, inhibiting scalability."  We implement
+//! three designs and let the experiment harness compare them
+//! (`ablation_queue`, `ablation_exchange`):
+//!
+//! * [`Transport::SingleQueue`] — the XMT-naive port: one shared queue
+//!   behind a single fetch-and-add cursor (every message charges the
+//!   hotspot in the performance model);
+//! * [`Transport::PerThreadOutbox`] — per-worker outboxes merged at the
+//!   superstep boundary; no hot word, but grouping the merged outboxes
+//!   by destination still costs one uncontended atomic per message;
+//! * [`Transport::Bucketed`] — per-worker outboxes that are additionally
+//!   radix-partitioned by destination range into one bucket per worker.
+//!   The exchange becomes an all-to-all: bucket *b* of every worker
+//!   holds only destinations in `[b·stride, (b+1)·stride)`, so worker
+//!   *b* can count, prefix-sum, and scatter its contiguous inbox slice
+//!   with plain (non-atomic) operations.  Bucketing also enables
+//!   *sender-side combining*: when the program has a combiner, each
+//!   worker folds messages to the same destination inside its bucket as
+//!   they are deposited, so combined programs ship O(active vertices)
+//!   messages across the boundary instead of O(edges).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use xmt_graph::VertexId;
-use xmt_model::PhaseCounts;
+use xmt_model::{charge_push_exchange, ExchangeKind, PhaseCounts};
+
+use crate::program::Combiner;
 
 /// How sent messages travel from `compute` to the next superstep's inbox.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +44,58 @@ pub enum Transport {
     /// fetch-and-add cursor — the XMT-naive port. Functionally identical,
     /// but every message charges the hotspot in the performance model.
     SingleQueue,
+    /// Per-worker outboxes radix-partitioned by destination range; the
+    /// exchange is an atomic-free all-to-all, and sender-side combining
+    /// kicks in when the program has a combiner.
+    Bucketed,
+}
+
+/// Map a destination vertex to its bucket for a given stride.
+#[inline]
+fn bucket_of(dst: VertexId, stride: u64) -> usize {
+    (dst / stride) as usize
+}
+
+/// The bucket stride covering `n` vertices with `buckets` buckets.
+pub fn bucket_stride(n: usize, buckets: usize) -> u64 {
+    (n as u64).div_ceil(buckets.max(1) as u64).max(1)
+}
+
+/// One worker's radix-partitioned outbox (bucketed transport only).
+struct BucketSlot<M> {
+    /// `buckets[b]` holds this worker's sends into destination range `b`.
+    buckets: Vec<Vec<(VertexId, M)>>,
+    /// Sender-side combining index: per bucket, destination → position in
+    /// the bucket vec.  Allocated only when the program has a combiner.
+    index: Option<Vec<HashMap<VertexId, u32>>>,
+}
+
+/// Messages drained from a [`MessageCollector`], shaped by transport.
+pub enum CollectedBatches<M> {
+    /// Per-slot batches (outbox or queue transport).
+    Flat(Vec<Vec<(VertexId, M)>>),
+    /// `per_worker[w][b]` = worker `w`'s sends into destination bucket
+    /// `b`, where bucket `b` covers vertices `[b·stride, (b+1)·stride)`.
+    Bucketed {
+        /// Vertex-range width of each bucket.
+        stride: u64,
+        /// Outer index worker, inner index bucket.
+        per_worker: Vec<Vec<Vec<(VertexId, M)>>>,
+    },
+}
+
+impl<M> CollectedBatches<M> {
+    /// Iterate every `(dst, msg)` slice regardless of shape (used by the
+    /// worklist builder, which only needs destinations).
+    pub fn slices(&self) -> Vec<&[(VertexId, M)]> {
+        match self {
+            CollectedBatches::Flat(batches) => batches.iter().map(|b| b.as_slice()).collect(),
+            CollectedBatches::Bucketed { per_worker, .. } => per_worker
+                .iter()
+                .flat_map(|w| w.iter().map(|b| b.as_slice()))
+                .collect(),
+        }
+    }
 }
 
 /// Collects outgoing messages during one superstep's compute phase.
@@ -29,18 +103,45 @@ pub struct MessageCollector<M> {
     transport: Transport,
     /// One slot per worker (outbox mode) or a single slot (queue mode).
     slots: Vec<Mutex<Vec<(VertexId, M)>>>,
+    /// One radix-partitioned slot per worker (bucketed mode).
+    bucketed: Vec<Mutex<BucketSlot<M>>>,
+    stride: u64,
+    /// Messages that will cross the superstep boundary (post sender-side
+    /// combining), maintained with one relaxed add per deposit so
+    /// [`total`](Self::total) never takes a lock.
+    shipped: AtomicU64,
+    /// Messages produced by `compute` (pre sender-side combining).
+    generated: AtomicU64,
 }
 
 impl<M: Copy + Send> MessageCollector<M> {
-    /// A collector for `workers` workers.
-    pub fn new(transport: Transport, workers: usize) -> Self {
-        let n = match transport {
-            Transport::PerThreadOutbox => workers.max(1),
-            Transport::SingleQueue => 1,
+    /// A collector for `workers` workers over `num_vertices` vertices.
+    ///
+    /// `combining` enables the sender-side combining index; it only has
+    /// an effect for [`Transport::Bucketed`] (the flat transports always
+    /// ship raw messages and combine at the receiver).
+    pub fn new(transport: Transport, workers: usize, num_vertices: usize, combining: bool) -> Self {
+        let workers = workers.max(1);
+        let (slots, bucketed) = match transport {
+            Transport::PerThreadOutbox => (workers, 0),
+            Transport::SingleQueue => (1, 0),
+            Transport::Bucketed => (0, workers),
         };
+        let stride = bucket_stride(num_vertices, workers);
         MessageCollector {
             transport,
-            slots: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            slots: (0..slots).map(|_| Mutex::new(Vec::new())).collect(),
+            bucketed: (0..bucketed)
+                .map(|_| {
+                    Mutex::new(BucketSlot {
+                        buckets: (0..workers).map(|_| Vec::new()).collect(),
+                        index: combining.then(|| (0..workers).map(|_| HashMap::new()).collect()),
+                    })
+                })
+                .collect(),
+            stride,
+            shipped: AtomicU64::new(0),
+            generated: AtomicU64::new(0),
         }
     }
 
@@ -54,42 +155,114 @@ impl<M: Copy + Send> MessageCollector<M> {
     /// In outbox mode this locks the worker's private slot (uncontended);
     /// in single-queue mode all workers funnel through slot 0 — on the
     /// simulated machine every message would individually pay the shared
-    /// cursor, which the model charges via [`charge_exchange`].
-    pub fn deposit(&self, worker: usize, mut batch: Vec<(VertexId, M)>) {
+    /// cursor, which the model charges via [`charge_exchange`].  In
+    /// bucketed mode the batch is radix-partitioned by destination range
+    /// into the worker's private buckets, folding duplicates through
+    /// `combiner` on the way in when one is supplied.
+    pub fn deposit(
+        &self,
+        worker: usize,
+        mut batch: Vec<(VertexId, M)>,
+        combiner: Option<&dyn Combiner<M>>,
+    ) {
         if batch.is_empty() {
             return;
         }
-        match self.transport {
+        let raw = batch.len() as u64;
+        let shipped = match self.transport {
             Transport::PerThreadOutbox => {
                 self.slots[worker].lock().append(&mut batch);
+                raw
             }
             Transport::SingleQueue => {
                 self.slots[0].lock().append(&mut batch);
+                raw
             }
+            Transport::Bucketed => {
+                let mut slot = self.bucketed[worker].lock();
+                let slot = &mut *slot;
+                match (combiner, slot.index.as_mut()) {
+                    (Some(c), Some(index)) => {
+                        let mut inserted = 0u64;
+                        for (dst, msg) in batch {
+                            let b = bucket_of(dst, self.stride);
+                            match index[b].entry(dst) {
+                                Entry::Occupied(e) => {
+                                    let at = *e.get() as usize;
+                                    let old = slot.buckets[b][at].1;
+                                    slot.buckets[b][at].1 = c.combine(old, msg);
+                                }
+                                Entry::Vacant(e) => {
+                                    e.insert(slot.buckets[b].len() as u32);
+                                    slot.buckets[b].push((dst, msg));
+                                    inserted += 1;
+                                }
+                            }
+                        }
+                        inserted
+                    }
+                    _ => {
+                        for (dst, msg) in batch {
+                            slot.buckets[bucket_of(dst, self.stride)].push((dst, msg));
+                        }
+                        raw
+                    }
+                }
+            }
+        };
+        self.generated.fetch_add(raw, Ordering::Relaxed);
+        self.shipped.fetch_add(shipped, Ordering::Relaxed);
+    }
+
+    /// Messages that will cross the superstep boundary so far (post
+    /// sender-side combining).  Lock-free: reads one relaxed counter.
+    pub fn total(&self) -> u64 {
+        self.shipped.load(Ordering::Relaxed)
+    }
+
+    /// Messages produced by `compute` so far (pre sender-side combining).
+    /// Equals [`total`](Self::total) unless bucketed combining folded
+    /// some away.
+    pub fn total_generated(&self) -> u64 {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    /// Drain into transport-shaped batches for inbox construction.
+    pub fn collect(self) -> CollectedBatches<M> {
+        match self.transport {
+            Transport::PerThreadOutbox | Transport::SingleQueue => {
+                CollectedBatches::Flat(self.slots.into_iter().map(|s| s.into_inner()).collect())
+            }
+            Transport::Bucketed => CollectedBatches::Bucketed {
+                stride: self.stride,
+                per_worker: self
+                    .bucketed
+                    .into_iter()
+                    .map(|s| s.into_inner().buckets)
+                    .collect(),
+            },
         }
     }
 
-    /// Total messages collected so far.
-    pub fn total(&self) -> u64 {
-        self.slots.iter().map(|s| s.lock().len() as u64).sum()
-    }
-
-    /// Drain into per-slot batches for inbox construction.
+    /// Drain into flat per-slot batches (bucketed slots are flattened
+    /// per worker).  Kept for tests and callers that do not care about
+    /// the bucket structure.
     pub fn into_batches(self) -> Vec<Vec<(VertexId, M)>> {
-        self.slots.into_iter().map(|s| s.into_inner()).collect()
+        match self.collect() {
+            CollectedBatches::Flat(batches) => batches,
+            CollectedBatches::Bucketed { per_worker, .. } => per_worker
+                .into_iter()
+                .map(|w| w.into_iter().flatten().collect())
+                .collect(),
+        }
     }
 }
 
 /// Charge the model for moving `messages` messages of `msg_words` words
 /// each through this transport and grouping them into an inbox over `n`
-/// vertices.
-///
-/// Both transports pay: the enqueue writes (destination + payload), the
-/// per-destination count atomic, the prefix sum (2 passes over the
-/// vertex range), and the per-word scatter read+write.  The single queue
-/// additionally pays one hotspot fetch-and-add per message; the outbox
-/// design pays only one claim per chunk, which `charge_loop_overhead`
-/// already covers elsewhere.
+/// vertices.  Thin adapter from [`Transport`] onto the model's
+/// [`charge_push_exchange`] — see `xmt_model::exchange` for the cost
+/// formulas.
 pub fn charge_exchange(
     c: &mut PhaseCounts,
     transport: Transport,
@@ -97,29 +270,25 @@ pub fn charge_exchange(
     msg_words: u64,
     n: u64,
 ) {
-    let w = msg_words.max(1);
-    c.writes += messages * (w + 1); // enqueue payload + destination
-    c.atomics += messages; // per-destination count
-    c.reads += messages * (w + 1); // scatter read
-    c.writes += messages * w; // scatter write
-    c.alu_ops += 2 * n; // prefix sum over offsets
-    c.reads += n;
-    c.writes += n;
-    if transport == Transport::SingleQueue {
-        c.hotspot_ops += messages;
-    }
-    c.barriers += 2; // end of compute, end of exchange
+    let kind = match transport {
+        Transport::PerThreadOutbox => ExchangeKind::PerThreadOutbox,
+        Transport::SingleQueue => ExchangeKind::SharedQueue,
+        Transport::Bucketed => ExchangeKind::BucketedAllToAll,
+    };
+    charge_push_exchange(c, kind, messages, msg_words, n);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::MinCombiner;
 
     #[test]
     fn outbox_mode_keeps_slots_separate() {
-        let mc: MessageCollector<u64> = MessageCollector::new(Transport::PerThreadOutbox, 3);
-        mc.deposit(0, vec![(1, 10)]);
-        mc.deposit(2, vec![(2, 20), (3, 30)]);
+        let mc: MessageCollector<u64> =
+            MessageCollector::new(Transport::PerThreadOutbox, 3, 10, false);
+        mc.deposit(0, vec![(1, 10)], None);
+        mc.deposit(2, vec![(2, 20), (3, 30)], None);
         assert_eq!(mc.total(), 3);
         let batches = mc.into_batches();
         assert_eq!(batches.len(), 3);
@@ -130,9 +299,9 @@ mod tests {
 
     #[test]
     fn queue_mode_funnels_everything() {
-        let mc: MessageCollector<u64> = MessageCollector::new(Transport::SingleQueue, 8);
-        mc.deposit(0, vec![(1, 10)]);
-        mc.deposit(5, vec![(2, 20)]);
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::SingleQueue, 8, 10, false);
+        mc.deposit(0, vec![(1, 10)], None);
+        mc.deposit(5, vec![(2, 20)], None);
         let batches = mc.into_batches();
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].len(), 2);
@@ -140,9 +309,76 @@ mod tests {
 
     #[test]
     fn empty_deposits_are_free() {
-        let mc: MessageCollector<u64> = MessageCollector::new(Transport::PerThreadOutbox, 2);
-        mc.deposit(1, vec![]);
+        let mc: MessageCollector<u64> =
+            MessageCollector::new(Transport::PerThreadOutbox, 2, 10, false);
+        mc.deposit(1, vec![], None);
         assert_eq!(mc.total(), 0);
+        assert_eq!(mc.total_generated(), 0);
+    }
+
+    #[test]
+    fn bucketed_mode_partitions_by_destination_range() {
+        // 10 vertices over 2 workers: stride 5, bucket 0 = [0,5), 1 = [5,10).
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::Bucketed, 2, 10, false);
+        mc.deposit(0, vec![(1, 10), (7, 70), (4, 40)], None);
+        mc.deposit(1, vec![(5, 50)], None);
+        assert_eq!(mc.total(), 4);
+        match mc.collect() {
+            CollectedBatches::Bucketed { stride, per_worker } => {
+                assert_eq!(stride, 5);
+                assert_eq!(per_worker.len(), 2);
+                assert_eq!(per_worker[0][0], vec![(1, 10), (4, 40)]);
+                assert_eq!(per_worker[0][1], vec![(7, 70)]);
+                assert!(per_worker[1][0].is_empty());
+                assert_eq!(per_worker[1][1], vec![(5, 50)]);
+            }
+            CollectedBatches::Flat(_) => panic!("bucketed collector must stay bucketed"),
+        }
+    }
+
+    #[test]
+    fn sender_side_combining_folds_within_worker() {
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::Bucketed, 2, 10, true);
+        // Worker 0 sends three messages to vertex 3 (across two chunks)
+        // and one to vertex 8; worker 1 also targets vertex 3 — that
+        // duplicate survives (combining is per sender) for the receiver
+        // to fold.
+        mc.deposit(0, vec![(3, 9), (3, 4), (8, 1)], Some(&MinCombiner));
+        mc.deposit(0, vec![(3, 6)], Some(&MinCombiner));
+        mc.deposit(1, vec![(3, 2)], Some(&MinCombiner));
+        assert_eq!(mc.total_generated(), 5);
+        assert_eq!(mc.total(), 3); // (w0,3)=min(9,4,6)=4, (w0,8)=1, (w1,3)=2
+        match mc.collect() {
+            CollectedBatches::Bucketed { per_worker, .. } => {
+                assert_eq!(per_worker[0][0], vec![(3, 4)]);
+                assert_eq!(per_worker[0][1], vec![(8, 1)]);
+                assert_eq!(per_worker[1][0], vec![(3, 2)]);
+            }
+            CollectedBatches::Flat(_) => panic!("bucketed collector must stay bucketed"),
+        }
+    }
+
+    #[test]
+    fn total_is_lock_free_and_matches_contents() {
+        // `total` must agree with the drained contents for every
+        // transport (it is maintained incrementally, not by locking).
+        for transport in [
+            Transport::PerThreadOutbox,
+            Transport::SingleQueue,
+            Transport::Bucketed,
+        ] {
+            let mc: MessageCollector<u64> = MessageCollector::new(transport, 4, 100, false);
+            for w in 0..4 {
+                mc.deposit(
+                    w,
+                    (0..25).map(|i| ((i * 4 + w as u64) % 100, i)).collect(),
+                    None,
+                );
+            }
+            let claimed = mc.total();
+            let stored: usize = mc.into_batches().iter().map(|b| b.len()).sum();
+            assert_eq!(claimed, stored as u64, "{transport:?}");
+        }
     }
 
     #[test]
@@ -155,6 +391,18 @@ mod tests {
         assert_eq!(b.hotspot_ops, 1000);
         assert_eq!(a.writes, b.writes);
         assert_eq!(a.barriers, 2);
+    }
+
+    #[test]
+    fn bucketed_transport_charges_no_atomics() {
+        let mut outbox = PhaseCounts::default();
+        let mut bucketed = PhaseCounts::default();
+        charge_exchange(&mut outbox, Transport::PerThreadOutbox, 1000, 1, 100);
+        charge_exchange(&mut bucketed, Transport::Bucketed, 1000, 1, 100);
+        assert_eq!(outbox.atomics, 1000);
+        assert_eq!(bucketed.atomics, 0);
+        assert_eq!(bucketed.hotspot_ops, 0);
+        assert_eq!(bucketed.barriers, 2);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`/`BytesMut` plus the little-endian `Buf`/`BufMut`
+//! accessors the graph binary codec uses.  `Bytes` is a Vec with a read
+//! cursor rather than a refcounted slice — the codec only ever consumes
+//! a buffer front to back, so nothing more is needed.
+
+use std::ops::Deref;
+
+/// Read-side buffer trait (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume `n` bytes, returning them as a slice.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Is at least one byte left?
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read a little-endian u32, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian u64, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    /// Read a little-endian i64, advancing the cursor.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+}
+
+/// Write-side buffer trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i64.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Is the unread portion empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        Bytes {
+            data: b.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(self.pos + n <= self.data.len(), "buffer underflow");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Written length so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Nothing written yet?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_fields() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_i64_le(-7);
+        let mut r = Bytes::from(w.data);
+        assert_eq!(r.remaining(), 20);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_i64_le(), -7);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn deref_exposes_unread_suffix() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let _ = b.take_bytes(2);
+        assert_eq!(&*b, &[3, 4]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same macro/API surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, `BenchmarkId`,
+//! `black_box`) but a much simpler engine: each benchmark is timed over
+//! `sample_size` samples after a short warm-up, and the median sample
+//! time (plus derived throughput) is printed to stdout.  No statistics,
+//! plots, or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier printed as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Conversions accepted wherever criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.0
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Prevent the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to get a stable sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor `cargo bench -- <filter>`; ignore criterion's own flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<I, F>(&mut self, id: I, f: F)
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time `f` and print the median sample.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_name();
+        let full = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Warm up and pick an iteration count targeting ~50ms per sample.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  ({:.3} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!(
+                    "  ({:.3} MiB/s)",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{full:<48} {median:>12.3?}/iter{rate}");
+        self
+    }
+
+    /// End the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_function(BenchmarkId::new("sum", 1000), |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        quick(&mut c);
+    }
+}

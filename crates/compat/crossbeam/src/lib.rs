@@ -1,0 +1,186 @@
+//! Offline stand-in for the `crossbeam` crate (channel module only).
+//!
+//! The workspace uses `crossbeam::channel::bounded` for the worker pool's
+//! per-worker job queues.  This is a plain Mutex+Condvar bounded MPMC
+//! queue — not lock-free like the real crate, but the pool sends one job
+//! per broadcast, so the queue is never contended in practice.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+        cap: usize,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned when sending on a channel with no receivers.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when receiving on a channel with no senders left.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create a bounded channel with capacity `cap` (at least 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    fn lock<T>(m: &Mutex<State<T>>) -> std::sync::MutexGuard<'_, State<T>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.0.queue);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.items.len() < self.0.cap {
+                    st.items.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = match self.0.not_full.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0.queue).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.0.queue);
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a value, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.0.queue);
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.0.not_empty.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0.queue).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.0.queue);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_recv_in_order() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_when_senders_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn cross_thread_handoff() {
+            let (tx, rx) = bounded(1);
+            let t = std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100u64 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Generate-only property testing: the `proptest!` macro runs each body
+//! for `cases` deterministic random inputs and `prop_assert*` maps to the
+//! std assert macros.  There is no shrinking — a failure reports the
+//! asserted values directly, which the deterministic seed makes
+//! reproducible.  Covers the surface this workspace uses: integer range
+//! strategies, tuples, `collection::vec`, `any::<bool>()`, `prop_map`,
+//! and `prop_flat_map`.
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Fixed-seed RNG so failures reproduce across runs.
+    pub fn deterministic() -> Self {
+        TestRng(0x5EED_CAFE_F00D_D00D)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return self.next_u64() & (span - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Runner configuration — only the case count matters here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator.  `Value` is the produced type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds on it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for a uniformly random `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vec of values from `elem`, with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic();
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(1usize..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+        }
+        let xs = Strategy::generate(
+            &crate::collection::vec((0u64..5, any::<bool>()), 2..9),
+            &mut rng,
+        );
+        assert!((2..9).contains(&xs.len()));
+        assert!(xs.iter().all(|&(a, _)| a < 5));
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let strat = (1u64..=8)
+            .prop_flat_map(|n| crate::collection::vec(0..n, 0..16).prop_map(move |v| (n, v)));
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..200 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u64..100, flips in crate::collection::vec(any::<bool>(), 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flips.len() < 8, true);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Supplies the trait surface the workspace uses — `Rng` with
+//! `gen_range`/`gen`/`gen_bool`, `SeedableRng`, and
+//! `distributions::{Distribution, Uniform}` — generic over any core RNG
+//! that implements [`RngCore`].  The actual generator (ChaCha8) lives in
+//! the companion `rand_chacha` stand-in.
+//!
+//! `gen_range` uses Lemire-style rejection sampling so results are
+//! unbiased, matching the statistical contract tests rely on (uniform
+//! permutations, Bernoulli probabilities), though the exact value stream
+//! differs from upstream rand 0.8.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: 64 bits at a time.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction for deterministic streams.
+pub trait SeedableRng: Sized {
+    /// Seed type (e.g. `[u8; 32]` for ChaCha).
+    type Seed;
+
+    /// Construct from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed (expanded to full width).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Draw an unbiased u64 in `[0, span)` (span > 0) by rejection.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Reject values in the short final partial block of u64 space.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Types samplable via `rng.gen()`.
+pub trait Standard: Sized {
+    /// Draw one value from the standard distribution for the type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u64, usize, u32);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(uniform_u64_below(rng, span) as i64)
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in gen_range");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(uniform_u64_below(rng, span + 1) as i64)
+    }
+}
+
+/// The user-facing RNG trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (exclusive or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draw from the standard distribution for `T` (`f64` in `[0, 1)`).
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod distributions {
+    //! Subset of `rand::distributions`: `Distribution` + integer `Uniform`.
+
+    use super::{uniform_u64_below, RngCore};
+
+    /// A distribution sampling values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one value using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Unsigned integers usable with [`Uniform`].
+    pub trait SampleUniform: Sized + Copy {
+        /// Widen to u64.
+        fn to_u64(self) -> u64;
+        /// Narrow from u64 (caller guarantees it fits).
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform!(u64, usize, u32);
+
+    /// Uniform integer distribution over a closed range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        span: u64, // (high - low); u64::MAX means the full u64 domain
+    }
+
+    impl<T: SampleUniform + PartialOrd> Uniform<T> {
+        /// Uniform over `[low, high]` inclusive.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive: low > high");
+            Uniform {
+                span: high.to_u64() - low.to_u64(),
+                low,
+            }
+        }
+
+        /// Uniform over `[low, high)` exclusive.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform {
+                span: high.to_u64() - low.to_u64() - 1,
+                low,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            if self.span == u64::MAX {
+                return T::from_u64(rng.next_u64());
+            }
+            T::from_u64(self.low.to_u64() + uniform_u64_below(rng, self.span + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(0..17);
+            assert!(v < 17);
+            let w: i64 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&w));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SplitMix(2);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = SplitMix(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((65_000..75_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_endpoints() {
+        use distributions::{Distribution, Uniform};
+        let mut rng = SplitMix(4);
+        let d = Uniform::<usize>::new_inclusive(0, 3);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[d.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = SplitMix(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10u64) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count = {c}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`] on a genuine
+//! ChaCha8 block function (Bernstein's design, 8 rounds, 64-bit block
+//! counter).  Deterministic for a given seed and statistically strong —
+//! though the word stream is not bit-identical to upstream rand_chacha,
+//! which nothing in this workspace depends on.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha8-based random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize, // next unread word in buf; 16 = empty
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn chacha8_block(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14..16] = nonce = 0
+    let initial = state;
+    for _ in 0..4 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.buf = chacha8_block(&self.key, self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 seed expansion, same approach as rand's default.
+        let mut seed = [0u8; 32];
+        let mut x = state;
+        for chunk in seed.chunks_exact_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn from_seed_uses_all_key_bytes() {
+        let mut s1 = [0u8; 32];
+        let mut s2 = [0u8; 32];
+        s2[31] = 1;
+        let mut a = ChaCha8Rng::from_seed(s1);
+        let mut b = ChaCha8Rng::from_seed(s2);
+        assert_ne!(a.next_u64(), b.next_u64());
+        s1[0] = 9;
+        let mut c = ChaCha8Rng::from_seed(s1);
+        let mut d = ChaCha8Rng::from_seed([0u8; 32]);
+        assert_ne!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let v: u64 = rng.gen_range(0..1000);
+        assert!(v < 1000);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let _ = rng.gen_bool(0.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote` available
+//! offline) and emits `Serialize`/`Deserialize` impls that go through the
+//! stand-in serde's `Content` tree.  Supports exactly what this workspace
+//! uses: non-generic structs with named fields, no `#[serde(...)]`
+//! attributes.  Anything else panics with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `struct Name { field: Type, ... }`, skipping attributes,
+/// visibility, and doc comments at both struct and field level.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and `pub`.
+    let name = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Possible `pub(crate)` — skip the parenthesized scope.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match toks.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => panic!("serde derive: expected struct name, got {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("serde derive stand-in supports only structs, found enum")
+            }
+            Some(other) => panic!("serde derive: unexpected token {other}"),
+            None => panic!("serde derive: ran out of tokens before `struct`"),
+        }
+    };
+
+    // Generics would appear here as `<`; the workspace has none.
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde derive stand-in does not support generic structs")
+        }
+        other => panic!("serde derive: expected braced fields, got {other:?}"),
+    };
+
+    // Fields: attrs* vis? name `:` type(`,` | end). Commas inside the type
+    // only occur at angle-bracket depth > 0 or inside groups (invisible
+    // here), so tracking `<`/`>` depth is enough to find field boundaries.
+    let mut fields = Vec::new();
+    let mut ftoks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let fname = loop {
+            match ftoks.next() {
+                None => return StructDef { name, fields },
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    ftoks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = ftoks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            ftoks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde derive: unexpected field token {other}"),
+            }
+        };
+        match ftoks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{fname}`, got {other:?}"),
+        }
+        // Consume the type up to a depth-0 comma.
+        let mut depth = 0i32;
+        loop {
+            match ftoks.next() {
+                None => {
+                    fields.push(fname);
+                    return StructDef { name, fields };
+                }
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+        fields.push(fname);
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut entries = String::new();
+    for f in &def.fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut inits = String::new();
+    for f in &def.fields {
+        inits.push_str(&format!("{f}: ::serde::get_field(c, \"{f}\")?,"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl failed to parse")
+}

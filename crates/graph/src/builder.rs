@@ -97,10 +97,7 @@ impl CsrBuilder {
 
         // Pass 3: scatter with per-vertex cursors.
         let mut adj = vec![0 as VertexId; total as usize];
-        let mut weights = edges
-            .weights
-            .as_ref()
-            .map(|_| vec![0; total as usize]);
+        let mut weights = edges.weights.as_ref().map(|_| vec![0; total as usize]);
         {
             let mut cursors = offsets.clone();
             let acursors = as_atomic_u64(&mut cursors);
@@ -143,14 +140,7 @@ impl CsrBuilder {
             (offsets, adj)
         };
 
-        Csr::from_parts(
-            n as u64,
-            offsets,
-            adj,
-            weights,
-            !opts.symmetrize,
-            sort,
-        )
+        Csr::from_parts(n as u64, offsets, adj, weights, !opts.symmetrize, sort)
     }
 }
 
@@ -163,7 +153,8 @@ fn sort_adjacency(n: usize, offsets: &[u64], adj: &mut [VertexId], weights: Opti
         let hi = offsets[v + 1] as usize;
         // SAFETY: per-vertex slices are disjoint.
         unsafe {
-            let slice = std::slice::from_raw_parts_mut((adj_base as *mut VertexId).add(lo), hi - lo);
+            let slice =
+                std::slice::from_raw_parts_mut((adj_base as *mut VertexId).add(lo), hi - lo);
             match w_base {
                 None => slice.sort_unstable(),
                 Some(base) => {

@@ -233,14 +233,7 @@ mod tests {
 
     #[test]
     fn weights_are_parallel() {
-        let g = Csr::from_parts(
-            2,
-            vec![0, 2, 2],
-            vec![0, 1],
-            Some(vec![5, 7]),
-            true,
-            true,
-        );
+        let g = Csr::from_parts(2, vec![0, 2, 2], vec![0, 1], Some(vec![5, 7]), true, true);
         assert!(g.is_weighted());
         assert_eq!(g.weights_of(0), &[5, 7]);
         assert_eq!(g.weights_of(1), &[] as &[Weight]);

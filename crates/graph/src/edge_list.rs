@@ -30,11 +30,7 @@ impl EdgeList {
     /// Build from raw pairs, sizing the vertex set to the largest endpoint.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
         let edges: Vec<_> = pairs.into_iter().collect();
-        let n = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
         EdgeList {
             num_vertices: n,
             edges,
@@ -51,14 +47,20 @@ impl EdgeList {
     pub fn push(&mut self, u: VertexId, v: VertexId) {
         debug_assert!(u < self.num_vertices && v < self.num_vertices);
         self.edges.push((u, v));
-        debug_assert!(self.weights.is_none(), "mixing weighted and unweighted edges");
+        debug_assert!(
+            self.weights.is_none(),
+            "mixing weighted and unweighted edges"
+        );
     }
 
     /// Append a weighted edge.
     pub fn push_weighted(&mut self, u: VertexId, v: VertexId, w: Weight) {
         debug_assert!(u < self.num_vertices && v < self.num_vertices);
         if self.weights.is_none() {
-            assert!(self.edges.is_empty(), "mixing weighted and unweighted edges");
+            assert!(
+                self.edges.is_empty(),
+                "mixing weighted and unweighted edges"
+            );
             self.weights = Some(Vec::new());
         }
         self.edges.push((u, v));

@@ -70,7 +70,10 @@ impl RmatParams {
 
 /// Generate the RMAT edge list for `params` with the given seed.
 pub fn rmat_edges(params: &RmatParams, seed: u64) -> EdgeList {
-    assert!(params.scale >= 1 && params.scale <= 40, "scale out of range");
+    assert!(
+        params.scale >= 1 && params.scale <= 40,
+        "scale out of range"
+    );
     let d = params.d();
     assert!(
         params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0,
@@ -193,10 +196,7 @@ mod tests {
         }
         let mean = deg.iter().sum::<u64>() as f64 / deg.len() as f64;
         let max = *deg.iter().max().unwrap() as f64;
-        assert!(
-            max > 10.0 * mean,
-            "expected skew: max {max} vs mean {mean}"
-        );
+        assert!(max > 10.0 * mean, "expected skew: max {max} vs mean {mean}");
     }
 
     #[test]

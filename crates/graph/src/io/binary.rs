@@ -126,7 +126,7 @@ mod tests {
     use super::*;
     use crate::builder::build_undirected;
     use crate::gen::structured::clique;
-    use crate::{CsrBuilder, BuildOptions, EdgeList};
+    use crate::{BuildOptions, CsrBuilder, EdgeList};
 
     #[test]
     fn roundtrip_unweighted() {

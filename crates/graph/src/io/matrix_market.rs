@@ -18,10 +18,11 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> io::Result<EdgeList> {
     let mut lines = reader.lines();
 
     // Header.
-    let header = lines
-        .next()
-        .ok_or_else(|| bad(0, "empty file"))??;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let header = lines.next().ok_or_else(|| bad(0, "empty file"))??;
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
         return Err(bad(0, "expected '%%MatrixMarket matrix coordinate ...'"));
     }
@@ -76,9 +77,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> io::Result<EdgeList> {
         }
         el.edges.push((r - 1, c - 1));
         if weighted {
-            let raw = it
-                .next()
-                .ok_or_else(|| bad(lineno, "missing value"))?;
+            let raw = it.next().ok_or_else(|| bad(lineno, "missing value"))?;
             let w: Weight = raw
                 .parse::<f64>()
                 .map_err(|_| bad(lineno, "invalid value"))? as Weight;
@@ -98,7 +97,11 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> io::Result<EdgeList> {
 /// Write an edge list as `matrix coordinate` (pattern or integer,
 /// general symmetry, 1-based).
 pub fn write_matrix_market<W: Write>(writer: &mut W, el: &EdgeList) -> io::Result<()> {
-    let field = if el.weights.is_some() { "integer" } else { "pattern" };
+    let field = if el.weights.is_some() {
+        "integer"
+    } else {
+        "pattern"
+    };
     writeln!(writer, "%%MatrixMarket matrix coordinate {field} general")?;
     writeln!(writer, "% written by xmt-graph")?;
     writeln!(

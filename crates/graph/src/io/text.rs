@@ -31,9 +31,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<EdgeList> {
         match (w, &mut weights) {
             (None, None) => {}
             (Some(w), weights) => {
-                let w: Weight = w
-                    .parse()
-                    .map_err(|_| bad(lineno, "invalid weight"))?;
+                let w: Weight = w.parse().map_err(|_| bad(lineno, "invalid weight"))?;
                 let ws = weights.get_or_insert_with(Vec::new);
                 if ws.len() != edges.len() {
                     return Err(bad(lineno, "mixed weighted and unweighted lines"));
@@ -64,7 +62,12 @@ fn bad(lineno: usize, msg: &str) -> io::Error {
 
 /// Write an edge list in the text format.
 pub fn write_edge_list<W: Write>(writer: &mut W, el: &EdgeList) -> io::Result<()> {
-    writeln!(writer, "# {} vertices, {} edges", el.num_vertices, el.num_edges())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        el.num_vertices,
+        el.num_edges()
+    )?;
     match &el.weights {
         None => {
             for &(u, v) in &el.edges {

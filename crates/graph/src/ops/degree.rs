@@ -80,7 +80,11 @@ pub fn degree_histogram(g: &Csr) -> Vec<u64> {
     let mut hist = vec![0u64; 65];
     for v in 0..g.num_vertices() {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { 64 - (d - 1).leading_zeros() as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            64 - (d - 1).leading_zeros() as usize
+        };
         hist[bucket] += 1;
     }
     while hist.len() > 1 && *hist.last().unwrap() == 0 {

@@ -1,6 +1,6 @@
 //! Vertex-induced subgraph extraction (a GraphCT workflow utility).
 
-use crate::{Csr, EdgeList, NO_VERTEX, VertexId};
+use crate::{Csr, EdgeList, VertexId, NO_VERTEX};
 
 /// Extract the subgraph induced by `vertices`.
 ///

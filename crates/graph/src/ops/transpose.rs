@@ -58,8 +58,10 @@ pub fn transpose(g: &Csr) -> Csr {
                 let hi = offsets_ref[v + 1] as usize;
                 // SAFETY: per-vertex slices are disjoint.
                 unsafe {
-                    let a =
-                        std::slice::from_raw_parts_mut((adj_base as *mut VertexId).add(lo), hi - lo);
+                    let a = std::slice::from_raw_parts_mut(
+                        (adj_base as *mut VertexId).add(lo),
+                        hi - lo,
+                    );
                     let w = std::slice::from_raw_parts_mut((w_base as *mut i64).add(lo), hi - lo);
                     let mut perm: Vec<usize> = (0..a.len()).collect();
                     perm.sort_unstable_by_key(|&i| a[i]);

@@ -4,7 +4,7 @@
 //! same discipline to every kernel result so that the BSP and
 //! shared-memory implementations can be cross-checked mechanically.
 
-use crate::{Csr, NO_VERTEX, VertexId};
+use crate::{Csr, VertexId, NO_VERTEX};
 
 /// Errors produced by the validators.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,10 +60,16 @@ pub fn validate_bfs(
     }
     let s = source as usize;
     if dist[s] != 0 {
-        return Err(ValidationError::Vertex(source, "source distance != 0".into()));
+        return Err(ValidationError::Vertex(
+            source,
+            "source distance != 0".into(),
+        ));
     }
     if parent[s] != source {
-        return Err(ValidationError::Vertex(source, "source is not its own parent".into()));
+        return Err(ValidationError::Vertex(
+            source,
+            "source is not its own parent".into(),
+        ));
     }
     for v in 0..n {
         let dv = dist[v];
@@ -79,12 +85,18 @@ pub fn validate_bfs(
         }
         if v != s {
             if pv == NO_VERTEX || pv as usize >= n {
-                return Err(ValidationError::Vertex(v as u64, "missing/invalid parent".into()));
+                return Err(ValidationError::Vertex(
+                    v as u64,
+                    "missing/invalid parent".into(),
+                ));
             }
             if dist[pv as usize] + 1 != dv {
                 return Err(ValidationError::Vertex(
                     v as u64,
-                    format!("parent at distance {} but child at {}", dist[pv as usize], dv),
+                    format!(
+                        "parent at distance {} but child at {}",
+                        dist[pv as usize], dv
+                    ),
                 ));
             }
             if !g.has_arc(pv, v as u64) {
@@ -133,7 +145,10 @@ pub fn validate_components(g: &Csr, label: &[VertexId]) -> Result<(), Validation
     for v in 0..n {
         let lv = label[v];
         if lv as usize >= n {
-            return Err(ValidationError::Vertex(v as u64, "label out of range".into()));
+            return Err(ValidationError::Vertex(
+                v as u64,
+                "label out of range".into(),
+            ));
         }
         if lv > v as u64 {
             return Err(ValidationError::Vertex(
@@ -172,7 +187,10 @@ pub fn validate_sssp(g: &Csr, source: VertexId, dist: &[u64]) -> Result<(), Vali
         });
     }
     if dist[source as usize] != 0 {
-        return Err(ValidationError::Vertex(source, "source distance != 0".into()));
+        return Err(ValidationError::Vertex(
+            source,
+            "source distance != 0".into(),
+        ));
     }
     for v in 0..n as u64 {
         let dv = dist[v as usize];
@@ -301,7 +319,9 @@ pub fn reference_triangles(g: &Csr) -> u64 {
 mod tests {
     use super::*;
     use crate::builder::build_undirected;
-    use crate::gen::structured::{bridged_cliques, clique, clique_triangles, disjoint_cliques, path, ring, star};
+    use crate::gen::structured::{
+        bridged_cliques, clique, clique_triangles, disjoint_cliques, path, ring, star,
+    };
 
     #[test]
     fn reference_bfs_validates() {

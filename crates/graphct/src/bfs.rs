@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use xmt_graph::{Csr, NO_VERTEX, VertexId};
+use xmt_graph::{Csr, VertexId, NO_VERTEX};
 use xmt_model::{PhaseCounts, Recorder};
 use xmt_par::atomic::claim;
 use xmt_par::parallel_for;

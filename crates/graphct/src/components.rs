@@ -258,7 +258,10 @@ mod tests {
         assert_eq!(last.observed, 0);
         // Work per iteration is roughly constant (the paper's point about
         // the shared-memory algorithm's execution profile).
-        let reads: Vec<u64> = rec.with_label("iteration").map(|r| r.counts.reads).collect();
+        let reads: Vec<u64> = rec
+            .with_label("iteration")
+            .map(|r| r.counts.reads)
+            .collect();
         let min = *reads.iter().min().unwrap() as f64;
         let max = *reads.iter().max().unwrap() as f64;
         assert!(max / min < 3.0, "per-iteration work should be flat");

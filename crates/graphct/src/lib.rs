@@ -62,8 +62,8 @@ pub use components::{
 pub use kcore::kcore_decomposition;
 pub use pagerank::pagerank;
 pub use sssp::sssp;
-pub use workflow::Workflow;
 pub use triangles::{
     clustering_coefficients, count_triangles, count_triangles_binsearch,
     count_triangles_instrumented,
 };
+pub use workflow::Workflow;

@@ -46,12 +46,11 @@ pub fn clustering_coefficients(g: &Csr) -> (Vec<f64>, u64) {
     (cc, count)
 }
 
-fn run(
-    g: &Csr,
-    rec: &mut Option<&mut Recorder>,
-    per_vertex: bool,
-) -> (u64, Option<Vec<u64>>) {
-    assert!(!g.is_directed(), "triangle counting needs an undirected graph");
+fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Option<Vec<u64>>) {
+    assert!(
+        !g.is_directed(),
+        "triangle counting needs an undirected graph"
+    );
     assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
     let n = g.num_vertices() as usize;
 
@@ -119,7 +118,10 @@ fn run(
 /// [`count_triangles`] via the `intersection` Criterion bench and the
 /// `ablation_intersect` binary.
 pub fn count_triangles_binsearch(g: &Csr, mut rec: Option<&mut Recorder>) -> u64 {
-    assert!(!g.is_directed(), "triangle counting needs an undirected graph");
+    assert!(
+        !g.is_directed(),
+        "triangle counting needs an undirected graph"
+    );
     assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
     let n = g.num_vertices() as usize;
     let total = AtomicU64::new(0);

@@ -239,12 +239,24 @@ mod tests {
     fn chained_workflow_records_every_step() {
         let g = demo_graph();
         let mut w = Workflow::new(&g);
-        w.degrees().components().bfs(0).clustering().kcore().betweenness(None);
+        w.degrees()
+            .components()
+            .bfs(0)
+            .clustering()
+            .kcore()
+            .betweenness(None);
         assert_eq!(w.steps().len(), 6);
         let names: Vec<&str> = w.steps().iter().map(|s| s.kernel).collect();
         assert_eq!(
             names,
-            vec!["degrees", "components", "bfs", "clustering", "kcore", "betweenness"]
+            vec![
+                "degrees",
+                "components",
+                "bfs",
+                "clustering",
+                "kcore",
+                "betweenness"
+            ]
         );
     }
 
@@ -286,9 +298,21 @@ mod tests {
     fn report_mentions_every_kernel() {
         let g = demo_graph();
         let mut w = Workflow::new(&g);
-        w.degrees().components().bfs(1).clustering().kcore().betweenness(Some(4));
+        w.degrees()
+            .components()
+            .bfs(1)
+            .clustering()
+            .kcore()
+            .betweenness(Some(4));
         let r = w.report();
-        for k in ["degrees", "components", "bfs", "clustering", "kcore", "betweenness"] {
+        for k in [
+            "degrees",
+            "components",
+            "bfs",
+            "clustering",
+            "kcore",
+            "betweenness",
+        ] {
             assert!(r.contains(k), "report missing {k}: {r}");
         }
         assert!(r.contains("1 components") || r.contains("components"));

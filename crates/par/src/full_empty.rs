@@ -74,7 +74,8 @@ impl<T> FullEmptyCell<T> {
                 let mut guard = self.waiters.lock();
                 // Re-check under the lock to avoid a lost wakeup.
                 if self.state.load(Ordering::Acquire) != from {
-                    self.cond.wait_for(&mut guard, std::time::Duration::from_millis(1));
+                    self.cond
+                        .wait_for(&mut guard, std::time::Duration::from_millis(1));
                 }
             }
         }

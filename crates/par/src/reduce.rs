@@ -182,7 +182,9 @@ mod tests {
 
     #[test]
     fn min_max_over_permuted_values() {
-        let vals: Vec<u64> = (0..5000).map(|i| ((i * 2654435761u64) % 10_007) + 5).collect();
+        let vals: Vec<u64> = (0..5000)
+            .map(|i| ((i * 2654435761u64) % 10_007) + 5)
+            .collect();
         let lo = *vals.iter().min().unwrap();
         let hi = *vals.iter().max().unwrap();
         assert_eq!(min_u64(0, vals.len(), |i| vals[i]), Some(lo));

@@ -42,7 +42,7 @@ impl ClusterParams {
             nodes: 6,
             cores_per_node: 8,
             core_ops_per_sec: 5.0e8,
-            net_bandwidth: 125.0e6, // gigabit ethernet
+            net_bandwidth: 125.0e6,  // gigabit ethernet
             superstep_latency: 0.25, // Hadoop-era coordination
             msg_overhead_bytes: 16,
         }

@@ -47,12 +47,14 @@
 //! ```
 
 pub mod cluster;
+pub mod exchange;
 pub mod params;
 pub mod phase;
 pub mod record;
 pub mod series;
 
 pub use cluster::{predict_cluster_seconds, ClusterParams};
+pub use exchange::{charge_pull_exchange, charge_pull_gather, charge_push_exchange, ExchangeKind};
 pub use params::ModelParams;
 pub use phase::PhaseCounts;
 pub use record::{PhaseRecord, Recorder};

@@ -80,7 +80,11 @@ mod tests {
         let cfg = MachineConfig::tiny();
         let p = ModelParams::from_calibration(&cfg);
         // tiny(): mem_latency 10 -> chase ≈ 11 cycles/ref.
-        assert!((p.mem_period - 11.0).abs() < 2.0, "mem_period={}", p.mem_period);
+        assert!(
+            (p.mem_period - 11.0).abs() < 2.0,
+            "mem_period={}",
+            p.mem_period
+        );
         assert!(p.hotspot_interval >= 1.0);
         assert!(p.alu_ipc > 0.5);
     }

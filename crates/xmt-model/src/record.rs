@@ -61,7 +61,13 @@ impl Recorder {
 
 /// A no-allocation instrumentation sink. Algorithms take
 /// `Option<&mut Recorder>` so the instrumented and plain paths share code.
-pub fn record_if(rec: &mut Option<&mut Recorder>, label: &str, step: u64, counts: PhaseCounts, observed: u64) {
+pub fn record_if(
+    rec: &mut Option<&mut Recorder>,
+    label: &str,
+    step: u64,
+    counts: PhaseCounts,
+    observed: u64,
+) {
     if let Some(r) = rec.as_deref_mut() {
         r.push(label, step, counts, observed);
     }

@@ -53,7 +53,8 @@ pub fn pointer_chase(cfg: &MachineConfig, len: usize) -> RunStats {
     });
     // Build the list: node i at DATA_BASE + 8i points to node i+1.
     for i in 0..len as u64 {
-        m.memory_mut().poke(DATA_BASE + 8 * i, DATA_BASE + 8 * (i + 1));
+        m.memory_mut()
+            .poke(DATA_BASE + 8 * i, DATA_BASE + 8 * (i + 1));
     }
     let mut remaining = len;
     let mut cursor = DATA_BASE;
@@ -266,8 +267,14 @@ mod tests {
     #[test]
     fn hotspot_time_tracks_total_ops_not_processors() {
         let ops = 40;
-        let c1 = MachineConfig { processors: 2, ..cfg() };
-        let c2 = MachineConfig { processors: 4, ..cfg() };
+        let c1 = MachineConfig {
+            processors: 2,
+            ..cfg()
+        };
+        let c2 = MachineConfig {
+            processors: 4,
+            ..cfg()
+        };
         let s1 = hotspot_fetch_add(&c1, c1.total_streams(), ops, 1);
         let s2 = hotspot_fetch_add(&c2, c2.total_streams(), ops, 1);
         // Twice the processors, twice the streams, twice the total ops to
@@ -291,8 +298,14 @@ mod tests {
 
     #[test]
     fn barrier_completes_and_costs_more_with_more_streams() {
-        let small = MachineConfig { processors: 1, ..cfg() };
-        let big = MachineConfig { processors: 4, ..cfg() };
+        let small = MachineConfig {
+            processors: 1,
+            ..cfg()
+        };
+        let big = MachineConfig {
+            processors: 4,
+            ..cfg()
+        };
         let s_small = barrier_cost(&small);
         let s_big = barrier_cost(&big);
         assert!(!s_small.hit_cycle_limit);
@@ -302,8 +315,14 @@ mod tests {
 
     #[test]
     fn parallel_loop_scales_with_processors() {
-        let c2 = MachineConfig { processors: 2, ..cfg() };
-        let c8 = MachineConfig { processors: 8, ..cfg() };
+        let c2 = MachineConfig {
+            processors: 2,
+            ..cfg()
+        };
+        let c8 = MachineConfig {
+            processors: 8,
+            ..cfg()
+        };
         let items = 4000;
         let s2 = parallel_loop(&c2, items, 2, 2);
         let s8 = parallel_loop(&c8, items, 2, 2);
@@ -314,8 +333,14 @@ mod tests {
 
     #[test]
     fn parallel_loop_with_tiny_trip_count_does_not_scale() {
-        let c2 = MachineConfig { processors: 2, ..cfg() };
-        let c8 = MachineConfig { processors: 8, ..cfg() };
+        let c2 = MachineConfig {
+            processors: 2,
+            ..cfg()
+        };
+        let c8 = MachineConfig {
+            processors: 8,
+            ..cfg()
+        };
         // Fewer items than streams: no parallelism to expose.
         let s2 = parallel_loop(&c2, 8, 2, 2);
         let s8 = parallel_loop(&c8, 8, 2, 2);

@@ -164,8 +164,7 @@ impl Machine {
                         }
                         MemOutcome::TagBlocked => {
                             streams[sid].retry_op = Some(op);
-                            calendar
-                                .push(Reverse((cycle + self.config.fe_retry_interval, sid)));
+                            calendar.push(Reverse((cycle + self.config.fe_retry_interval, sid)));
                         }
                     }
                 } else {
@@ -191,7 +190,16 @@ impl Machine {
                     continue;
                 };
                 live -= 1;
-                self.issue(sid, p, cycle, &mut streams, &mut ready, &mut calendar, &mut stats, &mut live);
+                self.issue(
+                    sid,
+                    p,
+                    cycle,
+                    &mut streams,
+                    &mut ready,
+                    &mut calendar,
+                    &mut stats,
+                    &mut live,
+                );
             }
             cycle += 1;
         }

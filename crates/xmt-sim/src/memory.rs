@@ -90,7 +90,8 @@ impl Memory {
     fn reserve(&mut self, addr: u64, now: u64) -> u64 {
         let free = self.word_free_at.get(&addr).copied().unwrap_or(0);
         let begin = now.max(free);
-        self.word_free_at.insert(addr, begin + self.hotspot_interval);
+        self.word_free_at
+            .insert(addr, begin + self.hotspot_interval);
         begin
     }
 
@@ -250,7 +251,10 @@ mod tests {
         m.poke(16, 42);
         assert!(matches!(
             m.read_fe(16, 0),
-            MemOutcome::Done { value: Some(42), .. }
+            MemOutcome::Done {
+                value: Some(42),
+                ..
+            }
         ));
         assert_eq!(m.tag(16), Tag::Empty);
         // Second readfe blocks.

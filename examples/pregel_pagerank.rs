@@ -35,7 +35,10 @@ fn main() {
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top-5 ranked vertices:");
     for (v, score) in top.iter().take(5) {
-        println!("  vertex {v:>6}: rank {score:.6}, degree {}", g.degree(*v as u64));
+        println!(
+            "  vertex {v:>6}: rank {score:.6}, degree {}",
+            g.degree(*v as u64)
+        );
     }
 
     // ---- A custom program: two-hop neighborhood size --------------------

@@ -73,10 +73,11 @@ fn main() {
 
     // 5. Full/empty bits: a hardware producer/consumer handoff.
     println!("\n5. full/empty bits synchronize without locks");
-    use xmt_bsp_repro::sim::{Machine, Op};
     use xmt_bsp_repro::sim::op::FnTasklet;
+    use xmt_bsp_repro::sim::{Machine, Op};
     let mut m = Machine::new(MachineConfig::tiny());
-    m.memory_mut().set_tag(64, xmt_bsp_repro::sim::memory::Tag::Empty);
+    m.memory_mut()
+        .set_tag(64, xmt_bsp_repro::sim::memory::Tag::Empty);
     // Producer writes 3 values with writeef; consumer drains with readfe.
     let mut pi = 0;
     m.spawn(Box::new(FnTasklet(move |_| {

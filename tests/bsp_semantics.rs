@@ -248,10 +248,7 @@ fn dense_burst_delivers_every_message() {
     let r = run_bsp(&g, &Blast, BspConfig::default(), None);
     // Every vertex hears from its n-1 neighbors.
     assert!(r.states.iter().all(|&s| s == n - 1));
-    assert_eq!(
-        r.superstep_stats[0].messages_sent,
-        n * (n - 1)
-    );
+    assert_eq!(r.superstep_stats[0].messages_sent, n * (n - 1));
 }
 
 /// The star graph exercises the hub-receiver path: one vertex receives

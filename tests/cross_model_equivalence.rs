@@ -4,7 +4,7 @@
 
 use xmt_bsp_repro::bsp::algorithms as bsp_alg;
 use xmt_bsp_repro::bsp::runtime::BspConfig;
-use xmt_bsp_repro::bsp::{ActiveSetStrategy, Transport};
+use xmt_bsp_repro::bsp::{ActiveSetStrategy, Delivery, Transport};
 use xmt_bsp_repro::graph::builder::build_undirected;
 use xmt_bsp_repro::graph::gen::er::gnm;
 use xmt_bsp_repro::graph::gen::rmat::{rmat_edges, RmatParams};
@@ -78,6 +78,28 @@ fn triangle_counts_agree_everywhere() {
     }
 }
 
+/// Every runtime-mode configuration the engine supports.
+fn mode_matrix() -> Vec<BspConfig> {
+    let mut configs = Vec::new();
+    for transport in [
+        Transport::PerThreadOutbox,
+        Transport::SingleQueue,
+        Transport::Bucketed,
+    ] {
+        for delivery in [Delivery::Push, Delivery::Pull, Delivery::Auto] {
+            for active_set in [ActiveSetStrategy::DenseScan, ActiveSetStrategy::Worklist] {
+                configs.push(BspConfig {
+                    transport,
+                    delivery,
+                    active_set,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    configs
+}
+
 #[test]
 fn every_transport_and_strategy_combination_agrees() {
     let g = build_undirected(&rmat_edges(&RmatParams::graph500(9), 7));
@@ -94,6 +116,62 @@ fn every_transport_and_strategy_combination_agrees() {
                 r.states, serial,
                 "transport {transport:?}, strategy {active_set:?}"
             );
+        }
+    }
+}
+
+/// The full exchange-mode matrix: transport × delivery × active-set must
+/// not change any algorithm's answer on random scale-free graphs.
+/// CC and BFS states must be byte-identical (min folds are
+/// order-independent, and pull-mode re-delivery of stale labels or
+/// distances is a no-op); PageRank gets a tight tolerance instead,
+/// because the f64 message-sum fold order is nondeterministic in every
+/// mode (it already differs run-to-run in the seed's per-worker inboxes),
+/// and sender-side combining / pull gathers reorder it further.
+#[test]
+fn exchange_mode_matrix_agrees_on_random_rmat_graphs() {
+    for seed in [7u64, 23, 71] {
+        let g = build_undirected(&rmat_edges(&RmatParams::graph500(8), seed));
+        let n = g.num_vertices();
+        let source = (n / 3).min(n - 1);
+
+        let cc_ref = reference_components(&g);
+        let (bfs_ref, _) = reference_bfs(&g, source);
+        let pr_ref = bsp_alg::pagerank::bsp_pagerank(
+            &g,
+            bsp_alg::pagerank::PagerankProgram::default(),
+            500,
+            None,
+        );
+
+        for config in mode_matrix() {
+            let tag = format!(
+                "seed {seed}, {:?}/{:?}/{:?}",
+                config.transport, config.delivery, config.active_set
+            );
+
+            let cc = bsp_alg::components::bsp_connected_components_with_config(&g, config, None);
+            assert_eq!(cc.states, cc_ref, "CC: {tag}");
+
+            let bfs = bsp_alg::bfs::bsp_bfs_with_config(&g, source, config, None);
+            assert_eq!(bfs.dist(), bfs_ref, "BFS dist: {tag}");
+            validate_bfs(&g, source, &bfs.dist(), &bfs.parent())
+                .unwrap_or_else(|e| panic!("BFS parents: {tag}: {e}"));
+
+            let pr = bsp_alg::pagerank::bsp_pagerank_with_config(
+                &g,
+                bsp_alg::pagerank::PagerankProgram::default(),
+                500,
+                config,
+                None,
+            );
+            assert!(!pr.hit_superstep_limit, "PageRank diverged: {tag}");
+            for (v, (a, b)) in pr_ref.states.iter().zip(&pr.states).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "PageRank vertex {v}: {a} vs {b} ({tag})"
+                );
+            }
         }
     }
 }

@@ -24,7 +24,12 @@ fn pinned_defaults_match_live_calibration() {
         1.0,
         "hotspot_interval",
     );
-    close(live.barrier_base, pinned.barrier_base, 100.0, "barrier_base");
+    close(
+        live.barrier_base,
+        pinned.barrier_base,
+        100.0,
+        "barrier_base",
+    );
     close(
         live.barrier_per_proc,
         pinned.barrier_per_proc,

@@ -182,10 +182,16 @@ fn fig1_profiles_hold() {
     graphct::connected_components_instrumented(&g, &mut ct_rec);
 
     // GraphCT: every iteration reads all edges — flat profile.
-    let ct_reads: Vec<u64> = ct_rec.with_label("iteration").map(|r| r.counts.reads).collect();
+    let ct_reads: Vec<u64> = ct_rec
+        .with_label("iteration")
+        .map(|r| r.counts.reads)
+        .collect();
     let lo = *ct_reads.iter().min().unwrap() as f64;
     let hi = *ct_reads.iter().max().unwrap() as f64;
-    assert!(hi / lo < 3.0, "shared-memory profile not flat: {ct_reads:?}");
+    assert!(
+        hi / lo < 3.0,
+        "shared-memory profile not flat: {ct_reads:?}"
+    );
 
     // BSP: message volume collapses from the first to the last superstep.
     let first = bsp.superstep_stats.first().unwrap().messages_sent;

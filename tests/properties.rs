@@ -5,7 +5,9 @@ use proptest::prelude::*;
 
 use xmt_bsp_repro::bsp::algorithms as bsp_alg;
 use xmt_bsp_repro::graph::builder::{build_directed, build_undirected};
-use xmt_bsp_repro::graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
+use xmt_bsp_repro::graph::io::{
+    read_csr_binary, read_edge_list, write_csr_binary, write_edge_list,
+};
 use xmt_bsp_repro::graph::validate::{
     reference_bfs, reference_components, reference_triangles, validate_bfs, validate_components,
 };
