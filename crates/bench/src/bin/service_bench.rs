@@ -1,0 +1,159 @@
+//! Closed-loop throughput/latency driver for the graph-analytics
+//! service.
+//!
+//! Each client thread runs the classic closed loop — submit a job over
+//! TCP, wait for its result, submit the next — so offered load tracks
+//! service capacity instead of overrunning the admission controller.
+//! For each worker-pool size the driver reports completed jobs/s and
+//! client-observed p50/p99/mean latency (submit to result, including
+//! queueing).
+//!
+//! ```text
+//! service_bench [--scale 10] [--jobs 64] [--clients 8] [--workers 1,4,8]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use xmt_service::client::{field_str, field_u64};
+use xmt_service::{Client, Server, ServiceConfig};
+
+struct Config {
+    scale: u32,
+    jobs: u64,
+    clients: usize,
+    workers_list: Vec<usize>,
+}
+
+fn main() {
+    let mut config = Config {
+        scale: 10,
+        jobs: 64,
+        clients: 8,
+        workers_list: vec![1, 4, 8],
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => config.scale = value("--scale").parse().expect("scale"),
+            "--jobs" => config.jobs = value("--jobs").parse().expect("jobs"),
+            "--clients" => config.clients = value("--clients").parse().expect("clients"),
+            "--workers" => {
+                config.workers_list = value("--workers")
+                    .split(',')
+                    .map(|w| w.parse().expect("workers"))
+                    .collect();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    println!(
+        "# service closed-loop bench: cc on rmat scale {}, {} jobs, {} clients",
+        config.scale, config.jobs, config.clients
+    );
+    println!("| workers | jobs/s | p50 ms | p99 ms | mean ms |");
+    println!("|--------:|-------:|-------:|-------:|--------:|");
+    for &workers in &config.workers_list {
+        let row = run_one(&config, workers);
+        println!(
+            "| {workers} | {:.1} | {:.2} | {:.2} | {:.2} |",
+            row.jobs_per_s, row.p50_ms, row.p99_ms, row.mean_ms
+        );
+    }
+}
+
+struct Row {
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+fn run_one(config: &Config, workers: usize) -> Row {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers,
+            queue_capacity: config.clients * 2 + 8,
+            memory_budget_bytes: 0,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let mut setup = Client::connect(&addr).expect("connect");
+    let r = setup
+        .request_line(&format!(
+            r#"{{"op":"register_graph","name":"g","kind":"rmat","scale":{},"edge_factor":16,"seed":1}}"#,
+            config.scale
+        ))
+        .expect("register");
+    assert_eq!(field_str(&r, "status"), Some("ok"), "{r:?}");
+
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let remaining = Arc::new(AtomicU64::new(config.jobs));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..config.clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let latencies = Arc::clone(&latencies);
+            let remaining = Arc::clone(&remaining);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                loop {
+                    // Claim one job from the shared budget.
+                    if remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    let r = client
+                        .request_line(r#"{"op":"submit","algorithm":"cc","graph":"g"}"#)
+                        .expect("submit");
+                    assert_eq!(field_str(&r, "status"), Some("ok"), "{r:?}");
+                    let id = field_u64(&r, "job_id").expect("job id");
+                    let r = client
+                        .request_line(&format!(
+                            r#"{{"op":"result","job_id":{id},"wait_ms":600000}}"#
+                        ))
+                        .expect("result");
+                    assert_eq!(field_str(&r, "status"), Some("ok"), "{r:?}");
+                    let us = t0.elapsed().as_micros() as u64;
+                    latencies.lock().unwrap().push(us);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let _ = setup.request_line(r#"{"op":"shutdown"}"#);
+    drop(setup);
+    handle.join().expect("server thread");
+
+    let mut lat = Arc::try_unwrap(latencies)
+        .expect("threads joined")
+        .into_inner()
+        .unwrap();
+    lat.sort_unstable();
+    let n = lat.len();
+    assert_eq!(n as u64, config.jobs, "lost jobs");
+    let pct = |q: f64| lat[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+    Row {
+        jobs_per_s: n as f64 / wall,
+        p50_ms: pct(0.50) as f64 / 1000.0,
+        p99_ms: pct(0.99) as f64 / 1000.0,
+        mean_ms: lat.iter().sum::<u64>() as f64 / n as f64 / 1000.0,
+    }
+}

@@ -64,7 +64,7 @@ pub mod transport;
 pub use inbox::Inbox;
 pub use program::{Combiner, Context, VertexProgram};
 pub use runtime::{
-    resume_bsp, run_bsp, run_bsp_slice, ActiveSetStrategy, BspConfig, BspResult, Delivery,
-    ResumePoint, SlicedRun,
+    resume_bsp, run_bsp, run_bsp_slice, run_bsp_slice_with_stop, ActiveSetStrategy, BspConfig,
+    BspResult, Delivery, ResumeError, ResumePoint, SlicedRun, StopHook,
 };
 pub use transport::Transport;

@@ -35,7 +35,7 @@ use xmt_model::{charge_push_exchange, ExchangeKind, PhaseCounts};
 use crate::program::Combiner;
 
 /// How sent messages travel from `compute` to the next superstep's inbox.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Transport {
     /// Each worker appends to its own outbox; outboxes are merged at the
     /// superstep boundary. No shared hot word.

@@ -231,6 +231,21 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+// `Content` round-trips as itself, so protocol code can parse a message
+// into a raw tree, dispatch on one field, and deserialize the rest
+// leniently (schemaless fields, optional keys).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
 macro_rules! impl_serde_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {

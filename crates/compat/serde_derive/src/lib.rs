@@ -3,23 +3,37 @@
 //! Hand-parses the derive input token stream (no `syn`/`quote` available
 //! offline) and emits `Serialize`/`Deserialize` impls that go through the
 //! stand-in serde's `Content` tree.  Supports exactly what this workspace
-//! uses: non-generic structs with named fields, no `#[serde(...)]`
-//! attributes.  Anything else panics with a clear message at compile time.
+//! uses: non-generic structs with named fields and non-generic enums with
+//! unit (fieldless) variants — the latter serialize as the variant name
+//! string, mirroring upstream serde's externally-tagged representation
+//! for unit variants.  No `#[serde(...)]` attributes.  Anything else
+//! panics with a clear message at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Def {
+    Struct(StructDef),
+    Enum(EnumDef),
+}
 
 struct StructDef {
     name: String,
     fields: Vec<String>,
 }
 
-/// Parse `struct Name { field: Type, ... }`, skipping attributes,
-/// visibility, and doc comments at both struct and field level.
-fn parse_struct(input: TokenStream) -> StructDef {
+struct EnumDef {
+    name: String,
+    variants: Vec<String>,
+}
+
+/// Parse `struct Name { field: Type, ... }` or `enum Name { A, B, ... }`,
+/// skipping attributes, visibility, and doc comments at both item and
+/// field/variant level.
+fn parse_item(input: TokenStream) -> Def {
     let mut toks = input.into_iter().peekable();
 
     // Skip outer attributes (`#[...]`, including doc comments) and `pub`.
-    let name = loop {
+    let (is_enum, name) = loop {
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 toks.next(); // the [...] group
@@ -33,14 +47,15 @@ fn parse_struct(input: TokenStream) -> StructDef {
                 }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match toks.next() {
-                Some(TokenTree::Ident(n)) => break n.to_string(),
+                Some(TokenTree::Ident(n)) => break (false, n.to_string()),
                 other => panic!("serde derive: expected struct name, got {other:?}"),
             },
-            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
-                panic!("serde derive stand-in supports only structs, found enum")
-            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => match toks.next() {
+                Some(TokenTree::Ident(n)) => break (true, n.to_string()),
+                other => panic!("serde derive: expected enum name, got {other:?}"),
+            },
             Some(other) => panic!("serde derive: unexpected token {other}"),
-            None => panic!("serde derive: ran out of tokens before `struct`"),
+            None => panic!("serde derive: ran out of tokens before `struct`/`enum`"),
         }
     };
 
@@ -48,14 +63,54 @@ fn parse_struct(input: TokenStream) -> StructDef {
     let body = match toks.next() {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-            panic!("serde derive stand-in does not support generic structs")
+            panic!("serde derive stand-in does not support generic types")
         }
-        other => panic!("serde derive: expected braced fields, got {other:?}"),
+        other => panic!("serde derive: expected braced body, got {other:?}"),
     };
 
-    // Fields: attrs* vis? name `:` type(`,` | end). Commas inside the type
-    // only occur at angle-bracket depth > 0 or inside groups (invisible
-    // here), so tracking `<`/`>` depth is enough to find field boundaries.
+    if is_enum {
+        Def::Enum(parse_enum_body(name, body))
+    } else {
+        Def::Struct(parse_struct_body(name, body))
+    }
+}
+
+/// Enum body: attrs* name (`,` | end), unit variants only.  Data-carrying
+/// variants (parenthesized or braced payloads) and explicit discriminants
+/// are rejected.
+fn parse_enum_body(name: String, body: TokenStream) -> EnumDef {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes / doc comments.
+        let vname = loop {
+            match toks.next() {
+                None => return EnumDef { name, variants },
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde derive: unexpected enum token {other}"),
+            }
+        };
+        match toks.next() {
+            None => {
+                variants.push(vname);
+                return EnumDef { name, variants };
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(vname),
+            Some(other) => panic!(
+                "serde derive stand-in supports only unit enum variants; \
+                 variant `{vname}` is followed by {other}"
+            ),
+        }
+    }
+}
+
+/// Struct body: attrs* vis? name `:` type(`,` | end). Commas inside the
+/// type only occur at angle-bracket depth > 0 or inside groups (invisible
+/// here), so tracking `<`/`>` depth is enough to find field boundaries.
+fn parse_struct_body(name: String, body: TokenStream) -> StructDef {
     let mut fields = Vec::new();
     let mut ftoks = body.into_iter().peekable();
     loop {
@@ -104,41 +159,89 @@ fn parse_struct(input: TokenStream) -> StructDef {
 
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let def = parse_struct(input);
-    let mut entries = String::new();
-    for f in &def.fields {
-        entries.push_str(&format!(
-            "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
-        ));
-    }
-    format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn to_content(&self) -> ::serde::Content {{\n\
-                 ::serde::Content::Map(vec![{entries}])\n\
-             }}\n\
-         }}",
-        name = def.name,
-    )
-    .parse()
-    .expect("serde derive: generated Serialize impl failed to parse")
+    let generated = match parse_item(input) {
+        Def::Struct(def) => {
+            let mut entries = String::new();
+            for f in &def.fields {
+                entries.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                name = def.name,
+            )
+        }
+        Def::Enum(def) => {
+            let mut arms = String::new();
+            for v in &def.variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),",
+                    name = def.name,
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                name = def.name,
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let def = parse_struct(input);
-    let mut inits = String::new();
-    for f in &def.fields {
-        inits.push_str(&format!("{f}: ::serde::get_field(c, \"{f}\")?,"));
-    }
-    format!(
-        "impl ::serde::Deserialize for {name} {{\n\
-             fn from_content(c: &::serde::Content) \
-                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
-                 Ok({name} {{ {inits} }})\n\
-             }}\n\
-         }}",
-        name = def.name,
-    )
-    .parse()
-    .expect("serde derive: generated Deserialize impl failed to parse")
+    let generated = match parse_item(input) {
+        Def::Struct(def) => {
+            let mut inits = String::new();
+            for f in &def.fields {
+                inits.push_str(&format!("{f}: ::serde::get_field(c, \"{f}\")?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                name = def.name,
+            )
+        }
+        Def::Enum(def) => {
+            let mut arms = String::new();
+            for v in &def.variants {
+                arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),", name = def.name));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match c {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError(format!(\n\
+                                 \"expected string for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = def.name,
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
 }

@@ -1,0 +1,79 @@
+//! A line-oriented client for the graph-analytics server.
+//!
+//! ```text
+//! client --addr 127.0.0.1:7177 '{"op":"ping"}' '{"op":"list_graphs"}'
+//! client --addr 127.0.0.1:7177 -          # read request lines from stdin
+//! ```
+//!
+//! Each request prints its JSON response on stdout.  Exits non-zero if
+//! any response has `"status": "error"` (after printing it), so shell
+//! scripts can assert success.
+
+use std::io::BufRead;
+
+use xmt_service::client::field_str;
+use xmt_service::Client;
+
+fn main() {
+    let mut addr = "127.0.0.1:7177".to_string();
+    let mut requests: Vec<String> = Vec::new();
+    let mut from_stdin = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| die("--addr needs a value"));
+            }
+            "--help" | "-h" => {
+                println!("usage: client [--addr HOST:PORT] REQUEST_JSON... | -");
+                return;
+            }
+            "-" => from_stdin = true,
+            _ => requests.push(arg),
+        }
+    }
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => die(&format!("connect {addr}: {e}")),
+    };
+    let mut failed = false;
+    let mut send = |client: &mut Client, line: &str| {
+        if line.trim().is_empty() {
+            return;
+        }
+        match client.request_line(line) {
+            Ok(response) => {
+                let json = serde_json::to_string(&response)
+                    .unwrap_or_else(|_| "<unserializable>".to_string());
+                println!("{json}");
+                if field_str(&response, "status") != Some("ok") {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                failed = true;
+            }
+        }
+    };
+    for line in &requests {
+        send(&mut client, line);
+    }
+    if from_stdin {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(line) => send(&mut client, &line),
+                Err(_) => break,
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("client: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,66 @@
+//! The graph-analytics server.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7177] [--workers 2] [--queue 64] [--budget-mb 0]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound (scripts parse this to learn
+//! an ephemeral port), then serves newline-delimited JSON requests until
+//! a `{"op":"shutdown"}` arrives.
+
+use xmt_service::{Server, ServiceConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7177".to_string();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--workers" => config.workers = parse(&take("--workers"), "--workers"),
+            "--queue" => config.queue_capacity = parse(&take("--queue"), "--queue"),
+            "--budget-mb" => {
+                config.memory_budget_bytes =
+                    parse::<usize>(&take("--budget-mb"), "--budget-mb") << 20;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--budget-mb N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind {addr}: {e}")),
+    };
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "serve: {} workers, queue capacity {}, memory budget {}",
+        config.workers.max(1),
+        config.queue_capacity,
+        if config.memory_budget_bytes == 0 {
+            "unbounded".to_string()
+        } else {
+            format!("{} MiB", config.memory_budget_bytes >> 20)
+        }
+    );
+    server.run();
+    eprintln!("serve: shut down cleanly");
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{name}: bad value `{s}`")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("serve: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,121 @@
+//! A minimal blocking client for the wire protocol: send one JSON line,
+//! read one JSON line back.  Shared by the `client` binary, the bench
+//! driver, and the end-to-end tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use serde::Content;
+
+use crate::error::ServiceError;
+
+/// One connection to a running server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one raw JSON line and return the parsed response tree.
+    pub fn request_line(&mut self, line: &str) -> Result<Content, ServiceError> {
+        writeln!(self.writer, "{}", line.trim_end()).map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io_err)?;
+        if n == 0 {
+            return Err(ServiceError::Internal {
+                message: "server closed the connection".to_string(),
+            });
+        }
+        serde_json::from_str(&response).map_err(|e| ServiceError::Internal {
+            message: format!("unparseable response: {e}"),
+        })
+    }
+
+    /// Send a request tree; `Err` carries the server's typed error when
+    /// the response has `"status": "error"`.
+    pub fn request(&mut self, tree: &Content) -> Result<Content, ServiceError> {
+        let line = serde_json::to_string(tree).map_err(|e| ServiceError::Internal {
+            message: format!("unserializable request: {e}"),
+        })?;
+        let response = self.request_line(&line)?;
+        match field_str(&response, "status") {
+            Some("ok") => Ok(response),
+            Some("error") => Err(decode_error(&response)),
+            _ => Err(ServiceError::Internal {
+                message: "response missing status".to_string(),
+            }),
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> ServiceError {
+    ServiceError::Internal {
+        message: format!("io error: {e}"),
+    }
+}
+
+/// Fetch a string field out of a response tree.
+pub fn field_str<'a>(tree: &'a Content, name: &str) -> Option<&'a str> {
+    match tree {
+        Content::Map(entries) => entries.iter().find_map(|(k, v)| match v {
+            Content::Str(s) if k == name => Some(s.as_str()),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+/// Fetch an unsigned integer field out of a response tree.
+pub fn field_u64(tree: &Content, name: &str) -> Option<u64> {
+    match tree {
+        Content::Map(entries) => entries.iter().find_map(|(k, v)| match v {
+            Content::U64(n) if k == name => Some(*n),
+            Content::I64(n) if k == name && *n >= 0 => Some(*n as u64),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+/// Fetch a sub-tree field out of a response tree.
+pub fn field<'a>(tree: &'a Content, name: &str) -> Option<&'a Content> {
+    match tree {
+        Content::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn decode_error(response: &Content) -> ServiceError {
+    let message = field_str(response, "message").unwrap_or("unknown error");
+    match field_str(response, "code") {
+        Some("queue_full") => ServiceError::QueueFull { capacity: 0 },
+        Some("graph_not_found") => ServiceError::GraphNotFound {
+            name: message.to_string(),
+        },
+        Some("job_not_found") => ServiceError::JobNotFound { id: 0 },
+        Some("no_checkpoint") => ServiceError::NoCheckpoint { id: 0 },
+        Some("wrong_state") => ServiceError::WrongState {
+            id: 0,
+            state: message.to_string(),
+        },
+        Some("bad_request") => ServiceError::BadRequest {
+            message: message.to_string(),
+        },
+        Some("shutting_down") => ServiceError::ShuttingDown,
+        _ => ServiceError::Internal {
+            message: message.to_string(),
+        },
+    }
+}

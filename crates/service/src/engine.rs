@@ -1,0 +1,183 @@
+//! Job execution: one spec in, one verdict out.
+//!
+//! The BSP engine threads the scheduler's stop hook into
+//! [`run_bsp_slice_with_stop`], so cancellation and deadlines cut the
+//! run at a superstep boundary and hand back a [`StoredCheckpoint`]
+//! instead of losing the work.  The GraphCT engine serves the same three
+//! kernels from the shared-memory baseline — faster per job, but
+//! uninterruptible once started (no superstep boundaries to cut at).
+
+use std::sync::Arc;
+
+use xmt_bsp::algorithms::bfs::BfsProgram;
+use xmt_bsp::algorithms::components::CcProgram;
+use xmt_bsp::algorithms::pagerank::PagerankProgram;
+use xmt_bsp::program::VertexProgram;
+use xmt_bsp::runtime::Snapshot;
+use xmt_bsp::{run_bsp_slice_with_stop, SlicedRun, StopHook};
+use xmt_graph::Csr;
+
+use crate::error::ServiceError;
+use crate::job::{Algorithm, Engine, JobOutput, JobSpec, StoredCheckpoint};
+
+/// How a job run ended.
+#[derive(Clone, Debug)]
+pub enum ExecVerdict {
+    /// Ran to quiescence.
+    Completed {
+        /// The algorithm's output.
+        output: JobOutput,
+        /// Supersteps executed (0 for the GraphCT engine).
+        supersteps: u64,
+    },
+    /// Interrupted (stop hook or superstep limit); resumable.
+    Interrupted {
+        /// Partial states + runtime checkpoint.
+        checkpoint: StoredCheckpoint,
+        /// Supersteps executed before the cut.
+        supersteps: u64,
+    },
+}
+
+/// Run `spec` on `graph`, optionally continuing `from` a checkpoint,
+/// polling `stop` at superstep boundaries.
+pub fn execute(
+    spec: &JobSpec,
+    graph: &Arc<Csr>,
+    from: Option<StoredCheckpoint>,
+    stop: StopHook<'_>,
+) -> Result<ExecVerdict, ServiceError> {
+    match spec.engine {
+        Engine::Bsp => execute_bsp(spec, graph, from, stop),
+        Engine::GraphCt => execute_graphct(spec, graph, from),
+    }
+}
+
+fn execute_bsp(
+    spec: &JobSpec,
+    graph: &Arc<Csr>,
+    from: Option<StoredCheckpoint>,
+    stop: StopHook<'_>,
+) -> Result<ExecVerdict, ServiceError> {
+    match spec.algorithm {
+        Algorithm::Cc => {
+            let from = match from {
+                None => None,
+                Some(StoredCheckpoint::Cc(states, resume)) => Some((states, resume)),
+                Some(other) => return Err(checkpoint_mismatch(spec.algorithm, &other)),
+            };
+            let run = run_sliced(graph, &CcProgram, spec, from, stop)?;
+            Ok(verdict(run, JobOutput::Labels, StoredCheckpoint::Cc))
+        }
+        Algorithm::Bfs => {
+            let from = match from {
+                None => None,
+                Some(StoredCheckpoint::Bfs(states, resume)) => Some((states, resume)),
+                Some(other) => return Err(checkpoint_mismatch(spec.algorithm, &other)),
+            };
+            let program = BfsProgram {
+                source: spec.source,
+            };
+            let run = run_sliced(graph, &program, spec, from, stop)?;
+            Ok(verdict(
+                run,
+                |states| JobOutput::Bfs {
+                    dist: states.iter().map(|s| s.dist).collect(),
+                    parent: states.iter().map(|s| s.parent).collect(),
+                },
+                StoredCheckpoint::Bfs,
+            ))
+        }
+        Algorithm::Pagerank => {
+            let from = match from {
+                None => None,
+                Some(StoredCheckpoint::Pagerank(states, resume)) => Some((states, resume)),
+                Some(other) => return Err(checkpoint_mismatch(spec.algorithm, &other)),
+            };
+            let program = PagerankProgram {
+                damping: spec.damping,
+                tolerance: spec.tolerance,
+            };
+            let run = run_sliced(graph, &program, spec, from, stop)?;
+            Ok(verdict(run, JobOutput::Ranks, StoredCheckpoint::Pagerank))
+        }
+    }
+}
+
+fn run_sliced<P: VertexProgram>(
+    graph: &Csr,
+    program: &P,
+    spec: &JobSpec,
+    from: Option<Snapshot<P>>,
+    stop: StopHook<'_>,
+) -> Result<SlicedRun<P::State, P::Message>, ServiceError> {
+    run_bsp_slice_with_stop(graph, program, spec.config, None, from, Some(stop)).map_err(|e| {
+        ServiceError::Internal {
+            message: e.to_string(),
+        }
+    })
+}
+
+fn verdict<S, M>(
+    run: SlicedRun<S, M>,
+    output: impl FnOnce(Vec<S>) -> JobOutput,
+    checkpoint: impl FnOnce(Vec<S>, xmt_bsp::ResumePoint<M>) -> StoredCheckpoint,
+) -> ExecVerdict {
+    let supersteps = run.result.supersteps;
+    match run.resume {
+        None => ExecVerdict::Completed {
+            output: output(run.result.states),
+            supersteps,
+        },
+        Some(resume) => ExecVerdict::Interrupted {
+            checkpoint: checkpoint(run.result.states, resume),
+            supersteps,
+        },
+    }
+}
+
+fn checkpoint_mismatch(expected: Algorithm, found: &StoredCheckpoint) -> ServiceError {
+    ServiceError::Internal {
+        message: format!(
+            "checkpoint algorithm mismatch: job is {}, checkpoint is {}",
+            expected.name(),
+            found.algorithm().name()
+        ),
+    }
+}
+
+fn execute_graphct(
+    spec: &JobSpec,
+    graph: &Arc<Csr>,
+    from: Option<StoredCheckpoint>,
+) -> Result<ExecVerdict, ServiceError> {
+    if from.is_some() {
+        return Err(ServiceError::Internal {
+            message: "the graphct engine has no superstep boundaries and cannot resume \
+                      a checkpoint; resubmit on the bsp engine"
+                .to_string(),
+        });
+    }
+    let output = match spec.algorithm {
+        Algorithm::Cc => JobOutput::Labels(graphct::connected_components(graph)),
+        Algorithm::Bfs => {
+            let r = graphct::bfs(graph, spec.source);
+            JobOutput::Bfs {
+                dist: r.dist,
+                parent: r.parent,
+            }
+        }
+        Algorithm::Pagerank => JobOutput::Ranks(graphct::pagerank(
+            graph,
+            graphct::pagerank::PagerankOptions {
+                damping: spec.damping,
+                tolerance: spec.tolerance,
+                max_iterations: spec.config.max_supersteps as usize,
+            },
+        )),
+    };
+    Ok(ExecVerdict::Completed {
+        output,
+        supersteps: 0,
+    })
+}

@@ -1,0 +1,90 @@
+//! Typed service errors, stable across the wire.
+//!
+//! Every error a request can provoke has a machine-readable code (what
+//! clients branch on — e.g. back off on `queue_full`) and a human
+//! message.  Admission-control rejections are errors *by design*: a full
+//! queue answers immediately instead of accepting unbounded work.
+
+use std::fmt;
+
+/// Everything that can go wrong between a request arriving and a job
+/// reaching a worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Admission control: the job queue is at capacity.  The client
+    /// should back off and retry; nothing was enqueued.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The named graph is not in the registry.
+    GraphNotFound { name: String },
+    /// The graph alone exceeds the registry's memory budget; no amount
+    /// of eviction can make it fit.
+    GraphTooLarge {
+        name: String,
+        bytes: usize,
+        budget: usize,
+    },
+    /// No job with this id (never existed, or evicted).
+    JobNotFound { id: u64 },
+    /// A resume request for a job that holds no checkpoint (it
+    /// completed, failed, or was cut before the first superstep).
+    NoCheckpoint { id: u64 },
+    /// The job exists but is not in a state the operation applies to.
+    WrongState { id: u64, state: String },
+    /// The request is malformed (unknown op/algorithm, missing field,
+    /// out-of-range parameter...).
+    BadRequest { message: String },
+    /// The scheduler is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The job ran but the engine failed (bad checkpoint shape, panic in
+    /// a vertex program...).
+    Internal { message: String },
+}
+
+impl ServiceError {
+    /// The stable machine-readable code clients dispatch on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::QueueFull { .. } => "queue_full",
+            ServiceError::GraphNotFound { .. } => "graph_not_found",
+            ServiceError::GraphTooLarge { .. } => "graph_too_large",
+            ServiceError::JobNotFound { .. } => "job_not_found",
+            ServiceError::NoCheckpoint { .. } => "no_checkpoint",
+            ServiceError::WrongState { .. } => "wrong_state",
+            ServiceError::BadRequest { .. } => "bad_request",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job queue full ({capacity} jobs); retry later")
+            }
+            ServiceError::GraphNotFound { name } => write!(f, "graph `{name}` not registered"),
+            ServiceError::GraphTooLarge {
+                name,
+                bytes,
+                budget,
+            } => write!(
+                f,
+                "graph `{name}` needs {bytes} bytes but the registry budget is {budget}"
+            ),
+            ServiceError::JobNotFound { id } => write!(f, "no job {id}"),
+            ServiceError::NoCheckpoint { id } => write!(f, "job {id} holds no checkpoint"),
+            ServiceError::WrongState { id, state } => {
+                write!(f, "job {id} is {state}; operation does not apply")
+            }
+            ServiceError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,186 @@
+//! The job model: what a client submits, what the scheduler tracks, and
+//! what an interrupted run leaves behind.
+
+use xmt_bsp::algorithms::bfs::BfsState;
+use xmt_bsp::{BspConfig, ResumePoint};
+use xmt_graph::VertexId;
+
+/// Monotonically increasing job identifier.
+pub type JobId = u64;
+
+/// Which kernel a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Connected components (paper Alg. 1; min-label flood).
+    Cc,
+    /// Breadth-first search (paper Alg. 2).
+    Bfs,
+    /// PageRank (the Pregel staple).
+    Pagerank,
+}
+
+impl Algorithm {
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s {
+            "cc" | "components" => Some(Algorithm::Cc),
+            "bfs" => Some(Algorithm::Bfs),
+            "pagerank" | "pr" => Some(Algorithm::Pagerank),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Cc => "cc",
+            Algorithm::Bfs => "bfs",
+            Algorithm::Pagerank => "pagerank",
+        }
+    }
+}
+
+/// Which implementation serves the job: the BSP runtime (checkpointable,
+/// cancellable at superstep boundaries) or the shared-memory GraphCT
+/// kernels (faster, but run to completion once started).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The vertex-centric BSP runtime.
+    Bsp,
+    /// The shared-memory GraphCT-style kernels.
+    GraphCt,
+}
+
+impl Engine {
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "bsp" => Some(Engine::Bsp),
+            "graphct" | "shared" => Some(Engine::GraphCt),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Bsp => "bsp",
+            Engine::GraphCt => "graphct",
+        }
+    }
+}
+
+/// A validated, ready-to-run job description (the protocol layer turns a
+/// wire `JobRequest` into one of these).
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Kernel to run.
+    pub algorithm: Algorithm,
+    /// Implementation to run it on.
+    pub engine: Engine,
+    /// Registry name of the target graph.
+    pub graph: String,
+    /// BFS/SSSP source vertex.
+    pub source: VertexId,
+    /// PageRank damping factor.
+    pub damping: f64,
+    /// PageRank convergence tolerance.
+    pub tolerance: f64,
+    /// Full BSP runtime configuration (carried over the wire).
+    pub config: BspConfig,
+    /// Scheduling priority: higher runs first; FIFO within a level.
+    pub priority: u8,
+    /// Wall-clock budget from submission; on expiry the run is cut at
+    /// the next superstep boundary and checkpointed.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Job lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// On a worker.
+    Running,
+    /// Finished; the result is available.
+    Completed,
+    /// The engine errored (bad checkpoint, panic...).
+    Failed,
+    /// Cancelled by request; a checkpoint is stored if it was mid-run.
+    Cancelled,
+    /// The deadline expired; a checkpoint is stored if it was mid-run.
+    TimedOut,
+    /// `max_supersteps` cut the run; the checkpoint is stored.
+    Interrupted,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Whether the job will make no further progress on its own.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// A completed job's output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutput {
+    /// Per-vertex component labels (`cc`).
+    Labels(Vec<VertexId>),
+    /// Distances and BFS-tree parents (`bfs`).
+    Bfs {
+        /// Hop counts (`u64::MAX` = unreachable).
+        dist: Vec<u64>,
+        /// Tree parents (`NO_VERTEX` = unreachable).
+        parent: Vec<VertexId>,
+    },
+    /// Per-vertex ranks (`pagerank`).
+    Ranks(Vec<f64>),
+}
+
+/// The typed per-algorithm checkpoint an interrupted BSP job leaves
+/// behind: the partial vertex states plus the runtime's [`ResumePoint`].
+/// A follow-up `resume` request turns it back into a job that continues
+/// the computation exactly.
+#[derive(Clone, Debug)]
+pub enum StoredCheckpoint {
+    /// Interrupted connected components.
+    Cc(Vec<VertexId>, ResumePoint<VertexId>),
+    /// Interrupted BFS (message = (distance, sender)).
+    Bfs(Vec<BfsState>, ResumePoint<(u64, VertexId)>),
+    /// Interrupted PageRank.
+    Pagerank(Vec<f64>, ResumePoint<f64>),
+}
+
+impl StoredCheckpoint {
+    /// The algorithm this checkpoint belongs to (a resume job must
+    /// match).
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            StoredCheckpoint::Cc(..) => Algorithm::Cc,
+            StoredCheckpoint::Bfs(..) => Algorithm::Bfs,
+            StoredCheckpoint::Pagerank(..) => Algorithm::Pagerank,
+        }
+    }
+
+    /// The superstep the resumed run would execute next.
+    pub fn superstep(&self) -> u64 {
+        match self {
+            StoredCheckpoint::Cc(_, r) => r.superstep,
+            StoredCheckpoint::Bfs(_, r) => r.superstep,
+            StoredCheckpoint::Pagerank(_, r) => r.superstep,
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! A long-running graph-analytics service over the BSP runtime.
+//!
+//! The distributed-graph-processing literature the paper draws on
+//! (Pregel and its successors) treats graph analytics as a *service*:
+//! load a graph once, then answer many queries against it.  This crate
+//! is that deployment shape for this repo's engines — a graph
+//! **registry** (named [`Csr`](xmt_graph::Csr) entries under a memory
+//! budget with LRU eviction), a **bounded job scheduler** (fixed worker
+//! pool, priority/FIFO queue, admission control, deadlines, cooperative
+//! cancellation that reuses the BSP checkpoint machinery), and a
+//! newline-delimited JSON **wire protocol** served over plain TCP with
+//! no external dependencies.
+//!
+//! Interrupted work is never lost: cancelling or timing out a BSP job
+//! cuts it at a superstep boundary into a [`StoredCheckpoint`], and a
+//! `resume` request continues it exactly where it stopped.
+//!
+//! Layering:
+//!
+//! ```text
+//! bin/serve, bin/client
+//!        │
+//!   server (TCP framing)  ←  protocol (wire ⇄ Request/Content)
+//!        │
+//!    Service  =  GraphRegistry + Scheduler
+//!                                  │
+//!                               engine  →  run_bsp_slice_with_stop / graphct
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use engine::{execute, ExecVerdict};
+pub use error::ServiceError;
+pub use job::{Algorithm, Engine, JobId, JobOutput, JobSpec, JobState, StoredCheckpoint};
+pub use protocol::{parse_request, GraphSpec, Request};
+pub use registry::{GraphEntryInfo, GraphRegistry};
+pub use scheduler::{JobSnapshot, Scheduler, SchedulerConfig, SchedulerStats};
+pub use server::{Server, Service, ServiceConfig};
+pub use stats::{LatencyBook, LatencyHistogram, LatencySummary};

@@ -1,0 +1,479 @@
+//! The wire protocol: newline-delimited JSON, one request per line, one
+//! response per line.
+//!
+//! Requests are parsed *leniently*: a raw [`Content`] tree is dispatched
+//! on its `op` field and every other field is optional with a sane
+//! default (the compat serde derive is strict, so request parsing is by
+//! hand; responses are built as `Content` trees directly).  Every
+//! response carries `"status": "ok"` or `"status": "error"` with a
+//! stable machine-readable `code` from [`ServiceError::code`].
+//!
+//! ```text
+//! → {"op":"register_graph","name":"r10","kind":"rmat","scale":10}
+//! ← {"status":"ok","graph":{"name":"r10","vertices":1024,...}}
+//! → {"op":"submit","algorithm":"cc","graph":"r10"}
+//! ← {"status":"ok","job_id":1}
+//! → {"op":"result","job_id":1,"wait_ms":5000}
+//! ← {"status":"ok","job_id":1,"supersteps":7,"result":{"labels":[...]}}
+//! ```
+
+use serde::{Content, Deserialize};
+
+use xmt_bsp::BspConfig;
+use xmt_graph::builder::build_undirected;
+use xmt_graph::gen::rmat::{rmat_edges, RmatParams};
+use xmt_graph::gen::{er, structured};
+use xmt_graph::Csr;
+
+use crate::error::ServiceError;
+use crate::job::{Algorithm, Engine, JobId, JobOutput, JobSpec};
+use crate::registry::GraphEntryInfo;
+use crate::scheduler::{JobSnapshot, SchedulerStats};
+
+/// A parsed, validated client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Build a graph server-side and register it.
+    RegisterGraph {
+        /// Registry name.
+        name: String,
+        /// Generator description.
+        spec: GraphSpec,
+    },
+    /// Drop a graph from the registry.
+    UnregisterGraph {
+        /// Registry name.
+        name: String,
+    },
+    /// List registered graphs.
+    ListGraphs,
+    /// Submit a job.
+    Submit {
+        /// Validated job description.
+        spec: JobSpec,
+    },
+    /// Resubmit an interrupted job from its stored checkpoint.
+    Resume {
+        /// The interrupted job.
+        job_id: JobId,
+        /// Fresh deadline for the continuation (`None` = none).
+        deadline_ms: Option<u64>,
+    },
+    /// A job's lifecycle snapshot.
+    Status {
+        /// Target job.
+        job_id: JobId,
+    },
+    /// A completed job's output, optionally waiting for it to finish.
+    Result {
+        /// Target job.
+        job_id: JobId,
+        /// Poll up to this long for the job to reach a terminal state.
+        wait_ms: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Target job.
+        job_id: JobId,
+    },
+    /// Snapshots of all jobs.
+    ListJobs,
+    /// Scheduler/registry counters and latency histograms.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+/// A server-side graph build recipe (`register_graph`).
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// Generator: `rmat`, `path`, `ring`, `star`, `grid`, or `gnm`.
+    pub kind: String,
+    /// RMAT scale (log2 vertices).
+    pub scale: u32,
+    /// RMAT edges per vertex.
+    pub edge_factor: u64,
+    /// Vertex count for `path`/`ring`/`star`/`gnm`; rows for `grid`.
+    pub n: u64,
+    /// Edge count for `gnm`; columns for `grid`.
+    pub m: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Build the CSR a [`GraphSpec`] describes.
+pub fn build_graph(spec: &GraphSpec) -> Result<Csr, ServiceError> {
+    let edges = match spec.kind.as_str() {
+        "rmat" => {
+            if spec.scale == 0 || spec.scale > 24 {
+                return Err(bad("rmat scale must be in 1..=24"));
+            }
+            let params = RmatParams {
+                edge_factor: spec.edge_factor.clamp(1, 64),
+                ..RmatParams::graph500(spec.scale)
+            };
+            rmat_edges(&params, spec.seed)
+        }
+        "path" => structured::path(spec.n),
+        "ring" => structured::ring(spec.n),
+        "star" => structured::star(spec.n),
+        "grid" => structured::grid(spec.n, spec.m.max(1)),
+        "gnm" => er::gnm(spec.n, spec.m, spec.seed),
+        other => return Err(bad(&format!("unknown graph kind `{other}`"))),
+    };
+    Ok(build_undirected(&edges))
+}
+
+fn bad(message: &str) -> ServiceError {
+    ServiceError::BadRequest {
+        message: message.to_string(),
+    }
+}
+
+/// Look up an optional field; missing or `null` is `None`, a present
+/// field of the wrong shape is a `bad_request`.
+fn opt<T: Deserialize>(c: &Content, name: &str) -> Result<Option<T>, ServiceError> {
+    match c {
+        Content::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+            None => Ok(None),
+            Some((_, Content::Null)) => Ok(None),
+            Some((_, v)) => T::from_content(v)
+                .map(Some)
+                .map_err(|e| bad(&format!("field `{name}`: {e}"))),
+        },
+        _ => Err(bad("request must be a JSON object")),
+    }
+}
+
+fn req<T: Deserialize>(c: &Content, name: &str) -> Result<T, ServiceError> {
+    opt(c, name)?.ok_or_else(|| bad(&format!("missing field `{name}`")))
+}
+
+/// Parse one request line (already JSON-decoded into a tree).
+pub fn parse_request(c: &Content) -> Result<Request, ServiceError> {
+    let op: String = req(c, "op")?;
+    match op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "register_graph" => Ok(Request::RegisterGraph {
+            name: req(c, "name")?,
+            spec: GraphSpec {
+                kind: opt(c, "kind")?.unwrap_or_else(|| "rmat".to_string()),
+                scale: opt(c, "scale")?.unwrap_or(10),
+                edge_factor: opt(c, "edge_factor")?.unwrap_or(16),
+                n: opt(c, "n")?.unwrap_or(1024),
+                m: opt(c, "m")?.unwrap_or(4096),
+                seed: opt(c, "seed")?.unwrap_or(1),
+            },
+        }),
+        "unregister_graph" => Ok(Request::UnregisterGraph {
+            name: req(c, "name")?,
+        }),
+        "list_graphs" => Ok(Request::ListGraphs),
+        "submit" => Ok(Request::Submit {
+            spec: parse_job_spec(c)?,
+        }),
+        "resume" => Ok(Request::Resume {
+            job_id: req(c, "job_id")?,
+            deadline_ms: opt(c, "deadline_ms")?,
+        }),
+        "status" => Ok(Request::Status {
+            job_id: req(c, "job_id")?,
+        }),
+        "result" => Ok(Request::Result {
+            job_id: req(c, "job_id")?,
+            wait_ms: opt(c, "wait_ms")?.unwrap_or(0),
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job_id: req(c, "job_id")?,
+        }),
+        "list_jobs" => Ok(Request::ListJobs),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(bad(&format!("unknown op `{other}`"))),
+    }
+}
+
+fn parse_job_spec(c: &Content) -> Result<JobSpec, ServiceError> {
+    let algorithm: String = req(c, "algorithm")?;
+    let algorithm = Algorithm::parse(&algorithm)
+        .ok_or_else(|| bad(&format!("unknown algorithm `{algorithm}`")))?;
+    let engine: Option<String> = opt(c, "engine")?;
+    let engine = match engine {
+        None => Engine::Bsp,
+        Some(name) => {
+            Engine::parse(&name).ok_or_else(|| bad(&format!("unknown engine `{name}`")))?
+        }
+    };
+    // `config` takes a full serialized BspConfig (strict, all fields);
+    // `max_supersteps` alone is the common-case shortcut.
+    let mut config: BspConfig = opt(c, "config")?.unwrap_or_default();
+    if let Some(max) = opt::<u64>(c, "max_supersteps")? {
+        config.max_supersteps = max;
+    }
+    Ok(JobSpec {
+        algorithm,
+        engine,
+        graph: req(c, "graph")?,
+        source: opt(c, "source")?.unwrap_or(0),
+        damping: opt(c, "damping")?.unwrap_or(0.85),
+        tolerance: opt(c, "tolerance")?.unwrap_or(1e-7),
+        config,
+        priority: opt(c, "priority")?.unwrap_or(0),
+        deadline_ms: opt(c, "deadline_ms")?,
+    })
+}
+
+/// Tiny ordered-map builder for response trees.
+pub struct Obj(Vec<(String, Content)>);
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj(Vec::new())
+    }
+
+    /// Append a field.
+    pub fn put(mut self, key: &str, value: Content) -> Self {
+        self.0.push((key.to_string(), value));
+        self
+    }
+
+    /// Finish into a [`Content::Map`].
+    pub fn done(self) -> Content {
+        Content::Map(self.0)
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// `{"status":"ok"}`, ready for more fields.
+pub fn ok() -> Obj {
+    Obj::new().put("status", str("ok"))
+}
+
+/// An error response tree for `err`.
+pub fn error_response(err: &ServiceError) -> Content {
+    Obj::new()
+        .put("status", str("error"))
+        .put("code", str(err.code()))
+        .put("message", str(&err.to_string()))
+        .done()
+}
+
+/// `Content::Str` shorthand.
+pub fn str(s: &str) -> Content {
+    Content::Str(s.to_string())
+}
+
+/// `Content::U64` shorthand.
+pub fn u64v(v: u64) -> Content {
+    Content::U64(v)
+}
+
+/// A graph registry row as a response tree.
+pub fn graph_content(info: &GraphEntryInfo) -> Content {
+    Obj::new()
+        .put("name", str(&info.name))
+        .put("vertices", u64v(info.vertices))
+        .put("edges", u64v(info.edges))
+        .put("bytes", u64v(info.bytes))
+        .done()
+}
+
+/// A job snapshot as a response tree.
+pub fn job_content(snap: &JobSnapshot) -> Content {
+    let mut obj = Obj::new()
+        .put("job_id", u64v(snap.id))
+        .put("state", str(snap.state.name()))
+        .put("algorithm", str(snap.algorithm))
+        .put("engine", str(snap.engine))
+        .put("graph", str(&snap.graph))
+        .put("priority", u64v(snap.priority as u64))
+        .put("queued_ms", u64v(snap.queued_ms))
+        .put("running_ms", u64v(snap.running_ms))
+        .put("supersteps", u64v(snap.supersteps))
+        .put("has_checkpoint", Content::Bool(snap.has_checkpoint));
+    if let Some(err) = &snap.error {
+        obj = obj.put("error", str(err));
+    }
+    obj.done()
+}
+
+/// A job output as a response tree (`labels` / `dist`+`parent` /
+/// `ranks`).
+pub fn output_content(output: &JobOutput) -> Content {
+    match output {
+        JobOutput::Labels(labels) => Obj::new()
+            .put(
+                "labels",
+                Content::Seq(labels.iter().map(|&l| Content::U64(l)).collect()),
+            )
+            .done(),
+        JobOutput::Bfs { dist, parent } => Obj::new()
+            .put(
+                "dist",
+                Content::Seq(dist.iter().map(|&d| Content::U64(d)).collect()),
+            )
+            .put(
+                "parent",
+                Content::Seq(parent.iter().map(|&p| Content::U64(p)).collect()),
+            )
+            .done(),
+        JobOutput::Ranks(ranks) => Obj::new()
+            .put(
+                "ranks",
+                Content::Seq(ranks.iter().map(|&r| Content::F64(r)).collect()),
+            )
+            .done(),
+    }
+}
+
+/// Scheduler + registry stats as a response tree.
+pub fn stats_content(
+    stats: &SchedulerStats,
+    registry_used: usize,
+    registry_budget: usize,
+    registry_evictions: u64,
+) -> Content {
+    Obj::new()
+        .put("workers", u64v(stats.workers as u64))
+        .put("queue_capacity", u64v(stats.queue_capacity as u64))
+        .put("queue_depth", u64v(stats.queue_depth as u64))
+        .put("submitted", u64v(stats.submitted))
+        .put("rejected", u64v(stats.rejected))
+        .put(
+            "jobs_by_state",
+            Content::Map(
+                stats
+                    .jobs_by_state
+                    .iter()
+                    .map(|(name, count)| (name.to_string(), Content::U64(*count)))
+                    .collect(),
+            ),
+        )
+        .put(
+            "latencies",
+            Content::Seq(
+                stats
+                    .latencies
+                    .iter()
+                    .map(|s| {
+                        Obj::new()
+                            .put("label", str(&s.label))
+                            .put("completed", u64v(s.completed))
+                            .put("mean_ms", Content::F64(s.mean_ms))
+                            .put("p50_ms", Content::F64(s.p50_ms))
+                            .put("p99_ms", Content::F64(s.p99_ms))
+                            .put("max_ms", Content::F64(s.max_ms))
+                            .done()
+                    })
+                    .collect(),
+            ),
+        )
+        .put(
+            "registry",
+            Obj::new()
+                .put("used_bytes", u64v(registry_used as u64))
+                .put("budget_bytes", u64v(registry_budget as u64))
+                .put("evictions", u64v(registry_evictions))
+                .done(),
+        )
+        .done()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Request, ServiceError> {
+        let tree: Content = serde_json::from_str(line).expect("valid json");
+        parse_request(&tree)
+    }
+
+    #[test]
+    fn minimal_submit_fills_defaults() {
+        let req = parse(r#"{"op":"submit","algorithm":"cc","graph":"g"}"#).unwrap();
+        let Request::Submit { spec } = req else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.algorithm, Algorithm::Cc);
+        assert_eq!(spec.engine, Engine::Bsp);
+        assert_eq!(spec.graph, "g");
+        assert_eq!(spec.priority, 0);
+        assert_eq!(spec.deadline_ms, None);
+        assert_eq!(spec.config, BspConfig::default());
+    }
+
+    #[test]
+    fn full_config_rides_the_wire() {
+        let json = serde_json::to_string(&BspConfig {
+            max_supersteps: 3,
+            ..BspConfig::default()
+        })
+        .unwrap();
+        let line = format!(
+            r#"{{"op":"submit","algorithm":"pagerank","engine":"graphct","graph":"g","config":{json},"priority":5,"deadline_ms":250}}"#
+        );
+        let Request::Submit { spec } = parse(&line).unwrap() else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.engine, Engine::GraphCt);
+        assert_eq!(spec.config.max_supersteps, 3);
+        assert_eq!(spec.priority, 5);
+        assert_eq!(spec.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn unknown_op_and_missing_fields_are_bad_requests() {
+        assert_eq!(parse(r#"{"op":"nope"}"#).unwrap_err().code(), "bad_request");
+        assert_eq!(
+            parse(r#"{"op":"submit","graph":"g"}"#).unwrap_err().code(),
+            "bad_request"
+        );
+        assert_eq!(
+            parse(r#"{"op":"status"}"#).unwrap_err().code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn graph_specs_build() {
+        let spec = GraphSpec {
+            kind: "path".to_string(),
+            scale: 0,
+            edge_factor: 0,
+            n: 5,
+            m: 0,
+            seed: 0,
+        };
+        assert_eq!(build_graph(&spec).unwrap().num_vertices(), 5);
+        let rmat = GraphSpec {
+            kind: "rmat".to_string(),
+            scale: 6,
+            edge_factor: 4,
+            n: 0,
+            m: 0,
+            seed: 7,
+        };
+        assert_eq!(build_graph(&rmat).unwrap().num_vertices(), 64);
+        let nope = GraphSpec {
+            kind: "torus".to_string(),
+            ..spec
+        };
+        assert_eq!(build_graph(&nope).unwrap_err().code(), "bad_request");
+    }
+
+    #[test]
+    fn error_responses_carry_stable_codes() {
+        let tree = error_response(&ServiceError::QueueFull { capacity: 4 });
+        let json = serde_json::to_string(&tree).unwrap();
+        assert!(json.contains(r#""code":"queue_full""#), "{json}");
+        assert!(json.contains(r#""status":"error""#), "{json}");
+    }
+}

@@ -1,0 +1,261 @@
+//! The graph registry: load once, serve many queries.
+//!
+//! The surveyed distributed graph systems (Ammar & Özsu) are all
+//! long-lived services precisely because graph ingest dwarfs most single
+//! queries; the registry is the piece that amortizes it.  Graphs live as
+//! named [`Arc<Csr>`] entries under a byte budget with LRU eviction:
+//! registering past the budget evicts the least-recently-*used* entries
+//! (a `get` is a use) until the newcomer fits.  Eviction only drops the
+//! registry's reference — jobs already holding the `Arc` keep computing
+//! on the evicted graph safely; the memory is reclaimed when the last
+//! job finishes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use xmt_graph::Csr;
+
+use crate::error::ServiceError;
+
+/// A registry snapshot row (what `list_graphs` reports).
+#[derive(Clone, Debug)]
+pub struct GraphEntryInfo {
+    /// Registry name.
+    pub name: String,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Undirected edge count.
+    pub edges: u64,
+    /// CSR footprint in bytes (what the budget is charged).
+    pub bytes: u64,
+}
+
+struct Entry {
+    graph: Arc<Csr>,
+    bytes: usize,
+    /// Logical access clock value at the last `get`/registration;
+    /// smallest value = least recently used.
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    used: usize,
+    clock: u64,
+    evictions: u64,
+}
+
+/// Named `Arc<Csr>` entries under a memory budget with LRU eviction.
+pub struct GraphRegistry {
+    /// Budget in bytes; `0` means unbounded.
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl GraphRegistry {
+    /// A registry holding at most `budget_bytes` of CSR data (0 =
+    /// unbounded).
+    pub fn new(budget_bytes: usize) -> Self {
+        GraphRegistry {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                used: 0,
+                clock: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured budget in bytes (0 = unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Register `graph` under `name`, evicting LRU entries as needed.
+    /// Re-registering a name replaces the old graph.  Fails with
+    /// [`ServiceError::GraphTooLarge`] if the graph alone exceeds the
+    /// budget.
+    pub fn register(&self, name: &str, graph: Csr) -> Result<GraphEntryInfo, ServiceError> {
+        let bytes = graph.memory_bytes();
+        if self.budget > 0 && bytes > self.budget {
+            return Err(ServiceError::GraphTooLarge {
+                name: name.to_string(),
+                bytes,
+                budget: self.budget,
+            });
+        }
+        let info = GraphEntryInfo {
+            name: name.to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            bytes: bytes as u64,
+        };
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(name) {
+            inner.used -= old.bytes;
+        }
+        if self.budget > 0 {
+            while inner.used + bytes > self.budget && !inner.entries.is_empty() {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty");
+                let evicted = inner.entries.remove(&victim).expect("present");
+                inner.used -= evicted.bytes;
+                inner.evictions += 1;
+            }
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.used += bytes;
+        inner.entries.insert(
+            name.to_string(),
+            Entry {
+                graph: Arc::new(graph),
+                bytes,
+                last_used: stamp,
+            },
+        );
+        Ok(info)
+    }
+
+    /// Fetch a graph by name, marking it most-recently-used.
+    pub fn get(&self, name: &str) -> Result<Arc<Csr>, ServiceError> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.entries.get_mut(name) {
+            Some(e) => {
+                e.last_used = stamp;
+                Ok(Arc::clone(&e.graph))
+            }
+            None => Err(ServiceError::GraphNotFound {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Drop a graph from the registry (running jobs keep their `Arc`).
+    /// Returns whether the name was present.
+    pub fn unregister(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(name) {
+            Some(e) => {
+                inner.used -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All registered graphs, sorted by name.
+    pub fn list(&self) -> Vec<GraphEntryInfo> {
+        let inner = self.inner.lock();
+        let mut out: Vec<GraphEntryInfo> = inner
+            .entries
+            .iter()
+            .map(|(name, e)| GraphEntryInfo {
+                name: name.clone(),
+                vertices: e.graph.num_vertices(),
+                edges: e.graph.num_edges(),
+                bytes: e.bytes as u64,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Entries evicted by the budget since startup.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::{path, ring};
+
+    fn graph(n: u64) -> Csr {
+        build_undirected(&path(n))
+    }
+
+    #[test]
+    fn register_get_unregister_round_trip() {
+        let reg = GraphRegistry::new(0);
+        let info = reg.register("p", graph(10)).unwrap();
+        assert_eq!(info.vertices, 10);
+        assert_eq!(info.edges, 9);
+        assert_eq!(reg.get("p").unwrap().num_vertices(), 10);
+        assert_eq!(
+            reg.get("q").unwrap_err(),
+            ServiceError::GraphNotFound { name: "q".into() }
+        );
+        assert!(reg.unregister("p"));
+        assert!(!reg.unregister("p"));
+        assert_eq!(reg.used_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let unit = graph(100).memory_bytes();
+        // Room for two graphs of 100 vertices, not three.
+        let reg = GraphRegistry::new(2 * unit + unit / 2);
+        reg.register("a", graph(100)).unwrap();
+        reg.register("b", graph(100)).unwrap();
+        // Touch `a` so `b` is the LRU entry.
+        reg.get("a").unwrap();
+        reg.register("c", graph(100)).unwrap();
+        assert!(reg.get("a").is_ok());
+        assert!(reg.get("c").is_ok());
+        assert_eq!(
+            reg.get("b").unwrap_err(),
+            ServiceError::GraphNotFound { name: "b".into() }
+        );
+        assert_eq!(reg.evictions(), 1);
+        assert!(reg.used_bytes() <= 2 * unit + unit / 2);
+    }
+
+    #[test]
+    fn oversized_graph_is_rejected_outright() {
+        let small = graph(4).memory_bytes();
+        let reg = GraphRegistry::new(small);
+        let err = reg.register("big", graph(1000)).unwrap_err();
+        assert_eq!(err.code(), "graph_too_large");
+        assert_eq!(reg.used_bytes(), 0);
+    }
+
+    #[test]
+    fn replacing_a_name_releases_the_old_bytes() {
+        let reg = GraphRegistry::new(0);
+        reg.register("g", graph(1000)).unwrap();
+        let big = reg.used_bytes();
+        reg.register("g", build_undirected(&ring(10))).unwrap();
+        assert!(reg.used_bytes() < big);
+        assert_eq!(reg.get("g").unwrap().num_vertices(), 10);
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_held_arcs() {
+        let unit = graph(50).memory_bytes();
+        let reg = GraphRegistry::new(unit + unit / 2);
+        reg.register("a", graph(50)).unwrap();
+        let held = reg.get("a").unwrap();
+        reg.register("b", graph(50)).unwrap(); // evicts `a`
+        assert!(reg.get("a").is_err());
+        // The held Arc still works.
+        assert_eq!(held.num_vertices(), 50);
+        assert_eq!(held.degree(0), 1);
+    }
+}

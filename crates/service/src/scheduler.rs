@@ -1,0 +1,699 @@
+//! The bounded job scheduler: a fixed worker pool draining a
+//! priority/FIFO queue with admission control.
+//!
+//! The queue has a hard capacity; a submit that finds it full is
+//! rejected immediately with [`ServiceError::QueueFull`] instead of
+//! buffering unbounded work (the closed-loop bench driver leans on this
+//! to measure saturation).  Within the queue, higher `priority` runs
+//! first and ties break FIFO by submission order.
+//!
+//! Cancellation and deadlines share one mechanism: each job carries an
+//! atomic cancel flag, and the worker hands the BSP engine a stop hook
+//! (`cancelled || past deadline`) that is polled at superstep
+//! boundaries.  A cut run comes back as a [`StoredCheckpoint`] and the
+//! job lands in `Cancelled`/`TimedOut`/`Interrupted` with the checkpoint
+//! attached — a follow-up `resume` submission continues it exactly.
+//! Worker threads wrap engine calls in `catch_unwind`, so a panicking
+//! program marks its job `Failed` and the pool stays healthy.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use xmt_graph::Csr;
+
+use crate::engine::{execute, ExecVerdict};
+use crate::error::ServiceError;
+use crate::job::{JobId, JobOutput, JobSpec, JobState, StoredCheckpoint};
+use crate::stats::{LatencyBook, LatencySummary};
+
+/// Scheduler sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Queue capacity; submits beyond it are rejected (`queue_full`).
+    pub queue_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// What `status`/`list` report about a job.
+#[derive(Clone, Debug)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: JobId,
+    /// Kernel name (`cc`/`bfs`/`pagerank`).
+    pub algorithm: &'static str,
+    /// Engine name (`bsp`/`graphct`).
+    pub engine: &'static str,
+    /// Target graph's registry name.
+    pub graph: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Time spent queued (ms); final once running.
+    pub queued_ms: u64,
+    /// Time spent running (ms); final once terminal.
+    pub running_ms: u64,
+    /// Supersteps executed (meaningful once terminal).
+    pub supersteps: u64,
+    /// Whether a resumable checkpoint is attached.
+    pub has_checkpoint: bool,
+    /// Failure message, if the job failed.
+    pub error: Option<String>,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    graph: Arc<Csr>,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+    supersteps: u64,
+    output: Option<JobOutput>,
+    error: Option<String>,
+    checkpoint: Option<StoredCheckpoint>,
+    resume_from: Option<StoredCheckpoint>,
+}
+
+impl JobRecord {
+    fn snapshot(&self, id: JobId) -> JobSnapshot {
+        let queued_ms = self
+            .started
+            .unwrap_or_else(Instant::now)
+            .duration_since(self.submitted)
+            .as_millis() as u64;
+        let running_ms = match self.started {
+            None => 0,
+            Some(started) => self
+                .finished
+                .unwrap_or_else(Instant::now)
+                .duration_since(started)
+                .as_millis() as u64,
+        };
+        JobSnapshot {
+            id,
+            algorithm: self.spec.algorithm.name(),
+            engine: self.spec.engine.name(),
+            graph: self.spec.graph.clone(),
+            state: self.state,
+            priority: self.spec.priority,
+            queued_ms,
+            running_ms,
+            supersteps: self.supersteps,
+            has_checkpoint: self.checkpoint.is_some(),
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// Heap entry: max priority first, then FIFO by submission sequence.
+struct QueueEntry {
+    priority: u8,
+    seq: u64,
+    id: JobId,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins, then *lower*
+        // sequence (earlier submit).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Queue {
+    heap: BinaryHeap<QueueEntry>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    jobs: Mutex<HashMap<JobId, JobRecord>>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    latency: LatencyBook,
+    config: SchedulerConfig,
+}
+
+/// Aggregate scheduler counters for the `stats` request.
+#[derive(Clone, Debug)]
+pub struct SchedulerStats {
+    /// Configured worker count.
+    pub workers: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs accepted since startup.
+    pub submitted: u64,
+    /// Jobs rejected by admission control since startup.
+    pub rejected: u64,
+    /// `(state name, count)` over all tracked jobs, sorted by name.
+    pub jobs_by_state: Vec<(&'static str, u64)>,
+    /// Per-`algorithm/engine` completion latency series.
+    pub latencies: Vec<LatencySummary>,
+}
+
+/// A fixed pool of workers over a bounded priority queue.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Start `config.workers` worker threads (at least one).
+    pub fn new(config: SchedulerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency: LatencyBook::default(),
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admit a job: bounded-queue admission control, then enqueue.
+    /// `resume_from` continues an interrupted run from its checkpoint.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        graph: Arc<Csr>,
+        resume_from: Option<StoredCheckpoint>,
+    ) -> Result<JobId, ServiceError> {
+        let id = {
+            let mut queue = self.shared.queue.lock();
+            if queue.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if queue.heap.len() >= self.shared.config.queue_capacity {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+            let priority = spec.priority;
+            // Record before the entry is visible to workers, so a pop
+            // always finds its job.
+            self.shared.jobs.lock().insert(
+                id,
+                JobRecord {
+                    spec,
+                    graph,
+                    state: JobState::Queued,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    submitted: Instant::now(),
+                    started: None,
+                    finished: None,
+                    supersteps: 0,
+                    output: None,
+                    error: None,
+                    checkpoint: None,
+                    resume_from,
+                },
+            );
+            queue.heap.push(QueueEntry { priority, seq, id });
+            id
+        };
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.cond.notify_one();
+        Ok(id)
+    }
+
+    /// Request cancellation.  A queued job is cancelled on the spot; a
+    /// running job gets its flag set and is cut at the next superstep
+    /// boundary.  Cancelling a terminal job is a `wrong_state` error.
+    pub fn cancel(&self, id: JobId) -> Result<JobState, ServiceError> {
+        let mut jobs = self.shared.jobs.lock();
+        let rec = jobs.get_mut(&id).ok_or(ServiceError::JobNotFound { id })?;
+        match rec.state {
+            JobState::Queued => {
+                // The heap entry stays; workers skip non-queued jobs.
+                rec.cancel.store(true, Ordering::Relaxed);
+                rec.state = JobState::Cancelled;
+                rec.finished = Some(Instant::now());
+                Ok(JobState::Cancelled)
+            }
+            JobState::Running => {
+                rec.cancel.store(true, Ordering::Relaxed);
+                Ok(JobState::Running)
+            }
+            other => Err(ServiceError::WrongState {
+                id,
+                state: other.name().to_string(),
+            }),
+        }
+    }
+
+    /// A job's current snapshot.
+    pub fn status(&self, id: JobId) -> Result<JobSnapshot, ServiceError> {
+        let jobs = self.shared.jobs.lock();
+        jobs.get(&id)
+            .map(|rec| rec.snapshot(id))
+            .ok_or(ServiceError::JobNotFound { id })
+    }
+
+    /// Snapshots of every tracked job, sorted by id.
+    pub fn list(&self) -> Vec<JobSnapshot> {
+        let jobs = self.shared.jobs.lock();
+        let mut out: Vec<JobSnapshot> = jobs.iter().map(|(id, rec)| rec.snapshot(*id)).collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// A completed job's output (cloned).  Non-terminal jobs are
+    /// `wrong_state`; failed jobs surface their stored error.
+    pub fn output(&self, id: JobId) -> Result<(JobOutput, u64), ServiceError> {
+        let jobs = self.shared.jobs.lock();
+        let rec = jobs.get(&id).ok_or(ServiceError::JobNotFound { id })?;
+        match rec.state {
+            JobState::Completed => Ok((
+                rec.output.clone().expect("completed job has output"),
+                rec.supersteps,
+            )),
+            JobState::Failed => Err(ServiceError::Internal {
+                message: rec
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| "job failed".to_string()),
+            }),
+            other => Err(ServiceError::WrongState {
+                id,
+                state: other.name().to_string(),
+            }),
+        }
+    }
+
+    /// Take an interrupted job's checkpoint for resumption.  Move
+    /// semantics: the checkpoint transfers to the new job, so a stale
+    /// double-resume gets `no_checkpoint` instead of forking the run.
+    pub fn take_checkpoint(
+        &self,
+        id: JobId,
+    ) -> Result<(JobSpec, Arc<Csr>, StoredCheckpoint), ServiceError> {
+        let mut jobs = self.shared.jobs.lock();
+        let rec = jobs.get_mut(&id).ok_or(ServiceError::JobNotFound { id })?;
+        match rec.state {
+            JobState::Cancelled | JobState::TimedOut | JobState::Interrupted => rec
+                .checkpoint
+                .take()
+                .map(|cp| (rec.spec.clone(), Arc::clone(&rec.graph), cp))
+                .ok_or(ServiceError::NoCheckpoint { id }),
+            other => Err(ServiceError::WrongState {
+                id,
+                state: other.name().to_string(),
+            }),
+        }
+    }
+
+    /// Aggregate counters and latency summaries.
+    pub fn stats(&self) -> SchedulerStats {
+        let queue_depth = self.shared.queue.lock().heap.len();
+        let mut by_state: HashMap<&'static str, u64> = HashMap::new();
+        {
+            let jobs = self.shared.jobs.lock();
+            for rec in jobs.values() {
+                *by_state.entry(rec.state.name()).or_insert(0) += 1;
+            }
+        }
+        let mut jobs_by_state: Vec<(&'static str, u64)> = by_state.into_iter().collect();
+        jobs_by_state.sort_by_key(|(name, _)| *name);
+        SchedulerStats {
+            workers: self.shared.config.workers.max(1),
+            queue_capacity: self.shared.config.queue_capacity,
+            queue_depth,
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            jobs_by_state,
+            latencies: self.shared.latency.summaries(),
+        }
+    }
+
+    /// Stop accepting work, cancel queued jobs, and join the workers.
+    /// Running jobs are flagged and finish at their next superstep
+    /// boundary with a checkpoint.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock();
+            queue.shutdown = true;
+        }
+        {
+            let mut jobs = self.shared.jobs.lock();
+            for rec in jobs.values_mut() {
+                match rec.state {
+                    JobState::Queued => {
+                        rec.cancel.store(true, Ordering::Relaxed);
+                        rec.state = JobState::Cancelled;
+                        rec.finished = Some(Instant::now());
+                    }
+                    JobState::Running => rec.cancel.store(true, Ordering::Relaxed),
+                    _ => {}
+                }
+            }
+        }
+        self.shared.cond.notify_all();
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let entry = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(e) = queue.heap.pop() {
+                    break e;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                shared.cond.wait(&mut queue);
+            }
+        };
+        run_one(shared, entry.id);
+    }
+}
+
+fn run_one(shared: &Shared, id: JobId) {
+    // Claim the job; skip entries whose job was cancelled while queued.
+    let (spec, graph, cancel, resume_from, deadline) = {
+        let mut jobs = shared.jobs.lock();
+        let rec = match jobs.get_mut(&id) {
+            Some(rec) => rec,
+            None => return,
+        };
+        if rec.state != JobState::Queued {
+            return;
+        }
+        rec.state = JobState::Running;
+        rec.started = Some(Instant::now());
+        let deadline = rec
+            .spec
+            .deadline_ms
+            .map(|ms| rec.submitted + Duration::from_millis(ms));
+        (
+            rec.spec.clone(),
+            Arc::clone(&rec.graph),
+            Arc::clone(&rec.cancel),
+            rec.resume_from.take(),
+            deadline,
+        )
+    };
+
+    let stop = {
+        let cancel = Arc::clone(&cancel);
+        move || cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d)
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute(&spec, &graph, resume_from, &stop)
+    }));
+
+    let mut jobs = shared.jobs.lock();
+    let rec = match jobs.get_mut(&id) {
+        Some(rec) => rec,
+        None => return,
+    };
+    let now = Instant::now();
+    rec.finished = Some(now);
+    match outcome {
+        Ok(Ok(ExecVerdict::Completed { output, supersteps })) => {
+            rec.state = JobState::Completed;
+            rec.supersteps = supersteps;
+            rec.output = Some(output);
+            let us = now.duration_since(rec.submitted).as_micros() as u64;
+            shared.latency.record(
+                &format!("{}/{}", spec.algorithm.name(), spec.engine.name()),
+                us,
+            );
+        }
+        Ok(Ok(ExecVerdict::Interrupted {
+            checkpoint,
+            supersteps,
+        })) => {
+            rec.supersteps = supersteps;
+            rec.checkpoint = Some(checkpoint);
+            // Why did the run stop?  Cancel flag and deadline map to
+            // their own states; otherwise the superstep budget cut it.
+            rec.state = if cancel.load(Ordering::Relaxed) {
+                if deadline.is_some_and(|d| now >= d) {
+                    JobState::TimedOut
+                } else {
+                    JobState::Cancelled
+                }
+            } else if deadline.is_some_and(|d| now >= d) {
+                JobState::TimedOut
+            } else {
+                JobState::Interrupted
+            };
+        }
+        Ok(Err(err)) => {
+            rec.state = JobState::Failed;
+            rec.error = Some(err.to_string());
+        }
+        Err(panic) => {
+            rec.state = JobState::Failed;
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "vertex program panicked".to_string());
+            rec.error = Some(format!("panic: {message}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Algorithm, Engine};
+    use xmt_bsp::{ActiveSetStrategy, BspConfig};
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::path;
+
+    fn spec(graph: &str) -> JobSpec {
+        // Worklist active sets keep each of the path's many supersteps
+        // O(frontier); the raised superstep cap lets the job finish.
+        let config = BspConfig {
+            active_set: ActiveSetStrategy::Worklist,
+            max_supersteps: 1_000_000,
+            ..BspConfig::default()
+        };
+        JobSpec {
+            algorithm: Algorithm::Cc,
+            engine: Engine::Bsp,
+            graph: graph.to_string(),
+            source: 0,
+            damping: 0.85,
+            tolerance: 1e-7,
+            config,
+            priority: 0,
+            deadline_ms: None,
+        }
+    }
+
+    fn long_path() -> Arc<Csr> {
+        // CC on a path needs one superstep per hop of label distance, so
+        // a long path keeps a worker busy for a while (every superstep
+        // pays a pool round-trip) yet checkpoints instantly at any
+        // boundary.
+        Arc::new(build_undirected(&path(16_000)))
+    }
+
+    #[test]
+    fn queue_full_rejects_with_typed_error() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let g = long_path();
+        // Saturate: the worker takes one job, two more sit in the queue.
+        let mut admitted = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..16 {
+            match sched.submit(spec("p"), Arc::clone(&g), None) {
+                Ok(id) => admitted.push(id),
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "admission control never kicked in");
+        assert!(admitted.len() >= 2, "queue admitted too few");
+        assert_eq!(sched.stats().rejected, rejected);
+        for id in &admitted {
+            let _ = sched.cancel(*id);
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn deadline_cuts_a_run_into_a_resumable_checkpoint() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let mut s = spec("p");
+        s.deadline_ms = Some(10);
+        let id = sched.submit(s, Arc::clone(&g), None).unwrap();
+        let snap = wait_terminal(&sched, id);
+        assert_eq!(snap.state, JobState::TimedOut);
+        assert!(snap.has_checkpoint, "timed-out job kept no checkpoint");
+        assert!(snap.supersteps >= 1);
+
+        // Resume to completion (without the old deadline, which would
+        // just cut the continuation again).
+        let (mut orig_spec, orig_graph, cp) = sched.take_checkpoint(id).unwrap();
+        orig_spec.deadline_ms = None;
+        let resumed = sched.submit(orig_spec, orig_graph, Some(cp)).unwrap();
+        let snap = wait_terminal(&sched, resumed);
+        assert_eq!(snap.state, JobState::Completed, "err={:?}", snap.error);
+        let (output, _) = sched.output(resumed).unwrap();
+        let JobOutput::Labels(labels) = output else {
+            panic!("cc job returned non-label output");
+        };
+        assert!(labels.iter().all(|&l| l == 0), "path has one component");
+        // The checkpoint moved: a second resume is refused.
+        assert_eq!(
+            sched.take_checkpoint(id).unwrap_err(),
+            ServiceError::NoCheckpoint { id }
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn cancel_mid_run_leaves_the_pool_healthy() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let id = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        // Let it start, then cancel mid-run.
+        loop {
+            let snap = sched.status(id).unwrap();
+            if snap.state != JobState::Queued {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let _ = sched.cancel(id);
+        let snap = wait_terminal(&sched, id);
+        assert_eq!(snap.state, JobState::Cancelled);
+        assert!(snap.has_checkpoint);
+
+        // The same worker still serves new jobs.
+        let small = Arc::new(build_undirected(&path(64)));
+        let id2 = sched.submit(spec("small"), small, None).unwrap();
+        let snap = wait_terminal(&sched, id2);
+        assert_eq!(snap.state, JobState::Completed);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn priorities_run_before_fifo_ties() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 16,
+        });
+        let g = long_path();
+        // Occupy the worker so the queue orders the rest.
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let small = Arc::new(build_undirected(&path(32)));
+        let lo = sched.submit(spec("lo"), Arc::clone(&small), None).unwrap();
+        let mut hi_spec = spec("hi");
+        hi_spec.priority = 9;
+        let hi = sched.submit(hi_spec, Arc::clone(&small), None).unwrap();
+        let _ = sched.cancel(blocker);
+        let hi_snap = wait_terminal(&sched, hi);
+        let lo_snap = sched.status(lo).unwrap();
+        // When `hi` finished, `lo` must not have finished before it
+        // started: the high-priority job was picked first.
+        assert_eq!(hi_snap.state, JobState::Completed);
+        assert!(
+            lo_snap.state == JobState::Queued
+                || lo_snap.state == JobState::Running
+                || lo_snap.state == JobState::Completed
+        );
+        let lo_snap = wait_terminal(&sched, lo);
+        assert_eq!(lo_snap.state, JobState::Completed);
+        sched.shutdown();
+    }
+
+    fn wait_terminal(sched: &Scheduler, id: JobId) -> JobSnapshot {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let snap = sched.status(id).unwrap();
+            if snap.state.is_terminal() {
+                return snap;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The service core and its TCP front end.
+//!
+//! [`Service`] glues the graph registry to the job scheduler and
+//! dispatches parsed [`Request`]s — it is fully usable in-process (the
+//! tests and the demo drive it without a socket).  [`Server`] puts it
+//! behind a `TcpListener`: one thread per connection, newline-delimited
+//! JSON in, newline-delimited JSON out.  Reads use a short timeout so
+//! connection threads notice shutdown instead of blocking forever; the
+//! accept loop is unblocked by a self-connect.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::Content;
+
+use crate::error::ServiceError;
+use crate::job::JobState;
+use crate::protocol::{
+    build_graph, error_response, graph_content, job_content, ok, output_content, parse_request,
+    stats_content, Request,
+};
+use crate::registry::GraphRegistry;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// Service sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Job queue capacity (admission control bound).
+    pub queue_capacity: usize,
+    /// Registry memory budget in bytes (0 = unbounded).
+    pub memory_budget_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            memory_budget_bytes: 0,
+        }
+    }
+}
+
+/// Registry + scheduler behind one request-dispatch surface.
+pub struct Service {
+    registry: GraphRegistry,
+    scheduler: Scheduler,
+}
+
+impl Service {
+    /// Build a service with the given sizing.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            registry: GraphRegistry::new(config.memory_budget_bytes),
+            scheduler: Scheduler::new(SchedulerConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+            }),
+        }
+    }
+
+    /// The graph registry (for in-process embedding).
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The job scheduler (for in-process embedding).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Dispatch one request to an `ok` response tree or a typed error.
+    pub fn handle(&self, request: &Request) -> Result<Content, ServiceError> {
+        match request {
+            Request::Ping => Ok(ok().done()),
+            Request::RegisterGraph { name, spec } => {
+                let graph = build_graph(spec)?;
+                let info = self.registry.register(name, graph)?;
+                Ok(ok().put("graph", graph_content(&info)).done())
+            }
+            Request::UnregisterGraph { name } => {
+                let removed = self.registry.unregister(name);
+                Ok(ok().put("removed", Content::Bool(removed)).done())
+            }
+            Request::ListGraphs => Ok(ok()
+                .put(
+                    "graphs",
+                    Content::Seq(self.registry.list().iter().map(graph_content).collect()),
+                )
+                .done()),
+            Request::Submit { spec } => {
+                let graph = self.registry.get(&spec.graph)?;
+                let id = self.scheduler.submit(spec.clone(), graph, None)?;
+                Ok(ok().put("job_id", Content::U64(id)).done())
+            }
+            Request::Resume {
+                job_id,
+                deadline_ms,
+            } => {
+                let (mut spec, graph, checkpoint) = self.scheduler.take_checkpoint(*job_id)?;
+                spec.deadline_ms = *deadline_ms;
+                let from_superstep = checkpoint.superstep();
+                let id = self.scheduler.submit(spec, graph, Some(checkpoint))?;
+                Ok(ok()
+                    .put("job_id", Content::U64(id))
+                    .put("resumed_from", Content::U64(*job_id))
+                    .put("from_superstep", Content::U64(from_superstep))
+                    .done())
+            }
+            Request::Status { job_id } => {
+                let snap = self.scheduler.status(*job_id)?;
+                Ok(ok().put("job", job_content(&snap)).done())
+            }
+            Request::Result { job_id, wait_ms } => {
+                let snap = self.wait_terminal(*job_id, *wait_ms)?;
+                match snap.state {
+                    JobState::Completed => {
+                        let (output, supersteps) = self.scheduler.output(*job_id)?;
+                        Ok(ok()
+                            .put("job_id", Content::U64(*job_id))
+                            .put("supersteps", Content::U64(supersteps))
+                            .put("result", output_content(&output))
+                            .done())
+                    }
+                    JobState::Failed => Err(self
+                        .scheduler
+                        .output(*job_id)
+                        .expect_err("failed job has no output")),
+                    other => Err(ServiceError::WrongState {
+                        id: *job_id,
+                        state: other.name().to_string(),
+                    }),
+                }
+            }
+            Request::Cancel { job_id } => {
+                let state = self.scheduler.cancel(*job_id)?;
+                Ok(ok()
+                    .put("state", Content::Str(state.name().to_string()))
+                    .done())
+            }
+            Request::ListJobs => Ok(ok()
+                .put(
+                    "jobs",
+                    Content::Seq(self.scheduler.list().iter().map(job_content).collect()),
+                )
+                .done()),
+            Request::Stats => Ok(ok()
+                .put(
+                    "stats",
+                    stats_content(
+                        &self.scheduler.stats(),
+                        self.registry.used_bytes(),
+                        self.registry.budget_bytes(),
+                        self.registry.evictions(),
+                    ),
+                )
+                .done()),
+            // The TCP layer intercepts Shutdown to stop the accept loop;
+            // in-process callers get an acknowledgement.
+            Request::Shutdown => Ok(ok().done()),
+        }
+    }
+
+    fn wait_terminal(
+        &self,
+        job_id: u64,
+        wait_ms: u64,
+    ) -> Result<crate::scheduler::JobSnapshot, ServiceError> {
+        let deadline = Instant::now() + Duration::from_millis(wait_ms);
+        loop {
+            let snap = self.scheduler.status(job_id)?;
+            if snap.state.is_terminal() || Instant::now() >= deadline {
+                return Ok(snap);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stop the scheduler (cancels queued work, joins workers).
+    pub fn shutdown(&self) {
+        self.scheduler.shutdown();
+    }
+}
+
+/// A running TCP server around a [`Service`].
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            service: Arc::new(Service::new(config)),
+            listener,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process inspection while serving).
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Serve until a `shutdown` request arrives.  Blocks; see
+    /// [`Server::spawn`] for a background thread.
+    pub fn run(self) {
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.addr;
+            let handle = std::thread::Builder::new()
+                .name("svc-conn".to_string())
+                .spawn(move || serve_connection(stream, &service, &stop, addr))
+                .expect("spawn connection thread");
+            connections.lock().push(handle);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *connections.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.service.shutdown();
+    }
+
+    /// Serve on a background thread; returns the join handle.
+    pub fn spawn(self) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name("svc-accept".to_string())
+            .spawn(move || self.run())
+            .expect("spawn server thread")
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    // Short read timeouts let the thread poll the stop flag instead of
+    // parking forever on an idle client.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = serde_json::from_str::<Content>(&line)
+            .map_err(|e| ServiceError::BadRequest {
+                message: format!("invalid json: {e}"),
+            })
+            .and_then(|tree| parse_request(&tree));
+        let is_shutdown = matches!(parsed, Ok(Request::Shutdown));
+        let response = match parsed.and_then(|req| service.handle(&req)) {
+            Ok(content) => content,
+            Err(err) => error_response(&err),
+        };
+        let json = serde_json::to_string(&response).unwrap_or_else(|_| {
+            r#"{"status":"error","code":"internal","message":"unserializable response"}"#
+                .to_string()
+        });
+        let _ = writeln!(writer, "{json}");
+        let _ = writer.flush();
+        if is_shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a self-connect.
+            let _ = TcpStream::connect(server_addr);
+            return;
+        }
+    }
+}

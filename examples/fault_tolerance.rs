@@ -68,7 +68,8 @@ fn main() {
             None,
             slice.result.states,
             ckpt,
-        );
+        )
+        .expect("valid checkpoint");
     }
 
     assert_eq!(slice.result.states, whole.states, "recovery must be exact");

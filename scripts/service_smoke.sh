@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Smoke test for the graph-analytics service: start `serve` on an
+# ephemeral loopback port, drive it with `client` (register a small RMAT
+# graph, run connected components, check the result arrives), then shut
+# it down and verify the server exits cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p xmt-service --bin serve --bin client
+
+out="$(mktemp -d)"
+trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$out"' EXIT
+
+target/release/serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$out/serve.log" 2>&1 &
+server_pid=$!
+
+# The server prints `listening on <addr>` once bound.
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^listening on //p' "$out/serve.log" | head -n1)"
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$out/serve.log"; echo "server died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$out/serve.log"; echo "server never bound"; exit 1; }
+echo "serve bound on $addr"
+
+# Register, submit, and fetch a CC result; `client` exits non-zero on
+# any error response.
+target/release/client --addr "$addr" \
+    '{"op":"ping"}' \
+    '{"op":"register_graph","name":"smoke","kind":"rmat","scale":8,"edge_factor":8,"seed":1}' \
+    '{"op":"submit","algorithm":"cc","graph":"smoke"}' \
+    '{"op":"result","job_id":1,"wait_ms":60000}' \
+    '{"op":"stats"}' \
+    >"$out/client.log"
+
+grep -q '"labels":\[' "$out/client.log" || { cat "$out/client.log"; echo "no CC result"; exit 1; }
+echo "CC result received"
+
+target/release/client --addr "$addr" '{"op":"shutdown"}' >/dev/null
+
+# Clean shutdown: the server process must exit on its own.
+for _ in $(seq 1 50); do
+    kill -0 "$server_pid" 2>/dev/null || { echo "server shut down cleanly"; exit 0; }
+    sleep 0.1
+done
+echo "server did not exit after shutdown"
+exit 1

@@ -46,7 +46,8 @@ proptest! {
                     None,
                     first.result.states,
                     ckpt,
-                );
+                )
+                .expect("valid checkpoint");
                 prop_assert!(second.resume.is_none());
                 prop_assert_eq!(second.result.supersteps, whole.supersteps);
                 second.result.states
@@ -83,6 +84,7 @@ proptest! {
             None => first.result.states,
             Some(ckpt) => {
                 resume_bsp(&g, &prog, BspConfig::default(), None, first.result.states, ckpt)
+                    .expect("valid checkpoint")
                     .result
                     .states
             }
