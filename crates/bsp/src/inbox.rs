@@ -47,6 +47,8 @@ impl<M: Copy + Send + Sync> Inbox<M> {
             let acounts = as_atomic_u64(&mut counts);
             parallel_for(0, batches.len(), |b| {
                 for &(dst, _) in &batches[b] {
+                    // Relaxed: pure occupancy count; totals are read
+                    // only after the parallel_for join barrier.
                     acounts[dst as usize].fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -62,6 +64,8 @@ impl<M: Copy + Send + Sync> Inbox<M> {
             let base = data.as_mut_ptr() as usize;
             parallel_for(0, batches.len(), |b| {
                 for &(dst, msg) in &batches[b] {
+                    // Relaxed: the fetch_add only reserves a unique slot
+                    // index; the scattered data is published by the join.
                     let slot = acursors[dst as usize].fetch_add(1, Ordering::Relaxed) as usize;
                     // SAFETY: slots are unique via fetch-add; capacity is
                     // exactly `total`.
@@ -137,22 +141,24 @@ impl<M: Copy + Send + Sync> Inbox<M> {
                     }
                 }
                 // Local exclusive prefix starting at the bucket's base;
-                // publish each destination's offset.  SAFETY: bucket
-                // vertex ranges are disjoint, so offset writes are too.
+                // publish each destination's offset.
                 let mut acc = bucket_base[b];
                 for (i, c) in cursors.iter_mut().enumerate() {
                     let count = *c;
                     *c = acc;
+                    // SAFETY: bucket vertex ranges `[lo, hi)` are
+                    // disjoint, so these offset writes are too.
                     unsafe { (offsets_base as *mut u64).add(lo + i).write(acc) };
                     acc += count;
                 }
                 debug_assert_eq!(acc, bucket_base[b + 1]);
-                // Scatter. SAFETY: `cursors` now hold unique slots within
-                // this bucket's private `[bucket_base[b], bucket_base[b+1])`
-                // region of `data`.
+                // Scatter into this bucket's private region of `data`.
                 for w in per_worker {
                     for &(dst, msg) in &w[b] {
                         let cursor = &mut cursors[dst as usize - lo];
+                        // SAFETY: `cursors` hold unique slots within the
+                        // bucket's private `[bucket_base[b],
+                        // bucket_base[b+1])` region of `data`.
                         unsafe { (data_base as *mut M).add(*cursor as usize).write(msg) };
                         *cursor += 1;
                     }

@@ -281,6 +281,8 @@ pub fn run_bsp_slice<P: VertexProgram>(
 ) -> SlicedRun<P::State, P::Message> {
     match run_bsp_slice_with_stop(graph, program, config, rec, from, None) {
         Ok(run) => run,
+        // lint:allow(no-panic-in-lib): the documented "# Panics" contract
+        // of this convenience wrapper; resume_bsp is the fallible form.
         Err(e) => panic!("{e}"),
     }
 }
@@ -314,6 +316,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                     // SAFETY: each index written once; capacity reserved.
                     unsafe { (base as *mut P::State).add(v).write(program.init(v as u64)) };
                 });
+                // SAFETY: the loop above wrote all `n` reserved slots.
                 unsafe { states.set_len(n) };
             }
             if let Some(r) = rec.as_deref_mut() {
@@ -395,6 +398,8 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
             // plus the already-awake (a superset of push's receivers —
             // safe per the `pull_from` contract).
             (0..n as u64)
+                // Relaxed: halt flags were stored before the previous
+                // superstep's pool join, which happens-before this scan.
                 .filter(|&v| graph.degree(v) > 0 || halted[v as usize].load(Ordering::Relaxed) == 0)
                 .collect()
         } else if s == 0 {
@@ -407,6 +412,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
             // here on).
             let mut v: Vec<VertexId> = (0..n as u64)
                 .filter(|&v| {
+                    // Relaxed: flags precede the last superstep's join.
                     inbox.has_messages(v) || halted[v as usize].load(Ordering::Relaxed) == 0
                 })
                 .collect();
@@ -499,6 +505,10 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                     // snapshotted states; push mode: read the inbox.
                     let mut gathered: Option<P::Message> = None;
                     if let Some(snap) = snapshot_ref {
+                        // lint:allow(no-panic-in-lib): unreachable — the
+                        // snapshot exists only when `pulling`, and pull
+                        // mode is gated on `supports_pull`, which requires
+                        // `combiner().is_some()` at the top of the run.
                         let comb = program.combiner().expect("pull mode requires a combiner");
                         for &u in graph.neighbors(v) {
                             local_probes.0 += 1;
@@ -535,11 +545,15 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                     // writes are disjoint across iterations.
                     let state = unsafe { &mut *(states_base as *mut P::State).add(v as usize) };
                     program.compute(&mut ctx, state, msgs);
+                    // Relaxed: each active vertex's flag is written once
+                    // (active set is distinct) and read only after join.
                     halted_ref[v as usize].store(ctx.halt as u64, Ordering::Relaxed);
                     // Worklist: a vertex that stayed awake is active next
                     // superstep regardless of messages; claim its slot.
                     if worklist
                         && !ctx.halt
+                        // Relaxed: the tag elects one claimer per
+                        // generation; the list is read after the join.
                         && gen[v as usize].swap(s + 1, Ordering::Relaxed) != s + 1
                     {
                         local_awake.push(v);
@@ -549,12 +563,15 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                     local_extra.0 += ctx.extra_reads;
                     local_extra.1 += ctx.extra_alu;
                 }
+                // Relaxed (all five below): pure statistics accumulators
+                // whose totals are read only after the parallel_for join.
                 extra_reads.fetch_add(local_extra.0, Ordering::Relaxed);
-                extra_alu.fetch_add(local_extra.1, Ordering::Relaxed);
-                delivered.fetch_add(local_delivered, Ordering::Relaxed);
+                extra_alu.fetch_add(local_extra.1, Ordering::Relaxed); // Relaxed: stats, read post-join
+                delivered.fetch_add(local_delivered, Ordering::Relaxed); // Relaxed: stats, read post-join
                 if local_probes.0 > 0 {
+                    // Relaxed: stats counters, read only post-join.
                     pull_probes.fetch_add(local_probes.0, Ordering::Relaxed);
-                    pull_hits.fetch_add(local_probes.1, Ordering::Relaxed);
+                    pull_hits.fetch_add(local_probes.1, Ordering::Relaxed); // Relaxed: stats, post-join
                 }
                 collector.deposit(worker, outbox, program.combiner());
                 if !local_awake.is_empty() {
@@ -567,9 +584,11 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
         }
         let shipped = collector.total();
         let messages_generated = collector.total_generated();
+        // Relaxed loads: the compute parallel_for joined above, so every
+        // worker's accumulation happens-before these reads.
         let messages_delivered = delivered.load(Ordering::Relaxed);
-        let probes = pull_probes.load(Ordering::Relaxed);
-        let hits = pull_hits.load(Ordering::Relaxed);
+        let probes = pull_probes.load(Ordering::Relaxed); // Relaxed: post-join read
+        let hits = pull_hits.load(Ordering::Relaxed); // Relaxed: post-join read
 
         // ---- Phase C: exchange --------------------------------------------
         // Decide the next superstep's delivery.  Pulling is only
@@ -616,6 +635,8 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                 parallel_for(0, slices_ref.len(), |b| {
                     let mut local: Vec<VertexId> = Vec::new();
                     for &(dst, _) in slices_ref[b] {
+                        // Relaxed: generation tag elects one claimer;
+                        // the list itself is read only after the join.
                         if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
                             local.push(dst);
                         }
@@ -645,9 +666,10 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
             // message.  Push supersteps read the delivered words from the
             // inbox; pull supersteps charge the gather probes instead.
             let mut c = PhaseCounts::with_items(a.max(messages_generated).max(1));
+            // Relaxed loads: accumulated before the compute join above.
             c.reads = 2 * a + messages_generated + extra_reads.load(Ordering::Relaxed);
             c.writes = 2 * a;
-            c.alu_ops = a + messages_generated + extra_alu.load(Ordering::Relaxed);
+            c.alu_ops = a + messages_generated + extra_alu.load(Ordering::Relaxed); // Relaxed: post-join
             if pulling {
                 xmt_model::charge_pull_gather(&mut c, probes, hits, msg_words);
             } else {
@@ -698,6 +720,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
         superstep: s,
         halted: halted
             .iter()
+            // Relaxed: all stores preceded the final superstep's join.
             .map(|h| h.load(Ordering::Relaxed) == 1)
             .collect(),
         pending: inbox.snapshot(),

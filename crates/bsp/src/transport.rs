@@ -210,13 +210,19 @@ impl<M: Copy + Send> MessageCollector<M> {
                 }
             }
         };
+        // Relaxed (both): monotonic counters; the runtime reads totals
+        // only after the compute parallel_for joins, so every deposit
+        // happens-before the read without counter-side ordering.
         self.generated.fetch_add(raw, Ordering::Relaxed);
-        self.shipped.fetch_add(shipped, Ordering::Relaxed);
+        self.shipped.fetch_add(shipped, Ordering::Relaxed); // Relaxed: see above
     }
 
     /// Messages that will cross the superstep boundary so far (post
     /// sender-side combining).  Lock-free: reads one relaxed counter.
     pub fn total(&self) -> u64 {
+        // Relaxed: exact only once all depositors have joined (the
+        // runtime calls this after the compute barrier); mid-superstep
+        // readers get a monotonic snapshot.
         self.shipped.load(Ordering::Relaxed)
     }
 
@@ -224,6 +230,7 @@ impl<M: Copy + Send> MessageCollector<M> {
     /// Equals [`total`](Self::total) unless bucketed combining folded
     /// some away.
     pub fn total_generated(&self) -> u64 {
+        // Relaxed: same contract as `total` — read after the barrier.
         self.generated.load(Ordering::Relaxed)
     }
 

@@ -70,6 +70,9 @@ impl CsrBuilder {
         assert!(edges.is_consistent(), "inconsistent edge list");
         let opts = self.opts;
         if opts.dedup && edges.weights.is_some() {
+            // lint:allow(no-panic-in-lib): documented precondition on
+            // BuildOptions (there is no meaningful weight to keep when
+            // coalescing duplicates); covered by weighted_dedup_panics.
             panic!("dedup is not supported for weighted graphs");
         }
         let n = edges.num_vertices as usize;
@@ -114,12 +117,15 @@ impl CsrBuilder {
                 // SAFETY: each slot index is claimed exactly once by the
                 // fetch-and-add cursor, so writes are disjoint.
                 unsafe {
+                    // Relaxed: the cursor RMW only reserves a unique slot;
+                    // the scattered arrays are published by the pool join.
                     let slot = acursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
                     *(adj_base as *mut VertexId).add(slot) = v;
                     if let (Some(base), Some(w)) = (w_base, w) {
                         *(base as *mut i64).add(slot) = w;
                     }
                     if opts.symmetrize {
+                        // Relaxed: same slot-reservation argument.
                         let slot = acursors[v as usize].fetch_add(1, Ordering::Relaxed) as usize;
                         *(adj_base as *mut VertexId).add(slot) = u;
                         if let (Some(base), Some(w)) = (w_base, w) {

@@ -61,10 +61,9 @@ impl EdgeList {
                 self.edges.is_empty(),
                 "mixing weighted and unweighted edges"
             );
-            self.weights = Some(Vec::new());
         }
         self.edges.push((u, v));
-        self.weights.as_mut().unwrap().push(w);
+        self.weights.get_or_insert_with(Vec::new).push(w);
     }
 
     /// `true` when every endpoint is a valid vertex id and weights (if

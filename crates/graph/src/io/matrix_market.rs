@@ -81,7 +81,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> io::Result<EdgeList> {
             let w: Weight = raw
                 .parse::<f64>()
                 .map_err(|_| bad(lineno, "invalid value"))? as Weight;
-            el.weights.as_mut().unwrap().push(w);
+            el.weights.get_or_insert_with(Vec::new).push(w);
         }
         count += 1;
     }

@@ -87,7 +87,7 @@ pub fn degree_histogram(g: &Csr) -> Vec<u64> {
         };
         hist[bucket] += 1;
     }
-    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+    while hist.len() > 1 && hist.last() == Some(&0) {
         hist.pop();
     }
     hist

@@ -16,6 +16,7 @@ pub fn transpose(g: &Csr) -> Csr {
         let acounts = as_atomic_u64(&mut counts);
         parallel_for(0, n, |v| {
             for &u in g.neighbors(v as u64) {
+                // Relaxed: pure degree count, read after the pool join.
                 acounts[u as usize].fetch_add(1, Ordering::Relaxed);
             }
         });
@@ -34,6 +35,8 @@ pub fn transpose(g: &Csr) -> Csr {
         parallel_for(0, n, |v| {
             let nbrs = g.neighbors(v as u64);
             for (j, &u) in nbrs.iter().enumerate() {
+                // Relaxed: the RMW only reserves a unique slot index;
+                // the scattered arrays are published by the pool join.
                 let slot = acursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
                 // SAFETY: fetch-and-add hands out each slot exactly once.
                 unsafe {

@@ -54,8 +54,10 @@ fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult 
         r.push("init", 0, c, 0);
     }
 
+    // Relaxed: sequential code — the pool has not been handed these
+    // arrays yet; the broadcast that starts the level publishes them.
     dist[source as usize].store(0, Ordering::Relaxed);
-    parent[source as usize].store(source, Ordering::Relaxed);
+    parent[source as usize].store(source, Ordering::Relaxed); // Relaxed: pre-broadcast
 
     let mut frontier: Vec<VertexId> = vec![source];
     let mut frontier_sizes = vec![1u64];
@@ -74,22 +76,28 @@ fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult 
                 let v = frontier_ref[i];
                 let d = level + 1;
                 let nbrs = g.neighbors(v);
+                // Relaxed: statistics counter, read after the join.
                 edges_scanned.fetch_add(nbrs.len() as u64, Ordering::Relaxed);
                 for &u in nbrs {
                     // Claim the distance word: exactly one discoverer wins.
                     if claim(&dist[u as usize], u64::MAX, d) {
+                        // Relaxed: the claim above made this thread the
+                        // sole writer of u's parent and queue slot; the
+                        // level-ending join publishes both.
                         parent[u as usize].store(v, Ordering::Relaxed);
-                        let slot = cursor.fetch_add(1, Ordering::Relaxed) as usize;
-                        next[slot].store(u, Ordering::Relaxed);
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed) as usize; // Relaxed: slot reservation only
+                        next[slot].store(u, Ordering::Relaxed); // Relaxed: read post-join
                     }
                 }
             });
         }
 
+        // Relaxed: the level's parallel_for joined; every fetch_add
+        // happens-before this read.
         let next_len = cursor.load(Ordering::Relaxed) as usize;
         let discovered = next_len as u64;
         if let Some(r) = rec.as_deref_mut() {
-            let scanned = edges_scanned.load(Ordering::Relaxed);
+            let scanned = edges_scanned.load(Ordering::Relaxed); // Relaxed: post-join read
             let mut c = PhaseCounts::with_items(scanned.max(frontier.len() as u64));
             // Per frontier vertex: offsets read; per edge: neighbor id +
             // dist probe; per discovery: dist claim + parent write +
@@ -106,6 +114,7 @@ fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult 
 
         frontier = next[..next_len]
             .iter()
+            // Relaxed: queue writes preceded the level-ending join.
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
         if !frontier.is_empty() {

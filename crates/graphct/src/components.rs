@@ -53,15 +53,20 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
         // Updated labels are read by later arcs in the SAME sweep —
         // the label-propagation behaviour the paper highlights.
         parallel_for(0, n, |v| {
+            // Relaxed (all label loads in this sweep): deliberately racy
+            // reads of a monotonically decreasing label array — a stale
+            // value can only delay convergence, never corrupt it, and
+            // the fixpoint loop re-checks until no sweep changes a label.
             let lv = labels[v].load(Ordering::Relaxed);
             for &u in g.neighbors(v as u64) {
-                let lu = labels[u as usize].load(Ordering::Relaxed);
+                let lu = labels[u as usize].load(Ordering::Relaxed); // Relaxed: monotone label race, see above
                 if lu < lv {
                     if fetch_min(&labels[v], lu) {
+                        // Relaxed: convergence counter, read post-join.
                         changed.fetch_add(1, Ordering::Relaxed);
                     }
                 } else if lv < lu && fetch_min(&labels[u as usize], lv) {
-                    changed.fetch_add(1, Ordering::Relaxed);
+                    changed.fetch_add(1, Ordering::Relaxed); // Relaxed: counter, read post-join
                 }
             }
         });
@@ -69,10 +74,12 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
         // Compress: pointer-jump labels to their representative.
         let jumps = AtomicU64::new(0);
         parallel_for(0, n, |v| {
+            // Relaxed: same monotone-label argument as the hook sweep —
+            // stale reads chase a shorter chain, the next sweep retries.
             let mut l = labels[v].load(Ordering::Relaxed);
             let mut hops = 0u64;
             loop {
-                let ll = labels[l as usize].load(Ordering::Relaxed);
+                let ll = labels[l as usize].load(Ordering::Relaxed); // Relaxed: monotone label race
                 if ll == l {
                     break;
                 }
@@ -80,11 +87,14 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
                 hops += 1;
             }
             if hops > 0 {
+                // Relaxed: only ever lowers the label; read post-join.
                 labels[v].store(l, Ordering::Relaxed);
-                jumps.fetch_add(hops, Ordering::Relaxed);
+                jumps.fetch_add(hops, Ordering::Relaxed); // Relaxed: stats, read post-join
             }
         });
 
+        // Relaxed: both sweeps joined above; all counter updates
+        // happen-before these reads.
         let changed = changed.load(Ordering::Relaxed);
         if let Some(r) = rec.as_deref_mut() {
             let arcs = g.num_arcs();
@@ -96,8 +106,8 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
             c.atomics = changed;
             // Compress: each vertex reads its own label and its
             // representative's label at least once; extra reads per hop.
-            c.reads += 2 * n as u64 + jumps.load(Ordering::Relaxed);
-            c.writes += jumps.load(Ordering::Relaxed).min(n as u64);
+            c.reads += 2 * n as u64 + jumps.load(Ordering::Relaxed); // Relaxed: post-join read
+            c.writes += jumps.load(Ordering::Relaxed).min(n as u64); // Relaxed: post-join read
             c.charge_loop_overhead(chunk(n));
             c.barriers = 2; // hook and compress are separate sweeps
             r.push("iteration", iteration, c, changed);
@@ -154,12 +164,14 @@ pub fn connected_components_jacobi(g: &Csr, mut rec: Option<&mut Recorder>) -> V
                     l = ll;
                 }
                 if l != current_ref[v] {
+                    // Relaxed: convergence counter, read post-join.
                     changed.fetch_add(1, Ordering::Relaxed);
                 }
                 // SAFETY: one writer per index.
                 unsafe { *(next_base as *mut VertexId).add(v) = l };
             });
         }
+        // Relaxed: the sweep joined above; updates happen-before this.
         let changed = changed.load(Ordering::Relaxed);
         if let Some(r) = rec.as_deref_mut() {
             let arcs = g.num_arcs();

@@ -26,17 +26,26 @@ pub fn kcore_decomposition(g: &Csr) -> Vec<u64> {
         loop {
             let removed = AtomicU64::new(0);
             parallel_for(0, n, |v| {
+                // Relaxed (whole peel sweep): degrees only decrease and
+                // the swap elects exactly one remover per vertex; a stale
+                // degree read just defers the peel to the next cascade
+                // round, which repeats until a sweep removes nothing.
                 if alive[v].load(Ordering::Relaxed) == 1
+                    // Relaxed: monotone degree, re-checked next round.
                     && deg[v].load(Ordering::Relaxed) < k
+                    // Relaxed: RMW atomicity alone elects the remover.
                     && alive[v].swap(0, Ordering::Relaxed) == 1
                 {
+                    // Relaxed: sole writer (elected above); read post-join.
                     core[v].store(k - 1, Ordering::Relaxed);
-                    removed.fetch_add(1, Ordering::Relaxed);
+                    removed.fetch_add(1, Ordering::Relaxed); // Relaxed: counter, read post-join
                     for &u in g.neighbors(v as u64) {
+                        // Relaxed: monotone decrement, atomicity suffices.
                         deg[u as usize].fetch_sub(1, Ordering::Relaxed);
                     }
                 }
             });
+            // Relaxed: the sweep joined; all updates happen-before this.
             let r = removed.load(Ordering::Relaxed);
             if r == 0 {
                 break;

@@ -20,6 +20,7 @@ pub fn sssp(g: &Csr, source: VertexId) -> Vec<u64> {
     }
 
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    // Relaxed: sequential code before any worker sees the array.
     dist[source as usize].store(0, Ordering::Relaxed);
 
     let mut frontier: Vec<VertexId> = vec![source];
@@ -35,6 +36,9 @@ pub fn sssp(g: &Csr, source: VertexId) -> Vec<u64> {
             let f = &frontier;
             parallel_for(0, f.len(), |i| {
                 let v = f[i];
+                // Relaxed: distances only decrease; reading a stale
+                // (larger) value relaxes with a looser bound that a later
+                // round tightens — the fixpoint loop absorbs the race.
                 let dv = dist[v as usize].load(Ordering::Relaxed);
                 if dv == u64::MAX {
                     return;
@@ -42,14 +46,17 @@ pub fn sssp(g: &Csr, source: VertexId) -> Vec<u64> {
                 let ws = g.weights_of(v);
                 for (j, &u) in g.neighbors(v).iter().enumerate() {
                     let cand = dv.saturating_add(ws[j] as u64);
+                    // Relaxed: atomic min on a monotone distance cell.
                     let prev = dist[u as usize].fetch_min(cand, Ordering::Relaxed);
                     if cand < prev {
+                        // Relaxed: flag read only after the round's join.
                         improved[u as usize].store(1, Ordering::Relaxed);
                     }
                 }
             });
         }
         frontier = (0..n as u64)
+            // Relaxed: flags were set before the round's join above.
             .filter(|&v| improved[v as usize].load(Ordering::Relaxed) == 1)
             .collect();
     }

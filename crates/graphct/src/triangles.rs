@@ -32,6 +32,8 @@ pub fn count_triangles_instrumented(g: &Csr, rec: &mut Recorder) -> u64 {
 /// `cc[v] = 2·tri(v) / (d(v)·(d(v)−1))`, 0 for degree < 2.
 pub fn clustering_coefficients(g: &Csr) -> (Vec<f64>, u64) {
     let (count, per_vertex) = run(g, &mut None, true);
+    // lint:allow(no-panic-in-lib): unreachable — `run` returns Some
+    // whenever `per_vertex` is true, which this call hardcodes.
     let tri = per_vertex.expect("per-vertex counts requested");
     let cc = (0..g.num_vertices())
         .map(|v| {
@@ -76,7 +78,10 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Opti
             local_cmp += cmp;
             if let Some(tri) = &tri {
                 if found > 0 {
+                    // Relaxed (all tri[] adds): pure per-vertex tallies,
+                    // read only after the parallel_for joins.
                     tri[v as usize].fetch_add(found, Ordering::Relaxed);
+                    // Relaxed: tally, read post-join (as above).
                     tri[u as usize].fetch_add(found, Ordering::Relaxed);
                     // The third corner w also gets credit; recompute the
                     // members to attribute them (cheap: found is tiny).
@@ -85,14 +90,16 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Opti
             }
         }
         if local > 0 {
+            // Relaxed: tally accumulator, read only after the join.
             total.fetch_add(local, Ordering::Relaxed);
         }
-        compares.fetch_add(local_cmp, Ordering::Relaxed);
+        compares.fetch_add(local_cmp, Ordering::Relaxed); // Relaxed: stats, post-join
     });
 
+    // Relaxed: the parallel_for joined; adds happen-before this read.
     let count = total.load(Ordering::Relaxed);
     if let Some(r) = rec.as_deref_mut() {
-        let cmp = compares.load(Ordering::Relaxed);
+        let cmp = compares.load(Ordering::Relaxed); // Relaxed: post-join read
         let mut c = PhaseCounts::with_items(g.num_arcs());
         // Each merge step reads one adjacency word and compares; each
         // found triangle costs one (local, then one shared) write.
@@ -152,14 +159,16 @@ pub fn count_triangles_binsearch(g: &Csr, mut rec: Option<&mut Recorder>) -> u64
             }
         }
         if local > 0 {
+            // Relaxed: tally accumulator, read only after the join.
             total.fetch_add(local, Ordering::Relaxed);
         }
-        probes.fetch_add(local_probes, Ordering::Relaxed);
+        probes.fetch_add(local_probes, Ordering::Relaxed); // Relaxed: stats, post-join
     });
 
+    // Relaxed: the parallel_for joined; adds happen-before this read.
     let count = total.load(Ordering::Relaxed);
     if let Some(r) = rec.take() {
-        let p = probes.load(Ordering::Relaxed);
+        let p = probes.load(Ordering::Relaxed); // Relaxed: post-join read
         let mut c = PhaseCounts::with_items(g.num_arcs());
         c.reads = p + g.num_arcs();
         c.alu_ops = p;
@@ -204,6 +213,7 @@ fn credit_third_corners(nv: &[VertexId], nu: &[VertexId], floor: VertexId, tri: 
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
+                // Relaxed: per-vertex tally, read after the sweep joins.
                 tri[nv[i] as usize].fetch_add(1, Ordering::Relaxed);
                 i += 1;
                 j += 1;

@@ -1,0 +1,108 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How bad a finding is.  Only [`Severity::Error`] affects the exit
+/// code; warnings are printed and counted but never fail the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (nonzero exit).
+    Error,
+    /// Reported and counted, but does not fail the run.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding at a file/line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that produced the finding (kebab-case name).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as `path:line: severity[rule]: message` (the
+    /// editor-clickable form the CLI prints).
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}]: {}",
+            self.path.display(),
+            self.line,
+            self.severity,
+            self.rule,
+            self.message
+        )
+    }
+
+    /// Render as a one-line JSON object (hand-rolled; the tool is
+    /// dependency-free by design).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"severity\":\"{}\",\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path.display().to_string()),
+            self.line,
+            self.severity,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_editor_clickable() {
+        let d = Diagnostic {
+            rule: "no-panic-in-lib",
+            severity: Severity::Error,
+            path: PathBuf::from("crates/x/src/lib.rs"),
+            line: 7,
+            message: "`.unwrap()` in library code".to_string(),
+        };
+        assert_eq!(
+            d.render(),
+            "crates/x/src/lib.rs:7: error[no-panic-in-lib]: `.unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,262 @@
+//! The rule engine: walk the workspace's library sources, run every
+//! rule, apply `lint:allow` suppression, and aggregate a summary.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{json_escape, Diagnostic, Severity};
+use crate::model::{Allow, FileModel};
+use crate::rules::{all_rules, Rule};
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct RunSummary {
+    /// Files scanned.
+    pub files: usize,
+    /// Findings that survived `lint:allow` suppression.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by a well-formed `lint:allow`.
+    pub allowed: usize,
+    /// Per-rule counts of surviving findings (rule order).
+    pub by_rule: Vec<(&'static str, usize)>,
+}
+
+impl RunSummary {
+    /// Surviving error-severity findings (these fail the run).
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Surviving warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// The machine-readable one-line summary the CLI prints last.
+    pub fn render_json(&self) -> String {
+        let by_rule: Vec<String> = self
+            .by_rule
+            .iter()
+            .map(|(name, n)| format!("\"{}\":{}", json_escape(name), n))
+            .collect();
+        format!(
+            "LINT-SUMMARY {{\"files\":{},\"violations\":{},\"errors\":{},\"warnings\":{},\"allowed\":{},\"by_rule\":{{{}}}}}",
+            self.files,
+            self.diagnostics.len(),
+            self.errors(),
+            self.warnings(),
+            self.allowed,
+            by_rule.join(",")
+        )
+    }
+}
+
+/// Directories under `<root>/crates/<name>/src` that are scanned.
+/// `crates/compat/*` is deliberately excluded: those are vendored
+/// API stand-ins for third-party crates (the build environment has no
+/// crates.io route), mirroring upstream code we do not audit here.
+fn scan_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut names: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        names.sort();
+        for dir in names {
+            if dir.file_name().and_then(|n| n.to_str()) == Some("compat") {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    // The workspace-root package's own library sources.
+    let top = root.join("src");
+    if top.is_dir() {
+        roots.push(top);
+    }
+    roots
+}
+
+/// Every `.rs` file under the scan roots, sorted for determinism.
+pub fn scan_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for r in scan_roots(root) {
+        collect_rs(&r, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint one already-parsed file with the given rules, applying
+/// `lint:allow` suppression.  Returns `(surviving, allowed_count)`.
+pub fn lint_file(model: &FileModel, rules: &[Rule]) -> (Vec<Diagnostic>, usize) {
+    let known: Vec<&str> = rules.iter().map(|r| r.name).collect();
+    let mut out = Vec::new();
+    let mut allowed = 0usize;
+
+    for rule in rules {
+        for diag in (rule.check)(model) {
+            let allows = model.allows_for(diag.line - 1);
+            let suppressed = allows
+                .iter()
+                .any(|a| matches!(a, Allow::Ok { rule: r } if r == rule.name));
+            if suppressed {
+                allowed += 1;
+            } else {
+                out.push(diag);
+            }
+        }
+    }
+
+    // The escape hatch polices itself: malformed annotations and
+    // references to unknown rules are findings too.
+    for (i, line) in model.src.lines.iter().enumerate() {
+        for allow in crate::model::parse_allows(&line.comment) {
+            match allow {
+                Allow::Malformed { why } => out.push(Diagnostic {
+                    rule: "lint-allow-syntax",
+                    severity: Severity::Error,
+                    path: model.path.clone(),
+                    line: i + 1,
+                    message: format!("malformed lint:allow: {why}"),
+                }),
+                Allow::Ok { rule } if !known.contains(&rule.as_str()) => out.push(Diagnostic {
+                    rule: "lint-allow-syntax",
+                    severity: Severity::Error,
+                    path: model.path.clone(),
+                    line: i + 1,
+                    message: format!("lint:allow names unknown rule `{rule}`"),
+                }),
+                Allow::Ok { .. } => {}
+            }
+        }
+    }
+
+    (out, allowed)
+}
+
+/// Run every rule over the workspace at `root`.
+pub fn run(root: &Path) -> Result<RunSummary, String> {
+    let rules = all_rules();
+    let files = scan_files(root);
+    if files.is_empty() {
+        return Err(format!(
+            "no sources found under {} (expected crates/*/src)",
+            root.display()
+        ));
+    }
+    let mut summary = RunSummary {
+        by_rule: rules.iter().map(|r| (r.name, 0usize)).collect(),
+        ..RunSummary::default()
+    };
+    summary.by_rule.push(("lint-allow-syntax", 0));
+
+    for path in &files {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let model = FileModel::parse(rel, &text);
+        let (diags, allowed) = lint_file(&model, &rules);
+        summary.allowed += allowed;
+        for d in diags {
+            if let Some(slot) = summary.by_rule.iter_mut().find(|(n, _)| *n == d.rule) {
+                slot.1 += 1;
+            }
+            summary.diagnostics.push(d);
+        }
+        summary.files += 1;
+    }
+    summary
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint_text(path: &str, text: &str) -> (Vec<Diagnostic>, usize) {
+        let model = FileModel::parse(&PathBuf::from(path), text);
+        lint_file(&model, &all_rules())
+    }
+
+    #[test]
+    fn allow_suppresses_and_counts() {
+        let (diags, allowed) = lint_text(
+            "crates/x/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(no-panic-in-lib): checked by caller\n    x.unwrap()\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(allowed, 1);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let (diags, allowed) = lint_text(
+            "crates/x/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(no-lock-unwrap): wrong rule\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(allowed, 0);
+    }
+
+    #[test]
+    fn malformed_allow_is_its_own_finding() {
+        let (diags, _) = lint_text(
+            "crates/x/src/lib.rs",
+            "// lint:allow(no-panic-in-lib)\nfn f() {}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "lint-allow-syntax");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let (diags, _) = lint_text(
+            "crates/x/src/lib.rs",
+            "// lint:allow(no-such-rule): reason\nfn f() {}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "lint-allow-syntax");
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let s = RunSummary {
+            files: 3,
+            diagnostics: vec![],
+            allowed: 2,
+            by_rule: vec![("no-panic-in-lib", 0)],
+        };
+        assert_eq!(
+            s.render_json(),
+            "LINT-SUMMARY {\"files\":3,\"violations\":0,\"errors\":0,\"warnings\":0,\"allowed\":2,\"by_rule\":{\"no-panic-in-lib\":0}}"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this tool only need a line-oriented view of a source
+//! file with comments and literal contents out of the way: `code` holds
+//! the line with comments removed and string/char contents blanked, and
+//! `comment` holds the text of any comment touching the line.  The
+//! lexer handles the constructs that break naive regex scans — line and
+//! (nested) block comments, string literals with escapes, raw strings
+//! with arbitrary `#` fences, byte strings, char literals, and
+//! lifetimes (`'a` is not an unterminated char).
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments removed and string/char literal
+    /// contents replaced by spaces (delimiters kept).
+    pub code: String,
+    /// Concatenated text of every comment overlapping this line.
+    pub comment: String,
+}
+
+impl Line {
+    /// Does this line consist only of a comment (no code)?
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// Is this line blank (no code, no comment)?
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+
+    /// Does this line hold only an attribute (`#[...]` / `#![...]`)?
+    pub fn is_attr_only(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+/// A lexed source file: one [`Line`] per input line.
+#[derive(Debug, Default)]
+pub struct Source {
+    /// Lines in file order; index 0 is line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* ... */`.
+    BlockComment(u32),
+    /// Inside `"..."` (escapes honoured).
+    Str,
+    /// Inside `r##"..."##` with this many `#`s.
+    RawStr(u32),
+}
+
+/// Lex `src` into per-line code/comment views.
+pub fn lex(src: &str) -> Source {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime (`'a`), loop label (`'outer:`), or char
+                    // literal (`'x'`, `'\n'`).  A char literal closes
+                    // with a `'` within a couple of characters; a
+                    // lifetime never does.
+                    i += 1;
+                    code.push('\'');
+                    if bytes.get(i) == Some(&'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        i += 1; // the backslash
+                        while i < bytes.len() && bytes[i] != '\'' && bytes[i] != '\n' {
+                            i += 1;
+                        }
+                        code.push(' ');
+                        if bytes.get(i) == Some(&'\'') {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else if bytes.get(i + 1) == Some(&'\'') && bytes.get(i) != Some(&'\'') {
+                        // 'x' — a plain char literal.
+                        code.push(' ');
+                        code.push('\'');
+                        i += 2;
+                    }
+                    // Otherwise: a lifetime/label; the quote is already
+                    // emitted and the identifier lexes as normal code.
+                } else if c.is_alphabetic() || c == '_' {
+                    // Consume a whole identifier so raw-string prefixes
+                    // (`r`, `b`, `br`) are recognized only as tokens.
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    let ident: String = bytes[start..i].iter().collect();
+                    // Raw / byte string start?
+                    let mut hashes = 0usize;
+                    while bytes.get(i + hashes) == Some(&'#') {
+                        hashes += 1;
+                    }
+                    let quote_after_hashes = bytes.get(i + hashes) == Some(&'"');
+                    match ident.as_str() {
+                        "r" | "br" | "rb" if quote_after_hashes => {
+                            code.push_str(&ident);
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            code.push('"');
+                            i += hashes + 1;
+                            state = State::RawStr(hashes as u32);
+                        }
+                        "b" if hashes == 0 && bytes.get(i) == Some(&'"') => {
+                            code.push_str(&ident);
+                            code.push('"');
+                            i += 1;
+                            state = State::Str;
+                        }
+                        _ => code.push_str(&ident),
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character (possibly a quote).
+                    code.push(' ');
+                    if bytes.get(i + 1).is_some_and(|&n| n != '\n') {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let h = hashes as usize;
+                    let closed = (0..h).all(|k| bytes.get(i + 1 + k) == Some(&'#'));
+                    if closed {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push('#');
+                        }
+                        i += 1 + h;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    // Final line without a trailing newline.
+    if !code.is_empty() || !comment.is_empty() || lines.is_empty() {
+        flush_line!();
+    }
+    Source { lines }
+}
+
+/// Iterate the identifier tokens of a blanked code line as
+/// `(byte_offset, ident)` pairs.
+pub fn idents(code: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let b = code.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, &code[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The first non-whitespace char strictly after byte `at` in `code`.
+pub fn next_nonspace(code: &str, at: usize) -> Option<char> {
+    code[at..].chars().find(|c| !c.is_whitespace())
+}
+
+/// The last non-whitespace char strictly before byte `at` in `code`.
+pub fn prev_nonspace(code: &str, at: usize) -> Option<char> {
+    code[..at].chars().rev().find(|c| !c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let s = lex("let x = 1; // trailing\n// full line\nlet y = 2;");
+        assert_eq!(s.lines.len(), 3);
+        assert_eq!(s.lines[0].code.trim(), "let x = 1;");
+        assert_eq!(s.lines[0].comment.trim(), "trailing");
+        assert!(s.lines[1].is_comment_only());
+        assert!(s.lines[2].comment.is_empty());
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let s = lex("let s = \"unsafe // not a comment\";");
+        assert!(!s.lines[0].code.contains("unsafe"));
+        assert!(s.lines[0].comment.is_empty());
+        assert!(s.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_blanked() {
+        let s = lex("let s = r#\"has \"quotes\" and unwrap()\"#; foo();");
+        assert!(!s.lines[0].code.contains("unwrap"));
+        assert!(s.lines[0].code.contains("foo()"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_stay_blanked() {
+        let s = lex("let s = r#\"line one\nunsafe { }\n\"#;\nbar();");
+        assert!(!s.lines[1].code.contains("unsafe"));
+        assert!(s.lines[3].code.contains("bar()"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let s = lex("/* outer /* inner */ still comment */ code();");
+        assert!(s.lines[0].code.contains("code()"));
+        assert!(!s.lines[0].code.contains("inner"));
+        assert!(s.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = lex("fn f<'a>(x: &'a str) -> &'a str { x } // SAFETY: none");
+        assert!(s.lines[0].code.contains("'a"));
+        assert!(s.lines[0].comment.contains("SAFETY"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        // The quote inside the first char literal must not open a
+        // string (which would swallow `let d` as string contents).
+        let s = lex("let c = '\"'; let d = '\\n'; real();");
+        assert_eq!(s.lines[0].code, "let c = ' '; let d = ' '; real();");
+    }
+
+    #[test]
+    fn idents_tokenize_with_boundaries() {
+        let toks = idents("x.unwrap_or(y).unwrap()");
+        let names: Vec<&str> = toks.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "unwrap_or", "y", "unwrap"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! A dependency-free static-analysis pass for this workspace's
+//! concurrency discipline.
+//!
+//! The paper's argument rests on fine-grained synchronization done
+//! right (GraphCT's `int_fetch_add` and full/empty bits vs. BSP's
+//! barriers), and the reproduction carries the same hazard surface:
+//! `unsafe` scatter loops, `Ordering::Relaxed` counters, and
+//! full/empty cells.  This crate makes the discipline around those
+//! sites machine-checked instead of reviewer-checked:
+//!
+//! * [`lexer`] — a hand-rolled line-oriented Rust lexer (comments,
+//!   strings, raw strings, char literals/lifetimes);
+//! * [`model`] — per-file structure: test spans, function spans, and
+//!   the `lint:allow(<rule>): <reason>` escape hatch;
+//! * [`rules`] — the five shipped rules;
+//! * [`engine`] — the workspace walker and summary.
+//!
+//! Run it as `cargo run -p lint --release`; it exits nonzero when any
+//! error-severity finding survives suppression.  See DESIGN.md
+//! ("Static analysis & concurrency discipline") for each rule's
+//! rationale.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod model;
+pub mod rules;

@@ -1,0 +1,101 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p lint --release [-- --root <dir>] [--json] [--list-rules]
+//! ```
+//!
+//! Prints one `path:line: severity[rule]: message` line per finding
+//! (or JSON objects with `--json`), then a machine-readable
+//! `LINT-SUMMARY {...}` line, and exits nonzero when any
+//! error-severity finding survives `lint:allow` suppression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::engine;
+use lint::rules::all_rules;
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    // Walk up from the current directory to the first Cargo.toml that
+    // declares a workspace; fall back to the compile-time manifest
+    // location (crates/lint -> workspace root).
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .components()
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!(
+                        "{:<28} {:<8} {}",
+                        rule.name,
+                        format!("{}", rule.severity),
+                        rule.summary
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: lint [--root <dir>] [--json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint: unknown option {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root(root);
+    let summary = match engine::run(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &summary.diagnostics {
+        if json {
+            println!("{}", d.render_json());
+        } else {
+            println!("{}", d.render());
+        }
+    }
+    println!("{}", summary.render_json());
+    if summary.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

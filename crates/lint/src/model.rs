@@ -1,0 +1,339 @@
+//! Per-file analysis model: the lexed source plus the structural spans
+//! rules need (test-only regions, function bodies) and the
+//! `lint:allow` escape-hatch lookup.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Source};
+
+/// A half-open span of 0-based line indices `[start, end]` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First covered line (0-based).
+    pub start: usize,
+    /// Last covered line (0-based, inclusive).
+    pub end: usize,
+}
+
+impl Span {
+    fn contains(&self, line: usize) -> bool {
+        (self.start..=self.end).contains(&line)
+    }
+}
+
+/// The result of parsing one `// lint:allow(<rule>): <reason>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Allow {
+    /// A well-formed allow for `rule`.
+    Ok {
+        /// The rule being allowed.
+        rule: String,
+    },
+    /// `lint:allow` present but not of the form
+    /// `lint:allow(<rule>): <reason>` — itself a violation.
+    Malformed {
+        /// What went wrong.
+        why: &'static str,
+    },
+}
+
+/// A lexed file plus structural information.
+pub struct FileModel {
+    /// File path, workspace-relative when possible.
+    pub path: PathBuf,
+    /// Lexed lines.
+    pub src: Source,
+    /// Regions under `#[cfg(test)]` or `#[test]` (0-based line spans).
+    pub test_spans: Vec<Span>,
+    /// Function-body spans, innermost-last (0-based, covering the `fn`
+    /// line through its closing brace).
+    pub fn_spans: Vec<Span>,
+}
+
+impl FileModel {
+    /// Lex and analyze `text` as the contents of `path`.
+    pub fn parse(path: &Path, text: &str) -> FileModel {
+        let src = lex(text);
+        let test_spans = find_test_spans(&src);
+        let fn_spans = find_fn_spans(&src);
+        FileModel {
+            path: path.to_path_buf(),
+            src,
+            test_spans,
+            fn_spans,
+        }
+    }
+
+    /// Is the 0-based line inside a `#[cfg(test)]`/`#[test]` region?
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(line))
+    }
+
+    /// The innermost function span containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<Span> {
+        self.fn_spans
+            .iter()
+            .filter(|s| s.contains(line))
+            .min_by_key(|s| s.end - s.start)
+            .copied()
+    }
+
+    /// All `lint:allow` annotations that apply to the 0-based `line`:
+    /// one on the line's own comment, or in the contiguous run of
+    /// comment-only/attribute lines directly above it.
+    pub fn allows_for(&self, line: usize) -> Vec<Allow> {
+        let mut out = Vec::new();
+        if let Some(l) = self.src.lines.get(line) {
+            out.extend(parse_allows(&l.comment));
+        }
+        let mut i = line;
+        while i > 0 {
+            i -= 1;
+            let l = &self.src.lines[i];
+            if l.is_comment_only() || l.is_attr_only() {
+                out.extend(parse_allows(&l.comment));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Does a comment containing `needle` justify the 0-based `line` —
+    /// i.e. appear on the line itself or in the contiguous block of
+    /// comment-only/attribute lines directly above it?
+    pub fn comment_block_contains(&self, line: usize, needle: &str) -> bool {
+        if let Some(l) = self.src.lines.get(line) {
+            if l.comment.contains(needle) {
+                return true;
+            }
+        }
+        let mut i = line;
+        while i > 0 {
+            i -= 1;
+            let l = &self.src.lines[i];
+            if l.is_comment_only() || l.is_attr_only() {
+                if l.comment.contains(needle) {
+                    return true;
+                }
+            } else {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Does the 0-based `line` carry any comment on itself or on the
+    /// line directly above it?  (The `relaxed-ordering-justified`
+    /// notion of a same-or-previous-line justification.)
+    pub fn has_adjacent_comment(&self, line: usize) -> bool {
+        if let Some(l) = self.src.lines.get(line) {
+            if !l.comment.trim().is_empty() {
+                return true;
+            }
+        }
+        line > 0 && !self.src.lines[line - 1].comment.trim().is_empty()
+    }
+}
+
+/// Parse every `lint:allow` occurrence in a comment string.
+///
+/// Prose mentions of the grammar — no parenthesis, or a placeholder
+/// rule name like `<rule>` — are ignored rather than reported, so
+/// documentation can talk about the escape hatch.  A well-formed
+/// `lint:allow(<valid-rule-name>)` with a missing or empty reason is
+/// malformed: the reason is the point.
+pub fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow") {
+        let tail = &rest[at + "lint:allow".len()..];
+        rest = tail;
+        // Not an annotation (prose like "the lint:allow grammar").
+        let Some(tail) = tail.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = tail.find(')') else {
+            continue;
+        };
+        let rule = tail[..close].trim().to_string();
+        // Placeholder like `<rule>`: prose, not an annotation.
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            continue;
+        }
+        let after = &tail[close + 1..];
+        let Some(reason) = after.trim_start().strip_prefix(':') else {
+            out.push(Allow::Malformed {
+                why: "missing `: <reason>` after lint:allow(rule)",
+            });
+            continue;
+        };
+        if reason.trim().is_empty() {
+            out.push(Allow::Malformed {
+                why: "empty reason in lint:allow",
+            });
+            continue;
+        }
+        out.push(Allow::Ok { rule });
+    }
+    out
+}
+
+/// Find `#[cfg(test)]` / `#[test]` regions: from the attribute line,
+/// the region covers through the close of the next brace-balanced item.
+fn find_test_spans(src: &Source) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for (i, line) in src.lines.iter().enumerate() {
+        let t = line.code.trim();
+        if !(t.starts_with("#[cfg(test)]") || t.starts_with("#[test]")) {
+            continue;
+        }
+        // Scan forward for the item's opening brace, then match it.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = i;
+        'outer: for (j, l) in src.lines.iter().enumerate().skip(i) {
+            for c in l.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    // An item ending before any brace (e.g. a
+                    // `#[cfg(test)] use ...;`) covers just itself.
+                    ';' if !opened => {
+                        end = j;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        spans.push(Span { start: i, end });
+    }
+    spans
+}
+
+/// Find function-body spans by matching the brace after each `fn`.
+fn find_fn_spans(src: &Source) -> Vec<Span> {
+    let mut spans = Vec::new();
+    // Stack of (fn_start_line, depth_at_which_body_opened).
+    let mut open: Vec<(usize, i64)> = Vec::new();
+    let mut pending_fn: Option<usize> = None;
+    let mut depth = 0i64;
+    for (i, line) in src.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut k = 0usize;
+        let b = code.as_bytes();
+        while k < b.len() {
+            let c = b[k] as char;
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = k;
+                while k < b.len() && ((b[k] as char).is_ascii_alphanumeric() || b[k] == b'_') {
+                    k += 1;
+                }
+                if &code[start..k] == "fn" {
+                    pending_fn = Some(i);
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(fn_line) = pending_fn.take() {
+                        open.push((fn_line, depth));
+                    }
+                }
+                '}' => {
+                    if let Some(&(fn_line, d)) = open.last() {
+                        if d == depth {
+                            open.pop();
+                            spans.push(Span {
+                                start: fn_line,
+                                end: i,
+                            });
+                        }
+                    }
+                    depth -= 1;
+                }
+                // A signature-only `fn` (trait method decl) ends at `;`.
+                ';' => {
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(text: &str) -> FileModel {
+        FileModel::parse(Path::new("mem.rs"), text)
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_the_module() {
+        let m = model("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n");
+        assert!(!m.in_test_code(0));
+        assert!(m.in_test_code(1));
+        assert!(m.in_test_code(3));
+        assert!(!m.in_test_code(5));
+    }
+
+    #[test]
+    fn fn_spans_nest() {
+        let m = model("fn outer() {\n    fn inner() {\n        x();\n    }\n    y();\n}\n");
+        let inner = m.enclosing_fn(2).expect("inner span");
+        assert_eq!((inner.start, inner.end), (1, 3));
+        let outer = m.enclosing_fn(4).expect("outer span");
+        assert_eq!((outer.start, outer.end), (0, 5));
+    }
+
+    #[test]
+    fn allow_grammar_requires_reason() {
+        assert_eq!(
+            parse_allows("lint:allow(no-panic-in-lib): CLI surface"),
+            vec![Allow::Ok {
+                rule: "no-panic-in-lib".to_string()
+            }]
+        );
+        assert!(matches!(
+            parse_allows("lint:allow(no-panic-in-lib)").as_slice(),
+            [Allow::Malformed { .. }]
+        ));
+        assert!(matches!(
+            parse_allows("lint:allow(no-panic-in-lib):   ").as_slice(),
+            [Allow::Malformed { .. }]
+        ));
+        // Prose mentions of the grammar are not annotations.
+        assert!(parse_allows("the lint:allow grammar").is_empty());
+        assert!(parse_allows("write lint:allow(<rule>): <reason> above").is_empty());
+    }
+
+    #[test]
+    fn allows_apply_to_the_next_code_line() {
+        let m =
+            model("// lint:allow(no-panic-in-lib): reason here\nfoo.unwrap();\nbar.unwrap();\n");
+        assert_eq!(m.allows_for(1).len(), 1);
+        assert!(m.allows_for(2).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let m = model("foo.unwrap(); // lint:allow(no-panic-in-lib): init only\n");
+        assert_eq!(m.allows_for(0).len(), 1);
+    }
+}

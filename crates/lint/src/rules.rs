@@ -1,0 +1,431 @@
+//! The shipped rules.
+//!
+//! Each rule is a pure function from a [`FileModel`] to diagnostics;
+//! scoping (which files and which regions of a file the rule applies
+//! to) lives with the rule, and the engine applies `lint:allow`
+//! suppression afterwards.  Rationale for every rule is documented in
+//! DESIGN.md ("Static analysis & concurrency discipline").
+
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{idents, next_nonspace, prev_nonspace};
+use crate::model::FileModel;
+
+/// A named rule with a fixed severity.
+pub struct Rule {
+    /// Kebab-case rule name (the `lint:allow` key).
+    pub name: &'static str,
+    /// Severity of the rule's findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// The checker.
+    pub check: fn(&FileModel) -> Vec<Diagnostic>,
+}
+
+/// Every shipped rule.
+pub fn all_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "unsafe-needs-safety-comment",
+            severity: Severity::Error,
+            summary: "every `unsafe` block/fn/impl must be preceded by a `// SAFETY:` comment",
+            check: unsafe_needs_safety_comment,
+        },
+        Rule {
+            name: "no-panic-in-lib",
+            severity: Severity::Error,
+            summary: "unwrap()/expect()/panic!/unreachable!/todo! forbidden in library code",
+            check: no_panic_in_lib,
+        },
+        Rule {
+            name: "relaxed-ordering-justified",
+            severity: Severity::Error,
+            summary: "every Ordering::Relaxed needs a same-or-previous-line justification comment",
+            check: relaxed_ordering_justified,
+        },
+        Rule {
+            name: "no-lock-unwrap",
+            severity: Severity::Error,
+            summary:
+                ".lock()/.read()/.write() + unwrap() forbidden in crates/service and crates/bsp",
+            check: no_lock_unwrap,
+        },
+        Rule {
+            name: "full-empty-pairing",
+            severity: Severity::Error,
+            summary: "readfe-style acquires must be matched by writeef-style fills per function",
+            check: full_empty_pairing,
+        },
+    ]
+}
+
+/// Is this file a binary root (`src/bin/**` or `src/main.rs`)?
+fn is_bin_path(path: &Path) -> bool {
+    let bin_dir = path
+        .components()
+        .any(|c| c.as_os_str().to_str() == Some("bin"));
+    let main = path.file_name().and_then(|f| f.to_str()) == Some("main.rs");
+    bin_dir || main
+}
+
+/// Is the file inside the crate `name` (matched as a `crates/<name>`
+/// path component pair)?
+fn in_crate(path: &Path, name: &str) -> bool {
+    let comps: Vec<&str> = path
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    comps.windows(2).any(|w| w[0] == "crates" && w[1] == name)
+}
+
+/// Library code: not a binary root and not inside test-only regions.
+fn is_lib_line(m: &FileModel, line: usize) -> bool {
+    !is_bin_path(&m.path) && !m.in_test_code(line)
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: unsafe-needs-safety-comment
+// ---------------------------------------------------------------------
+
+/// Flag `unsafe` tokens with no `SAFETY:` comment on the same line or
+/// in the contiguous comment/attribute block directly above.
+fn unsafe_needs_safety_comment(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in m.src.lines.iter().enumerate() {
+        let has_unsafe = idents(&line.code).iter().any(|&(_, id)| id == "unsafe");
+        if !has_unsafe {
+            continue;
+        }
+        if m.comment_block_contains(i, "SAFETY:") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "unsafe-needs-safety-comment",
+            severity: Severity::Error,
+            path: m.path.clone(),
+            line: i + 1,
+            message: "`unsafe` without a `// SAFETY:` comment on this line or directly above"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: no-panic-in-lib
+// ---------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Flag `.unwrap()`, `.expect(...)` and panicking macros in library
+/// code (binary roots and `#[cfg(test)]` regions are exempt).
+fn no_panic_in_lib(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if is_bin_path(&m.path) {
+        return out;
+    }
+    for (i, line) in m.src.lines.iter().enumerate() {
+        if m.in_test_code(i) {
+            continue;
+        }
+        for &(at, id) in &idents(&line.code) {
+            let end = at + id.len();
+            let found = match id {
+                "unwrap" => {
+                    prev_nonspace(&line.code, at) == Some('.')
+                        && line.code[end..].trim_start().starts_with("()")
+                }
+                "expect" => {
+                    prev_nonspace(&line.code, at) == Some('.')
+                        && next_nonspace(&line.code, end) == Some('(')
+                }
+                name if PANIC_MACROS.contains(&name) => next_nonspace(&line.code, end) == Some('!'),
+                _ => false,
+            };
+            if found {
+                let what = if PANIC_MACROS.contains(&id) {
+                    format!("`{id}!`")
+                } else {
+                    format!("`.{id}()`")
+                };
+                out.push(Diagnostic {
+                    rule: "no-panic-in-lib",
+                    severity: Severity::Error,
+                    path: m.path.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "{what} can panic in library code; return a typed error or justify \
+                         the invariant with lint:allow"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: relaxed-ordering-justified
+// ---------------------------------------------------------------------
+
+/// Flag `Ordering::Relaxed` in library code with no comment on the
+/// same line or the line directly above.
+fn relaxed_ordering_justified(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in m.src.lines.iter().enumerate() {
+        if !is_lib_line(m, i) {
+            continue;
+        }
+        let relaxed = idents(&line.code)
+            .iter()
+            .any(|&(at, id)| id == "Relaxed" && prev_nonspace(&line.code, at) == Some(':'));
+        if !relaxed {
+            continue;
+        }
+        if m.has_adjacent_comment(i) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "relaxed-ordering-justified",
+            severity: Severity::Error,
+            path: m.path.clone(),
+            line: i + 1,
+            message: "`Ordering::Relaxed` without a same-or-previous-line justification \
+                      comment (say why no stronger ordering is needed)"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: no-lock-unwrap
+// ---------------------------------------------------------------------
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Flag `.lock().unwrap()`-style poisoned-lock panics in the service
+/// and bsp crates, where a worker must map them to typed errors.
+fn no_lock_unwrap(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !(in_crate(&m.path, "service") || in_crate(&m.path, "bsp")) {
+        return out;
+    }
+    for (i, line) in m.src.lines.iter().enumerate() {
+        if !is_lib_line(m, i) {
+            continue;
+        }
+        for &(at, id) in &idents(&line.code) {
+            if !LOCK_METHODS.contains(&id) || prev_nonspace(&line.code, at) != Some('.') {
+                continue;
+            }
+            // Whitespace-insensitive check for `().unwrap()`/`().expect(`.
+            let rest: String = line.code[at + id.len()..]
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            if rest.starts_with("().unwrap()") || rest.starts_with("().expect(") {
+                out.push(Diagnostic {
+                    rule: "no-lock-unwrap",
+                    severity: Severity::Error,
+                    path: m.path.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "`.{id}().unwrap()` turns a poisoned lock into a worker death; \
+                         map it to a typed error"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: full-empty-pairing
+// ---------------------------------------------------------------------
+
+const ACQUIRES: &[&str] = &["read_fe", "readfe"];
+const FILLS: &[&str] = &["write_ef", "writeef"];
+
+/// Heuristic: within one function, every readfe-style acquire (which
+/// leaves the cell *empty*) should be matched by a writeef-style fill;
+/// a function that acquires more than it fills can strand the cell
+/// empty and deadlock later readers.  `try_read_fe` and `read_ff` do
+/// not count (non-blocking probe / non-consuming read).
+fn full_empty_pairing(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if is_bin_path(&m.path) {
+        return out;
+    }
+    for span in &m.fn_spans {
+        // Only innermost attribution matters for counting: nested fns
+        // are rare; counting a nested fn's calls twice (once for the
+        // outer span) is avoided by skipping lines owned by an inner fn.
+        if m.in_test_code(span.start) {
+            continue;
+        }
+        let mut acquires = 0usize;
+        let mut fills = 0usize;
+        let mut first_acquire: Option<usize> = None;
+        for i in span.start..=span.end {
+            if let Some(inner) = m.enclosing_fn(i) {
+                if inner != *span {
+                    continue;
+                }
+            }
+            let line = &m.src.lines[i];
+            let toks = idents(&line.code);
+            for (k, &(at, id)) in toks.iter().enumerate() {
+                let is_call = next_nonspace(&line.code, at + id.len()) == Some('(');
+                if !is_call {
+                    continue;
+                }
+                // A definition (`fn read_fe(...)`) is not a call site.
+                let is_def = k > 0 && toks[k - 1].1 == "fn";
+                if is_def {
+                    continue;
+                }
+                if ACQUIRES.contains(&id) {
+                    acquires += 1;
+                    first_acquire.get_or_insert(i);
+                } else if FILLS.contains(&id) {
+                    fills += 1;
+                }
+            }
+        }
+        if acquires > fills {
+            let line = first_acquire.unwrap_or(span.start);
+            out.push(Diagnostic {
+                rule: "full-empty-pairing",
+                severity: Severity::Error,
+                path: m.path.clone(),
+                line: line + 1,
+                message: format!(
+                    "function acquires {acquires} readfe-style value(s) but fills only \
+                     {fills} writeef-style; a cell taken and never refilled can deadlock \
+                     later readers"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(rule: &str, path: &str, text: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse(&PathBuf::from(path), text);
+        let r = all_rules()
+            .into_iter()
+            .find(|r| r.name == rule)
+            .expect("rule exists");
+        (r.check)(&m)
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged() {
+        let d = check(
+            "unsafe-needs-safety-comment",
+            "crates/x/src/lib.rs",
+            "fn f() {\n    unsafe { g() };\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_above_passes() {
+        let d = check(
+            "unsafe-needs-safety-comment",
+            "crates/x/src/lib.rs",
+            "fn f() {\n    // SAFETY: g is pure\n    unsafe { g() };\n}\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_is_flagged_but_unwrap_or_is_not() {
+        let d = check(
+            "no-panic-in-lib",
+            "crates/x/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0);\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn panics_in_tests_and_bins_pass() {
+        assert!(check(
+            "no-panic-in-lib",
+            "crates/x/src/bin/tool.rs",
+            "fn main() { x.unwrap(); }\n"
+        )
+        .is_empty());
+        assert!(check(
+            "no-panic-in-lib",
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn relaxed_without_comment_is_flagged() {
+        let d = check(
+            "relaxed-ordering-justified",
+            "crates/x/src/lib.rs",
+            "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        let ok = check(
+            "relaxed-ordering-justified",
+            "crates/x/src/lib.rs",
+            "fn f(c: &AtomicU64) {\n    // monotonic counter, read after join\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_only_fires_in_scoped_crates() {
+        let src = "fn f() {\n    let g = m.lock().unwrap();\n}\n";
+        assert_eq!(
+            check("no-lock-unwrap", "crates/service/src/x.rs", src).len(),
+            1
+        );
+        assert_eq!(check("no-lock-unwrap", "crates/bsp/src/x.rs", src).len(), 1);
+        assert!(check("no-lock-unwrap", "crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unpaired_readfe_is_flagged() {
+        let d = check(
+            "full-empty-pairing",
+            "crates/par/src/x.rs",
+            "fn steal(c: &FullEmptyCell<u64>) -> u64 {\n    c.read_fe()\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        let ok = check(
+            "full-empty-pairing",
+            "crates/par/src/x.rs",
+            "fn bump(c: &FullEmptyCell<u64>) {\n    let v = c.read_fe();\n    c.write_ef(v + 1);\n}\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn readfe_definitions_are_not_calls() {
+        let ok = check(
+            "full-empty-pairing",
+            "crates/par/src/x.rs",
+            "impl C {\n    pub fn read_fe(&self) -> u64 {\n        self.take()\n    }\n}\n",
+        );
+        assert!(ok.is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: each readfe-style acquire is matched by a writeef-style
+// fill within the same function -> no findings.
+
+pub fn bump(cell: &xmt_par::FullEmptyCell<u64>) {
+    let v = cell.read_fe();
+    cell.write_ef(v + 1);
+}

@@ -1,0 +1,6 @@
+// Fixture: a function that acquires (leaving the cell empty) without
+// ever refilling -> a full-empty-pairing finding on line 4.
+
+pub fn steal(cell: &xmt_par::FullEmptyCell<u64>) -> u64 {
+    cell.read_fe()
+}

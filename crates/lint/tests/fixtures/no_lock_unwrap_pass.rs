@@ -1,0 +1,9 @@
+// Fixture (scoped to crates/service or crates/bsp): a poisoned lock is
+// handled instead of unwrapped -> no findings.
+
+pub fn depth(queue: &std::sync::Mutex<Vec<u64>>) -> usize {
+    match queue.lock() {
+        Ok(guard) => guard.len(),
+        Err(poisoned) => poisoned.into_inner().len(),
+    }
+}

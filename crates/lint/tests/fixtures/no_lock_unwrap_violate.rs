@@ -1,0 +1,6 @@
+// Fixture (scoped to crates/service or crates/bsp): `.lock().unwrap()`
+// -> a no-lock-unwrap finding on line 4.
+
+pub fn depth(queue: &std::sync::Mutex<Vec<u64>>) -> usize {
+    queue.lock().unwrap().len()
+}

@@ -1,0 +1,14 @@
+// Fixture: total library code (no unwrap/expect/panicking macro), and
+// a test region where panics are exempt -> no findings.
+
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        super::first(&[1]).unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: `.unwrap()` in library code -> one finding on line 4.
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,10 @@
+// Fixture: every `Ordering::Relaxed` is justified on the same or the
+// immediately previous line -> no findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // Relaxed: monotonic counter, read only after the pool joins.
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.fetch_add(1, Ordering::Relaxed); // Relaxed: same argument
+}

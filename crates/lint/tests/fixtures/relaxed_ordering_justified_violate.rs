@@ -1,0 +1,8 @@
+// Fixture: bare `Ordering::Relaxed` -> one finding on line 7.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    let _ = counter;
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+// Fixture: every `unsafe` carries a SAFETY comment -> no findings.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,6 @@
+// Fixture: `unsafe` with no SAFETY comment -> one finding on line 5.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    let _ = xs.len();
+    unsafe { *xs.get_unchecked(0) }
+}

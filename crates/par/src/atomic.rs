@@ -15,17 +15,24 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// input borrow guarantees no non-atomic access races with the returned
 /// view.
 pub fn as_atomic_u64(data: &mut [u64]) -> &[AtomicU64] {
+    // SAFETY: `AtomicU64` is `repr(transparent)` over `u64` (same size
+    // and alignment), and the exclusive input borrow outlives the
+    // returned shared view, so no non-atomic access can race it.
     unsafe { &*(data as *mut [u64] as *const [AtomicU64]) }
 }
 
 /// Reinterpret an exclusively borrowed `usize` slice as atomics.
 pub fn as_atomic_usize(data: &mut [usize]) -> &[AtomicUsize] {
+    // SAFETY: `AtomicUsize` is layout-identical to `usize`, and the
+    // exclusive borrow rules out concurrent non-atomic access.
     unsafe { &*(data as *mut [usize] as *const [AtomicUsize]) }
 }
 
 /// `int_fetch_add` on a shared counter; returns the previous value.
 #[inline]
 pub fn fetch_add(counter: &AtomicU64, delta: u64) -> u64 {
+    // Relaxed: models XMT int_fetch_add — callers rely only on the
+    // RMW's atomicity; results are published by the pool's join barrier.
     counter.fetch_add(delta, Ordering::Relaxed)
 }
 
@@ -35,6 +42,8 @@ pub fn fetch_add(counter: &AtomicU64, delta: u64) -> u64 {
 /// changed).  This is the inner operation of the component-label update.
 #[inline]
 pub fn fetch_min(cell: &AtomicU64, value: u64) -> bool {
+    // Relaxed: the label cell is the only data involved (no payload is
+    // published through it); kernels read it back after a pool barrier.
     let prev = cell.fetch_min(value, Ordering::Relaxed);
     value < prev
 }
@@ -42,6 +51,8 @@ pub fn fetch_min(cell: &AtomicU64, value: u64) -> bool {
 /// Atomically set `cell = max(cell, value)`; returns `true` on change.
 #[inline]
 pub fn fetch_max(cell: &AtomicU64, value: u64) -> bool {
+    // Relaxed: same shape as `fetch_min` — RMW atomicity on a single
+    // cell, with cross-thread publication left to the pool barrier.
     let prev = cell.fetch_max(value, Ordering::Relaxed);
     value > prev
 }
@@ -53,6 +64,9 @@ pub fn fetch_max(cell: &AtomicU64, value: u64) -> bool {
 /// vertex" on the frontier — this is how).
 #[inline]
 pub fn claim(cell: &AtomicU64, empty: u64, value: u64) -> bool {
+    // Relaxed (both orderings): the CAS decides a single winner on one
+    // cell; no other memory is released through the claim, and losers
+    // read nothing.  Frontier contents are published by the barrier.
     cell.compare_exchange(empty, value, Ordering::Relaxed, Ordering::Relaxed)
         .is_ok()
 }

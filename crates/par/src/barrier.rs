@@ -35,9 +35,16 @@ impl SenseBarrier {
     /// Returns `true` for exactly one caller per episode (the last to
     /// arrive), mirroring `std::sync::Barrier`'s leader election.
     pub fn wait(&self) -> bool {
+        // Relaxed: coherence on the single `sense` variable suffices —
+        // this thread last observed `sense` through its own previous
+        // episode's Acquire spin (or construction), so it cannot read a
+        // value older than that; no other location is involved.
         let my_sense = !self.sense.load(Ordering::Relaxed);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
+            // Relaxed: the Release store of `sense` just below orders
+            // this reset before any waiter's next-episode fetch_add,
+            // which Acquires the same episode via the AcqRel RMW chain.
             self.count.store(0, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
             true

@@ -25,8 +25,13 @@ pub struct FullEmptyCell<T> {
     value: UnsafeCell<MaybeUninit<T>>,
 }
 
-// SAFETY: access to `value` is serialized by the BUSY state transition.
+// SAFETY: the cell owns its `T`; sending the cell sends the value with
+// it, so `T: Send` is the only requirement.
 unsafe impl<T: Send> Send for FullEmptyCell<T> {}
+// SAFETY: all shared access to `value` is serialized by the exclusive
+// BUSY state transition (Acquire CAS in / Release store out), so `&self`
+// methods never alias a live `&mut`; `T: Send` suffices because values
+// are moved through the cell, never shared by reference.
 unsafe impl<T: Send> Sync for FullEmptyCell<T> {}
 
 impl<T> FullEmptyCell<T> {
@@ -62,6 +67,8 @@ impl<T> FullEmptyCell<T> {
         loop {
             if self
                 .state
+                // Relaxed on failure: a failed claim publishes nothing and
+                // reads no cell contents; the retry path re-checks `state`.
                 .compare_exchange(from, BUSY, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
@@ -108,11 +115,15 @@ impl<T> FullEmptyCell<T> {
     pub fn try_read_fe(&self) -> Option<T> {
         if self
             .state
+            // Relaxed on failure: `None` carries no data out of the cell.
             .compare_exchange(FULL, BUSY, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
             return None;
         }
+        // SAFETY: the Acquire CAS above won the FULL -> BUSY transition,
+        // granting exclusive access to a slot the filling writer
+        // initialized before its Release store of FULL.
         let v = unsafe { (*self.value.get()).assume_init_read() };
         self.release_to(EMPTY);
         Some(v)

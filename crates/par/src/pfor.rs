@@ -72,6 +72,9 @@ where
     }
     let cursor = AtomicUsize::new(start);
     pool.run(|worker| loop {
+        // Relaxed: the cursor only partitions the index range — each
+        // claim is an independent RMW and the chunks carry no payload;
+        // results written by `body` are published by the pool's join.
         let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
         if lo >= end {
             break;

@@ -91,6 +91,9 @@ impl Pool {
                         bc.done.arrive();
                     }
                 })
+                // lint:allow(no-panic-in-lib): spawn fails only under OS
+                // resource exhaustion at pool construction; Pool::new has
+                // no fallible contract and no caller could proceed anyway.
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
@@ -113,18 +116,24 @@ impl Pool {
         let n = self.num_workers();
         let latch = Arc::new(Latch::new(n));
         let wide: *const (dyn Fn(usize) + Sync + '_) = &f;
-        // Erase the lifetime; see the SAFETY comment on `Broadcast`.
-        let raw: RawJob =
-            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), RawJob>(wide) };
+        // SAFETY: only the lifetime is erased — the pointer is
+        // dereferenced solely by workers while this frame is blocked in
+        // `latch.wait()` below (see the SAFETY comment on `Broadcast`).
+        let raw: RawJob = unsafe { std::mem::transmute(wide) };
         for tx in &self.senders {
             tx.send(Broadcast {
                 job: raw,
                 done: Arc::clone(&latch),
             })
+            // lint:allow(no-panic-in-lib): a closed channel means a worker
+            // thread died outside `catch_unwind` — an invariant breach we
+            // cannot continue past without deadlocking on the latch.
             .expect("pool worker exited unexpectedly");
         }
         latch.wait();
         if latch.panicked.load(Ordering::Acquire) {
+            // lint:allow(no-panic-in-lib): deliberate re-raise of a worker
+            // panic in the submitting thread, mirroring std::thread::join.
             panic!("a pool worker panicked during Pool::run");
         }
     }

@@ -98,14 +98,18 @@ impl GraphRegistry {
             inner.used -= old.bytes;
         }
         if self.budget > 0 {
-            while inner.used + bytes > self.budget && !inner.entries.is_empty() {
-                let victim = inner
+            while inner.used + bytes > self.budget {
+                let Some(victim) = inner
                     .entries
                     .iter()
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(k, _)| k.clone())
-                    .expect("non-empty");
-                let evicted = inner.entries.remove(&victim).expect("present");
+                else {
+                    break;
+                };
+                let Some(evicted) = inner.entries.remove(&victim) else {
+                    break;
+                };
                 inner.used -= evicted.bytes;
                 inner.evictions += 1;
             }

@@ -216,6 +216,9 @@ impl Scheduler {
                 std::thread::Builder::new()
                     .name(format!("svc-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint:allow(no-panic-in-lib): thread spawn fails only
+                    // on OS resource exhaustion at construction time;
+                    // there is no scheduler to degrade gracefully yet.
                     .expect("spawn scheduler worker")
             })
             .collect();
@@ -239,13 +242,17 @@ impl Scheduler {
                 return Err(ServiceError::ShuttingDown);
             }
             if queue.heap.len() >= self.shared.config.queue_capacity {
+                // Relaxed: monotonic stats counter, read only by stats().
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::QueueFull {
                     capacity: self.shared.config.queue_capacity,
                 });
             }
+            // Relaxed (both): id/seq allocation needs only the RMW's
+            // atomicity for uniqueness; the values travel to workers via
+            // the jobs/queue locks.
             let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed); // Relaxed: as above
             let priority = spec.priority;
             // Record before the entry is visible to workers, so a pop
             // always finds its job.
@@ -267,9 +274,14 @@ impl Scheduler {
                 },
             );
             queue.heap.push(QueueEntry { priority, seq, id });
+            // Count inside the queue lock so `stats()` (which reads the
+            // depth under the same lock) never observes a queue deeper
+            // than the submitted total.
+            // Relaxed: the queue lock provides the ordering; the counter
+            // itself is a monotonic stat.
+            self.shared.submitted.fetch_add(1, Ordering::Relaxed);
             id
         };
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.cond.notify_one();
         Ok(id)
     }
@@ -283,12 +295,16 @@ impl Scheduler {
         match rec.state {
             JobState::Queued => {
                 // The heap entry stays; workers skip non-queued jobs.
+                // Relaxed: single monotonic flag, polled at superstep
+                // boundaries; the jobs lock orders the state change.
                 rec.cancel.store(true, Ordering::Relaxed);
                 rec.state = JobState::Cancelled;
                 rec.finished = Some(Instant::now());
                 Ok(JobState::Cancelled)
             }
             JobState::Running => {
+                // Relaxed: single monotonic flag; a slightly late read by
+                // the worker only delays the cut by one superstep.
                 rec.cancel.store(true, Ordering::Relaxed);
                 Ok(JobState::Running)
             }
@@ -322,7 +338,12 @@ impl Scheduler {
         let rec = jobs.get(&id).ok_or(ServiceError::JobNotFound { id })?;
         match rec.state {
             JobState::Completed => Ok((
-                rec.output.clone().expect("completed job has output"),
+                rec.output
+                    .clone()
+                    // lint:allow(no-panic-in-lib): invariant — run_one
+                    // sets `output` in the same locked section that sets
+                    // `state = Completed`.
+                    .expect("completed job has output"),
                 rec.supersteps,
             )),
             JobState::Failed => Err(ServiceError::Internal {
@@ -376,8 +397,8 @@ impl Scheduler {
             workers: self.shared.config.workers.max(1),
             queue_capacity: self.shared.config.queue_capacity,
             queue_depth,
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.load(Ordering::Relaxed), // Relaxed: stats snapshot
+            rejected: self.shared.rejected.load(Ordering::Relaxed),   // Relaxed: stats snapshot
             jobs_by_state,
             latencies: self.shared.latency.summaries(),
         }
@@ -396,10 +417,12 @@ impl Scheduler {
             for rec in jobs.values_mut() {
                 match rec.state {
                     JobState::Queued => {
+                        // Relaxed: monotonic flag; jobs lock orders state.
                         rec.cancel.store(true, Ordering::Relaxed);
                         rec.state = JobState::Cancelled;
                         rec.finished = Some(Instant::now());
                     }
+                    // Relaxed: monotonic flag, polled at superstep bounds.
                     JobState::Running => rec.cancel.store(true, Ordering::Relaxed),
                     _ => {}
                 }
@@ -465,6 +488,8 @@ fn run_one(shared: &Shared, id: JobId) {
 
     let stop = {
         let cancel = Arc::clone(&cancel);
+        // Relaxed: the flag is monotonic and only gates an early cut; a
+        // stale read costs at most one extra superstep.
         move || cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d)
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -497,6 +522,9 @@ fn run_one(shared: &Shared, id: JobId) {
             rec.checkpoint = Some(checkpoint);
             // Why did the run stop?  Cancel flag and deadline map to
             // their own states; otherwise the superstep budget cut it.
+            // Relaxed: post-run classification; the flag only ever goes
+            // false -> true, so a stale read misclassifies toward the
+            // benign `Interrupted` state.
             rec.state = if cancel.load(Ordering::Relaxed) {
                 if deadline.is_some_and(|d| now >= d) {
                     JobState::TimedOut

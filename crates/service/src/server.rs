@@ -238,6 +238,9 @@ impl Server {
             let handle = std::thread::Builder::new()
                 .name("svc-conn".to_string())
                 .spawn(move || serve_connection(stream, &service, &stop, addr))
+                // lint:allow(no-panic-in-lib): thread spawn fails only on
+                // OS resource exhaustion; there is no useful way to keep
+                // serving once threads cannot be created.
                 .expect("spawn connection thread");
             connections.lock().push(handle);
         }
@@ -253,6 +256,8 @@ impl Server {
         std::thread::Builder::new()
             .name("svc-accept".to_string())
             .spawn(move || self.run())
+            // lint:allow(no-panic-in-lib): spawn fails only on OS
+            // resource exhaustion at server startup.
             .expect("spawn server thread")
     }
 }

@@ -105,6 +105,9 @@ impl DynGraph {
         self.adj[u as usize].remove(pu);
         let pv = self.adj[v as usize]
             .binary_search(&u)
+            // lint:allow(no-panic-in-lib): structural invariant —
+            // add_edge inserts both directions atomically w.r.t. &mut
+            // self, so a present u->v edge implies v->u exists.
             .expect("asymmetric adjacency");
         self.adj[v as usize].remove(pv);
         self.num_edges -= 1;

@@ -172,6 +172,9 @@ pub fn parallel_loop(
                     return Some(Op::FetchAdd(cursor, chunk as i64));
                 }
                 1 => {
+                    // lint:allow(no-panic-in-lib): tasklet protocol
+                    // invariant — phase 1 is entered only after the
+                    // fetch-add issued in phase 0 delivered its result.
                     let lo = last.unwrap();
                     if lo >= items as u64 {
                         return None;

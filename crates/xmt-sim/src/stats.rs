@@ -49,6 +49,7 @@ impl RunStats {
         if self.per_proc_instructions.is_empty() {
             return 0.0;
         }
+        // lint:allow(no-panic-in-lib): the empty case returned above.
         let max = *self.per_proc_instructions.iter().max().unwrap() as f64;
         let mean = self.per_proc_instructions.iter().sum::<u64>() as f64
             / self.per_proc_instructions.len() as f64;
