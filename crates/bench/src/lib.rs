@@ -13,7 +13,7 @@ pub mod sim_validate;
 pub mod workload;
 
 pub use args::HarnessConfig;
-pub use output::{write_json, Table};
+pub use output::{write_csv, write_json, Table};
 pub use workload::{build_paper_graph, pick_bfs_source};
 
 /// Paper reference numbers (128-processor Cray XMT, RMAT scale 24).

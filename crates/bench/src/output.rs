@@ -78,6 +78,20 @@ pub fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// Write CSV rows to `dir/name.csv` (creating `dir`), header first.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    f.flush()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Write a serializable result to `dir/name.json` (creating `dir`).
 pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;

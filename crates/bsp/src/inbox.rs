@@ -242,6 +242,28 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         self.offsets.len() - 1
     }
 
+    /// Messages awaiting delivery in each destination bucket of width
+    /// `stride` (bucket `b` covers vertices `[b·stride, (b+1)·stride)`),
+    /// read off the CSR offsets in O(buckets).  The post-combining
+    /// counterpart of [`CollectedBatches::bucket_counts`]: together they
+    /// give sent/combined/delivered per bucket for trace reporting.
+    ///
+    /// [`CollectedBatches::bucket_counts`]: crate::transport::CollectedBatches::bucket_counts
+    pub fn bucket_counts(&self, stride: u64) -> Vec<u64> {
+        let n = self.num_vertices() as u64;
+        if stride == 0 || n == 0 {
+            return Vec::new();
+        }
+        let buckets = n.div_ceil(stride) as usize;
+        (0..buckets)
+            .map(|b| {
+                let lo = b as u64 * stride;
+                let hi = (lo + stride).min(n);
+                self.offsets[hi as usize] - self.offsets[lo as usize]
+            })
+            .collect()
+    }
+
     /// Snapshot all pending deliveries as `(destination, message)` pairs
     /// (post-combining view).  Rebuilding an inbox from this snapshot
     /// delivers the same messages — the basis of superstep checkpoints.
@@ -378,5 +400,18 @@ mod tests {
         assert_eq!(ib.total_messages(), 8 * 5000);
         let sum: u64 = (0..n as u64).map(|v| ib.raw_count(v)).sum();
         assert_eq!(sum, 8 * 5000);
+    }
+
+    #[test]
+    fn bucket_counts_tile_the_inbox() {
+        // n = 7, stride 3: buckets [0,3) [3,6) [6,7).
+        let batches = vec![vec![(0u64, 1u64), (1, 2), (4, 3), (6, 4), (6, 5)]];
+        let ib = Inbox::build(7, &batches, None);
+        assert_eq!(ib.bucket_counts(3), vec![2, 1, 2]);
+        assert_eq!(ib.bucket_counts(3).iter().sum::<u64>(), ib.total_messages());
+        // Stride covering everything is one bucket; stride 0 is empty.
+        assert_eq!(ib.bucket_counts(100), vec![5]);
+        assert!(ib.bucket_counts(0).is_empty());
+        assert!(Inbox::<u64>::empty(0).bucket_counts(3).is_empty());
     }
 }

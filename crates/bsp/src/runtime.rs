@@ -298,10 +298,36 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
     graph: &Csr,
     program: &P,
     config: BspConfig,
-    mut rec: Option<&mut Recorder>,
+    rec: Option<&mut Recorder>,
     from: Option<Snapshot<P>>,
     stop: Option<StopHook<'_>>,
 ) -> Result<SlicedRun<P::State, P::Message>, ResumeError> {
+    run_bsp_slice_traced(graph, program, config, rec, from, stop, None)
+}
+
+/// [`run_bsp_slice_with_stop`] plus a wall-clock trace sink: each
+/// completed superstep appends one [`xmt_trace::SuperstepTrace`] record
+/// (phase timings, message counters, active-set size, halt votes) to
+/// `sink`.
+///
+/// Records carry *absolute* superstep numbers — a run resumed from a
+/// checkpoint at superstep `k` records its first entry as `k`, so the
+/// trace series of a checkpoint/resume chain is contiguous.  With the
+/// `trace` feature off (or `sink` = `None`) no clocks are read and no
+/// records are built; the guard folds to a constant.
+pub fn run_bsp_slice_traced<P: VertexProgram>(
+    graph: &Csr,
+    program: &P,
+    config: BspConfig,
+    mut rec: Option<&mut Recorder>,
+    from: Option<Snapshot<P>>,
+    stop: Option<StopHook<'_>>,
+    mut sink: Option<&mut xmt_trace::TraceSink>,
+) -> Result<SlicedRun<P::State, P::Message>, ResumeError> {
+    // `ENABLED` is a const: when the feature is off this is `false`, the
+    // compiler strips every `if tracing` block below, and the loop is
+    // bit-identical to the untraced build.
+    let tracing = xmt_trace::ENABLED && sink.is_some();
     let n = graph.num_vertices() as usize;
     let workers = xmt_par::num_threads();
 
@@ -391,6 +417,13 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
     let mut pulling = false;
 
     loop {
+        // Two stopwatches when tracing: one spanning the superstep, one
+        // lapped at each phase boundary.  `None` (rather than a stopped
+        // watch) when not tracing, so untraced runs read no clocks even
+        // in trace-enabled builds.
+        let mut step_watch = tracing.then(xmt_trace::Stopwatch::start);
+        let mut phase_watch = step_watch;
+
         // ---- Phase A: find active vertices -------------------------------
         let active: Vec<VertexId> = if pulling {
             // Pull superstep: any vertex with a neighbor may gather a
@@ -419,6 +452,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
             v.shrink_to_fit();
             v
         };
+        let scan_ns = phase_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
         if let Some(r) = rec.as_deref_mut() {
             let mut c = if pulling {
                 // Pull supersteps scan degrees + halt flags densely no
@@ -480,6 +514,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
         let pull_hits = AtomicU64::new(0);
         let extra_reads = AtomicU64::new(0);
         let extra_alu = AtomicU64::new(0);
+        let halt_votes = AtomicU64::new(0);
         let next_active_parts: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
         // Pull supersteps gather from the states as of the *end of the
         // previous superstep*; snapshot them so concurrent writes during
@@ -498,6 +533,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                 let mut local_delivered = 0u64;
                 let mut local_probes = (0u64, 0u64);
                 let mut local_extra = (0u64, 0u64);
+                let mut local_halts = 0u64;
                 let mut local_awake: Vec<VertexId> = Vec::new();
                 for i in range {
                     let v = active_ref[i];
@@ -548,6 +584,11 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                     // Relaxed: each active vertex's flag is written once
                     // (active set is distinct) and read only after join.
                     halted_ref[v as usize].store(ctx.halt as u64, Ordering::Relaxed);
+                    // `tracing` is loop-invariant and const-false in
+                    // feature-off builds: the accumulation is stripped.
+                    if tracing {
+                        local_halts += u64::from(ctx.halt);
+                    }
                     // Worklist: a vertex that stayed awake is active next
                     // superstep regardless of messages; claim its slot.
                     if worklist
@@ -573,6 +614,10 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                     pull_probes.fetch_add(local_probes.0, Ordering::Relaxed);
                     pull_hits.fetch_add(local_probes.1, Ordering::Relaxed); // Relaxed: stats, post-join
                 }
+                if tracing {
+                    // Relaxed: trace counter, read only post-join.
+                    halt_votes.fetch_add(local_halts, Ordering::Relaxed);
+                }
                 collector.deposit(worker, outbox, program.combiner());
                 if !local_awake.is_empty() {
                     next_active_parts.lock().extend(local_awake);
@@ -582,6 +627,7 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                 }
             });
         }
+        let compute_ns = phase_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
         let shipped = collector.total();
         let messages_generated = collector.total_generated();
         // Relaxed loads: the compute parallel_for joined above, so every
@@ -654,6 +700,15 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
                 }
             }
         };
+        let exchange_ns = phase_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
+        // Per-bucket boundary traffic (bucketed transport only; counts
+        // what actually crosses — nothing does when the next superstep
+        // pulls).
+        let bucket_messages = if tracing && !pull_next {
+            collected.bucket_counts()
+        } else {
+            Vec::new()
+        };
 
         if let Some(r) = rec.as_deref_mut() {
             let a = active.len() as u64;
@@ -711,6 +766,26 @@ pub fn run_bsp_slice_with_stop<P: VertexProgram>(
             pulled: pulling,
             pull_probes: probes,
         });
+        if tracing {
+            if let Some(sk) = sink.as_deref_mut() {
+                sk.record(xmt_trace::SuperstepTrace {
+                    superstep: s,
+                    active: active.len() as u64,
+                    messages_sent,
+                    messages_generated,
+                    messages_delivered,
+                    // Relaxed: accumulated before the compute join above.
+                    halt_votes: halt_votes.load(Ordering::Relaxed),
+                    pulled: pulling,
+                    pull_probes: probes,
+                    bucket_messages,
+                    scan_ns,
+                    compute_ns,
+                    exchange_ns,
+                    total_ns: step_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns),
+                });
+            }
+        }
         inbox = next_inbox;
         pulling = pull_next;
         s += 1;
@@ -1544,5 +1619,143 @@ mod tests {
         assert_eq!(r.aggregates.len(), 1);
         assert_eq!(r.aggregates[0].0, (0..100u64).sum::<u64>());
         assert!((r.aggregates[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_sink_mirrors_superstep_stats() {
+        let mut sink = xmt_trace::TraceSink::new();
+        let g = build_undirected(&path(20));
+        let run = run_bsp_slice_traced(
+            &g,
+            &MinFlood,
+            BspConfig::default(),
+            None,
+            None,
+            None,
+            Some(&mut sink),
+        )
+        .unwrap();
+        let trace = sink.finish();
+        assert_eq!(trace.len(), run.result.superstep_stats.len());
+        for (t, s) in trace.iter().zip(&run.result.superstep_stats) {
+            assert_eq!(t.active, s.active);
+            assert_eq!(t.messages_sent, s.messages_sent);
+            assert_eq!(t.messages_generated, s.messages_generated);
+            assert_eq!(t.messages_delivered, s.messages_delivered);
+            assert_eq!(t.pulled, s.pulled);
+            assert_eq!(t.pull_probes, s.pull_probes);
+            // Phase laps never exceed the superstep span they tile.
+            assert!(t.scan_ns + t.compute_ns + t.exchange_ns <= t.total_ns.max(1));
+        }
+        // Supersteps number 0..k in order; MinFlood's vertices all vote
+        // to halt every superstep.
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(t.superstep, i as u64);
+            assert_eq!(t.halt_votes, t.active);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_series_is_contiguous_across_a_stop_cut() {
+        let g = build_undirected(&path(40));
+        let polls = AtomicU64::new(0);
+        let hook = || polls.fetch_add(1, Ordering::Relaxed) >= 3;
+        let mut first_sink = xmt_trace::TraceSink::new();
+        let first = run_bsp_slice_traced(
+            &g,
+            &MinFlood,
+            BspConfig::default(),
+            None,
+            None,
+            Some(&hook),
+            Some(&mut first_sink),
+        )
+        .unwrap();
+        let ckpt = first.resume.expect("stopped run must yield a checkpoint");
+        let first_trace = first_sink.finish();
+        assert_eq!(first_trace.len() as u64, first.result.supersteps);
+
+        let mut second_sink = xmt_trace::TraceSink::new();
+        let second = run_bsp_slice_traced(
+            &g,
+            &MinFlood,
+            BspConfig::default(),
+            None,
+            Some((first.result.states, ckpt)),
+            None,
+            Some(&mut second_sink),
+        )
+        .unwrap();
+        assert!(second.resume.is_none());
+        let second_trace = second_sink.finish();
+        // Absolute superstep numbering: the resumed run picks up exactly
+        // where the cut left off, with no gap and no overlap.
+        let last_before = first_trace.last().unwrap().superstep;
+        let first_after = second_trace.first().unwrap().superstep;
+        assert_eq!(first_after, last_before + 1);
+        let all: Vec<u64> = first_trace
+            .iter()
+            .chain(&second_trace)
+            .map(|t| t.superstep)
+            .collect();
+        assert_eq!(all, (0..all.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn bucketed_trace_reports_per_bucket_traffic() {
+        let g = build_undirected(&path(64));
+        let mut sink = xmt_trace::TraceSink::new();
+        let run = run_bsp_slice_traced(
+            &g,
+            &MinFlood,
+            BspConfig {
+                transport: Transport::Bucketed,
+                ..Default::default()
+            },
+            None,
+            None,
+            None,
+            Some(&mut sink),
+        )
+        .unwrap();
+        let trace = sink.finish();
+        for (t, s) in trace.iter().zip(&run.result.superstep_stats) {
+            // Bucket counts tile the boundary traffic exactly.
+            assert_eq!(t.bucket_messages.iter().sum::<u64>(), s.messages_sent);
+        }
+        // One bucket per worker, however many the pool has.
+        assert_eq!(trace[0].bucket_messages.len(), xmt_par::num_threads());
+    }
+
+    #[test]
+    fn untraced_runs_record_nothing() {
+        // run_bsp_slice_with_stop forwards a None sink: equivalent runs,
+        // no records — in every feature configuration.
+        let g = build_undirected(&path(10));
+        let mut sink = xmt_trace::TraceSink::new();
+        let a = run_bsp_slice_traced(
+            &g,
+            &MinFlood,
+            BspConfig::default(),
+            None,
+            None,
+            None,
+            Some(&mut sink),
+        )
+        .unwrap();
+        let b =
+            run_bsp_slice_with_stop(&g, &MinFlood, BspConfig::default(), None, None, None).unwrap();
+        assert_eq!(a.result.states, b.result.states);
+        assert_eq!(
+            sink.len() as u64,
+            if xmt_trace::ENABLED {
+                a.result.supersteps
+            } else {
+                0
+            }
+        );
     }
 }

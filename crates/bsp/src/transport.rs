@@ -96,6 +96,25 @@ impl<M> CollectedBatches<M> {
                 .collect(),
         }
     }
+
+    /// Messages bound for each destination bucket, summed across
+    /// workers (post sender-side combining).  Empty for the flat
+    /// transports, which have no destination partitioning to report.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        match self {
+            CollectedBatches::Flat(_) => Vec::new(),
+            CollectedBatches::Bucketed { per_worker, .. } => {
+                let buckets = per_worker.first().map_or(0, Vec::len);
+                let mut counts = vec![0u64; buckets];
+                for worker in per_worker {
+                    for (b, batch) in worker.iter().enumerate() {
+                        counts[b] += batch.len() as u64;
+                    }
+                }
+                counts
+            }
+        }
+    }
 }
 
 /// Collects outgoing messages during one superstep's compute phase.
@@ -410,6 +429,20 @@ mod tests {
         assert_eq!(bucketed.atomics, 0);
         assert_eq!(bucketed.hotspot_ops, 0);
         assert_eq!(bucketed.barriers, 2);
+    }
+
+    #[test]
+    fn bucket_counts_sum_across_workers() {
+        let collected: CollectedBatches<u64> = CollectedBatches::Bucketed {
+            stride: 3,
+            per_worker: vec![
+                vec![vec![(0, 1), (2, 2)], vec![(3, 3)]],
+                vec![vec![], vec![(4, 4), (5, 5)]],
+            ],
+        };
+        assert_eq!(collected.bucket_counts(), vec![2, 3]);
+        let flat: CollectedBatches<u64> = CollectedBatches::Flat(vec![vec![(0, 1)]]);
+        assert!(flat.bucket_counts().is_empty());
     }
 
     #[test]

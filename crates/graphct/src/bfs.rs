@@ -30,16 +30,32 @@ pub struct BfsResult {
 
 /// Level-synchronous BFS from `source`.
 pub fn bfs(g: &Csr, source: VertexId) -> BfsResult {
-    run(g, source, &mut None)
+    run(g, source, &mut None, None)
 }
 
 /// As [`bfs`], recording one `"level"` phase per frontier expansion
 /// (observed = frontier size entering the level).
 pub fn bfs_instrumented(g: &Csr, source: VertexId, rec: &mut Recorder) -> BfsResult {
-    run(g, source, &mut Some(rec))
+    run(g, source, &mut Some(rec), None)
 }
 
-fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult {
+/// As [`bfs`], appending one wall-clock trace record per level to
+/// `sink` (active = frontier size, messages = discoveries) so the
+/// GraphCT side yields the same Fig. 2-shaped series as a BSP run.
+/// No-op when the `trace` feature is off.
+pub fn bfs_traced(g: &Csr, source: VertexId, sink: &mut xmt_trace::TraceSink) -> BfsResult {
+    run(g, source, &mut None, Some(sink))
+}
+
+fn run(
+    g: &Csr,
+    source: VertexId,
+    rec: &mut Option<&mut Recorder>,
+    mut sink: Option<&mut xmt_trace::TraceSink>,
+) -> BfsResult {
+    // Const-folds to `false` in feature-off builds: no clocks, no
+    // records, hot loop unchanged.
+    let tracing = xmt_trace::ENABLED && sink.is_some();
     let n = g.num_vertices() as usize;
     assert!((source as usize) < n, "source out of range");
 
@@ -69,6 +85,7 @@ fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult 
     while !frontier.is_empty() {
         let cursor = AtomicU64::new(0);
         let edges_scanned = AtomicU64::new(0);
+        let mut level_watch = tracing.then(xmt_trace::Stopwatch::start);
 
         {
             let frontier_ref = &frontier;
@@ -112,6 +129,8 @@ fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult 
             r.push("level", level, c, frontier.len() as u64);
         }
 
+        let compute_ns = level_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
+        let parallel_frontier = frontier.len() as u64;
         frontier = next[..next_len]
             .iter()
             // Relaxed: queue writes preceded the level-ending join.
@@ -119,6 +138,23 @@ fn run(g: &Csr, source: VertexId, rec: &mut Option<&mut Recorder>) -> BfsResult 
             .collect();
         if !frontier.is_empty() {
             frontier_sizes.push(frontier.len() as u64);
+        }
+        if tracing {
+            if let Some(sk) = sink.as_deref_mut() {
+                let exchange_ns = level_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
+                sk.record(xmt_trace::SuperstepTrace {
+                    superstep: level,
+                    active: parallel_frontier,
+                    messages_sent: discovered,
+                    // Relaxed: post-join read of a stats counter.
+                    messages_generated: edges_scanned.load(Ordering::Relaxed),
+                    messages_delivered: discovered,
+                    compute_ns,
+                    exchange_ns,
+                    total_ns: compute_ns + exchange_ns,
+                    ..xmt_trace::SuperstepTrace::default()
+                });
+            }
         }
         level += 1;
     }
@@ -213,6 +249,28 @@ mod tests {
         let observed: Vec<u64> = rec.with_label("level").map(|x| x.observed).collect();
         assert_eq!(observed, r.frontier_sizes);
         assert_eq!(observed, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_levels_mirror_frontier_sizes() {
+        let g = build_undirected(&binary_tree(255));
+        let reference = bfs(&g, 0);
+        let mut sink = xmt_trace::TraceSink::new();
+        let r = bfs_traced(&g, 0, &mut sink);
+        assert_eq!(r, reference);
+        let trace = sink.finish();
+        // One record per expanded level (the last level discovers
+        // nothing and ends the loop).
+        assert_eq!(trace.len(), r.frontier_sizes.len());
+        for (t, &size) in trace.iter().zip(&r.frontier_sizes) {
+            assert_eq!(t.active, size);
+        }
+        // Discoveries at level L are the frontier entering level L+1.
+        for (t, &next_size) in trace.iter().zip(r.frontier_sizes.iter().skip(1)) {
+            assert_eq!(t.messages_sent, next_size);
+        }
+        assert_eq!(trace.last().unwrap().messages_sent, 0);
     }
 
     #[test]

@@ -22,17 +22,32 @@ use xmt_par::parallel_for;
 /// Compute component labels (each vertex gets the minimum vertex id of
 /// its component).
 pub fn connected_components(g: &Csr) -> Vec<VertexId> {
-    run(g, &mut None)
+    run(g, &mut None, None)
 }
 
 /// As [`connected_components`], recording one `"iteration"` phase per
 /// sweep (observed = number of label updates in the sweep).
 pub fn connected_components_instrumented(g: &Csr, rec: &mut Recorder) -> Vec<VertexId> {
-    run(g, &mut Some(rec))
+    run(g, &mut Some(rec), None)
 }
 
-fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
+/// As [`connected_components`], appending one wall-clock trace record
+/// per sweep to `sink` (active = vertices swept, messages = label
+/// updates) so the GraphCT side yields the same Fig. 1-shaped series as
+/// a BSP run.  No-op when the `trace` feature is off.
+pub fn connected_components_traced(g: &Csr, sink: &mut xmt_trace::TraceSink) -> Vec<VertexId> {
+    run(g, &mut None, Some(sink))
+}
+
+fn run(
+    g: &Csr,
+    rec: &mut Option<&mut Recorder>,
+    mut sink: Option<&mut xmt_trace::TraceSink>,
+) -> Vec<VertexId> {
     assert!(!g.is_directed(), "components require an undirected graph");
+    // Const-folds to `false` in feature-off builds: no clocks, no
+    // records, hot sweeps unchanged.
+    let tracing = xmt_trace::ENABLED && sink.is_some();
     let n = g.num_vertices() as usize;
     let labels: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
 
@@ -48,6 +63,7 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
     let mut iteration = 0u64;
     loop {
         let changed = AtomicU64::new(0);
+        let mut sweep_watch = tracing.then(xmt_trace::Stopwatch::start);
 
         // Hook: for every arc (u, v) pull the smaller label across.
         // Updated labels are read by later arcs in the SAME sweep —
@@ -70,6 +86,8 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
                 }
             }
         });
+
+        let hook_ns = sweep_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
 
         // Compress: pointer-jump labels to their representative.
         let jumps = AtomicU64::new(0);
@@ -111,6 +129,26 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>) -> Vec<VertexId> {
             c.charge_loop_overhead(chunk(n));
             c.barriers = 2; // hook and compress are separate sweeps
             r.push("iteration", iteration, c, changed);
+        }
+        if tracing {
+            if let Some(sk) = sink.as_deref_mut() {
+                // Hook is the compute phase, compress the exchange-like
+                // cleanup; every sweep touches all n vertices (the
+                // "considers all edges in all iterations" shape the
+                // per-iteration figure exists to show).
+                let compress_ns = sweep_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
+                sk.record(xmt_trace::SuperstepTrace {
+                    superstep: iteration,
+                    active: n as u64,
+                    messages_sent: changed,
+                    messages_generated: g.num_arcs(),
+                    messages_delivered: changed,
+                    compute_ns: hook_ns,
+                    exchange_ns: compress_ns,
+                    total_ns: hook_ns + compress_ns,
+                    ..xmt_trace::SuperstepTrace::default()
+                });
+            }
         }
         iteration += 1;
         if changed == 0 {
@@ -305,6 +343,26 @@ mod tests {
             validate_components(&g, &labels).unwrap();
             assert_eq!(labels, connected_components(&g));
         }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_yields_one_record_per_iteration() {
+        let g = build_undirected(&path(1000));
+        let mut rec = Recorder::new();
+        let reference = connected_components_instrumented(&g, &mut rec);
+        let mut sink = xmt_trace::TraceSink::new();
+        let labels = connected_components_traced(&g, &mut sink);
+        assert_eq!(labels, reference);
+        let trace = sink.finish();
+        assert_eq!(trace.len() as u64, rec.steps("iteration"));
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(t.superstep, i as u64);
+            assert_eq!(t.active, 1000);
+            assert_eq!(t.total_ns, t.compute_ns + t.exchange_ns);
+        }
+        // The convergence sweep changes nothing.
+        assert_eq!(trace.last().unwrap().messages_sent, 0);
     }
 
     #[test]

@@ -55,9 +55,10 @@ pub mod triangles;
 pub mod workflow;
 
 pub use betweenness::betweenness_centrality;
-pub use bfs::{bfs, bfs_instrumented, BfsResult};
+pub use bfs::{bfs, bfs_instrumented, bfs_traced, BfsResult};
 pub use components::{
     connected_components, connected_components_instrumented, connected_components_jacobi,
+    connected_components_traced,
 };
 pub use kcore::kcore_decomposition;
 pub use pagerank::pagerank;

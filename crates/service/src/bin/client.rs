@@ -11,7 +11,7 @@
 
 use std::io::BufRead;
 
-use xmt_service::client::field_str;
+use xmt_service::client::{field_bool, field_str};
 use xmt_service::Client;
 
 fn main() {
@@ -47,6 +47,12 @@ fn main() {
                     .unwrap_or_else(|_| "<unserializable>".to_string());
                 println!("{json}");
                 if field_str(&response, "status") != Some("ok") {
+                    failed = true;
+                }
+                // `result` with an expired wait is ok-status but carries
+                // no output; make the distinction visible to scripts.
+                if field_bool(&response, "timed_out") == Some(true) {
+                    eprintln!("client: wait expired before the job reached a terminal state");
                     failed = true;
                 }
             }

@@ -89,6 +89,17 @@ pub fn field_u64(tree: &Content, name: &str) -> Option<u64> {
     }
 }
 
+/// Fetch a boolean field out of a response tree.
+pub fn field_bool(tree: &Content, name: &str) -> Option<bool> {
+    match tree {
+        Content::Map(entries) => entries.iter().find_map(|(k, v)| match v {
+            Content::Bool(b) if k == name => Some(*b),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
 /// Fetch a sub-tree field out of a response tree.
 pub fn field<'a>(tree: &'a Content, name: &str) -> Option<&'a Content> {
     match tree {

@@ -14,8 +14,9 @@ use xmt_bsp::algorithms::components::CcProgram;
 use xmt_bsp::algorithms::pagerank::PagerankProgram;
 use xmt_bsp::program::VertexProgram;
 use xmt_bsp::runtime::Snapshot;
-use xmt_bsp::{run_bsp_slice_with_stop, SlicedRun, StopHook};
+use xmt_bsp::{run_bsp_slice_traced, SlicedRun, StopHook};
 use xmt_graph::Csr;
+use xmt_trace::TraceSink;
 
 use crate::error::ServiceError;
 use crate::job::{Algorithm, Engine, JobOutput, JobSpec, StoredCheckpoint};
@@ -40,16 +41,18 @@ pub enum ExecVerdict {
 }
 
 /// Run `spec` on `graph`, optionally continuing `from` a checkpoint,
-/// polling `stop` at superstep boundaries.
+/// polling `stop` at superstep boundaries.  Per-superstep trace records
+/// accumulate in `sink` (a no-op unless the `trace` feature is on).
 pub fn execute(
     spec: &JobSpec,
     graph: &Arc<Csr>,
     from: Option<StoredCheckpoint>,
     stop: StopHook<'_>,
+    sink: &mut TraceSink,
 ) -> Result<ExecVerdict, ServiceError> {
     match spec.engine {
-        Engine::Bsp => execute_bsp(spec, graph, from, stop),
-        Engine::GraphCt => execute_graphct(spec, graph, from),
+        Engine::Bsp => execute_bsp(spec, graph, from, stop, sink),
+        Engine::GraphCt => execute_graphct(spec, graph, from, sink),
     }
 }
 
@@ -58,6 +61,7 @@ fn execute_bsp(
     graph: &Arc<Csr>,
     from: Option<StoredCheckpoint>,
     stop: StopHook<'_>,
+    sink: &mut TraceSink,
 ) -> Result<ExecVerdict, ServiceError> {
     match spec.algorithm {
         Algorithm::Cc => {
@@ -66,7 +70,7 @@ fn execute_bsp(
                 Some(StoredCheckpoint::Cc(states, resume)) => Some((states, resume)),
                 Some(other) => return Err(checkpoint_mismatch(spec.algorithm, &other)),
             };
-            let run = run_sliced(graph, &CcProgram, spec, from, stop)?;
+            let run = run_sliced(graph, &CcProgram, spec, from, stop, sink)?;
             Ok(verdict(run, JobOutput::Labels, StoredCheckpoint::Cc))
         }
         Algorithm::Bfs => {
@@ -78,7 +82,7 @@ fn execute_bsp(
             let program = BfsProgram {
                 source: spec.source,
             };
-            let run = run_sliced(graph, &program, spec, from, stop)?;
+            let run = run_sliced(graph, &program, spec, from, stop, sink)?;
             Ok(verdict(
                 run,
                 |states| JobOutput::Bfs {
@@ -98,7 +102,7 @@ fn execute_bsp(
                 damping: spec.damping,
                 tolerance: spec.tolerance,
             };
-            let run = run_sliced(graph, &program, spec, from, stop)?;
+            let run = run_sliced(graph, &program, spec, from, stop, sink)?;
             Ok(verdict(run, JobOutput::Ranks, StoredCheckpoint::Pagerank))
         }
     }
@@ -110,11 +114,19 @@ fn run_sliced<P: VertexProgram>(
     spec: &JobSpec,
     from: Option<Snapshot<P>>,
     stop: StopHook<'_>,
+    sink: &mut TraceSink,
 ) -> Result<SlicedRun<P::State, P::Message>, ServiceError> {
-    run_bsp_slice_with_stop(graph, program, spec.config, None, from, Some(stop)).map_err(|e| {
-        ServiceError::Internal {
-            message: e.to_string(),
-        }
+    run_bsp_slice_traced(
+        graph,
+        program,
+        spec.config,
+        None,
+        from,
+        Some(stop),
+        Some(sink),
+    )
+    .map_err(|e| ServiceError::Internal {
+        message: e.to_string(),
     })
 }
 
@@ -150,6 +162,7 @@ fn execute_graphct(
     spec: &JobSpec,
     graph: &Arc<Csr>,
     from: Option<StoredCheckpoint>,
+    sink: &mut TraceSink,
 ) -> Result<ExecVerdict, ServiceError> {
     if from.is_some() {
         return Err(ServiceError::Internal {
@@ -159,14 +172,16 @@ fn execute_graphct(
         });
     }
     let output = match spec.algorithm {
-        Algorithm::Cc => JobOutput::Labels(graphct::connected_components(graph)),
+        Algorithm::Cc => JobOutput::Labels(graphct::connected_components_traced(graph, sink)),
         Algorithm::Bfs => {
-            let r = graphct::bfs(graph, spec.source);
+            let r = graphct::bfs_traced(graph, spec.source, sink);
             JobOutput::Bfs {
                 dist: r.dist,
                 parent: r.parent,
             }
         }
+        // Pagerank has no traced GraphCT variant (its per-iteration
+        // profile is flat by construction); the job runs untraced.
         Algorithm::Pagerank => JobOutput::Ranks(graphct::pagerank(
             graph,
             graphct::pagerank::PagerankOptions {

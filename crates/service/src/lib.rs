@@ -24,7 +24,7 @@
 //!        │
 //!    Service  =  GraphRegistry + Scheduler
 //!                                  │
-//!                               engine  →  run_bsp_slice_with_stop / graphct
+//!                               engine  →  run_bsp_slice_traced / graphct
 //! ```
 
 pub mod client;
@@ -42,7 +42,7 @@ pub use engine::{execute, ExecVerdict};
 pub use error::ServiceError;
 pub use job::{Algorithm, Engine, JobId, JobOutput, JobSpec, JobState, StoredCheckpoint};
 pub use protocol::{parse_request, GraphSpec, Request};
-pub use registry::{GraphEntryInfo, GraphRegistry};
+pub use registry::{GraphEntryInfo, GraphRegistry, RegistryStats};
 pub use scheduler::{JobSnapshot, Scheduler, SchedulerConfig, SchedulerStats};
 pub use server::{Server, Service, ServiceConfig};
 pub use stats::{LatencyBook, LatencyHistogram, LatencySummary};

@@ -27,7 +27,7 @@ use xmt_graph::Csr;
 
 use crate::error::ServiceError;
 use crate::job::{Algorithm, Engine, JobId, JobOutput, JobSpec};
-use crate::registry::GraphEntryInfo;
+use crate::registry::{GraphEntryInfo, RegistryStats};
 use crate::scheduler::{JobSnapshot, SchedulerStats};
 
 /// A parsed, validated client request.
@@ -75,6 +75,11 @@ pub enum Request {
     },
     /// Cancel a queued or running job.
     Cancel {
+        /// Target job.
+        job_id: JobId,
+    },
+    /// A terminal job's per-superstep trace.
+    Trace {
         /// Target job.
         job_id: JobId,
     },
@@ -186,6 +191,9 @@ pub fn parse_request(c: &Content) -> Result<Request, ServiceError> {
             wait_ms: opt(c, "wait_ms")?.unwrap_or(0),
         }),
         "cancel" => Ok(Request::Cancel {
+            job_id: req(c, "job_id")?,
+        }),
+        "trace" => Ok(Request::Trace {
             job_id: req(c, "job_id")?,
         }),
         "list_jobs" => Ok(Request::ListJobs),
@@ -334,13 +342,50 @@ pub fn output_content(output: &JobOutput) -> Content {
     }
 }
 
+/// A job's per-superstep trace as a response tree.  Phase timings ride
+/// as nanoseconds; the per-bucket breakdown appears only for supersteps
+/// that used the bucketed transport.
+pub fn trace_content(trace: &xmt_trace::JobTrace) -> Content {
+    Obj::new()
+        .put("label", str(&trace.label))
+        .put(
+            "supersteps",
+            Content::Seq(
+                trace
+                    .supersteps
+                    .iter()
+                    .map(|t| {
+                        let mut obj = Obj::new()
+                            .put("superstep", u64v(t.superstep))
+                            .put("active", u64v(t.active))
+                            .put("messages_sent", u64v(t.messages_sent))
+                            .put("messages_generated", u64v(t.messages_generated))
+                            .put("messages_delivered", u64v(t.messages_delivered))
+                            .put("halt_votes", u64v(t.halt_votes))
+                            .put("pulled", Content::Bool(t.pulled))
+                            .put("pull_probes", u64v(t.pull_probes))
+                            .put("scan_ns", u64v(t.scan_ns))
+                            .put("compute_ns", u64v(t.compute_ns))
+                            .put("exchange_ns", u64v(t.exchange_ns))
+                            .put("total_ns", u64v(t.total_ns));
+                        if !t.bucket_messages.is_empty() {
+                            obj = obj.put(
+                                "bucket_messages",
+                                Content::Seq(
+                                    t.bucket_messages.iter().map(|&b| Content::U64(b)).collect(),
+                                ),
+                            );
+                        }
+                        obj.done()
+                    })
+                    .collect(),
+            ),
+        )
+        .done()
+}
+
 /// Scheduler + registry stats as a response tree.
-pub fn stats_content(
-    stats: &SchedulerStats,
-    registry_used: usize,
-    registry_budget: usize,
-    registry_evictions: u64,
-) -> Content {
+pub fn stats_content(stats: &SchedulerStats, registry: &RegistryStats) -> Content {
     Obj::new()
         .put("workers", u64v(stats.workers as u64))
         .put("queue_capacity", u64v(stats.queue_capacity as u64))
@@ -379,9 +424,10 @@ pub fn stats_content(
         .put(
             "registry",
             Obj::new()
-                .put("used_bytes", u64v(registry_used as u64))
-                .put("budget_bytes", u64v(registry_budget as u64))
-                .put("evictions", u64v(registry_evictions))
+                .put("graphs", u64v(registry.graphs as u64))
+                .put("used_bytes", u64v(registry.used_bytes as u64))
+                .put("budget_bytes", u64v(registry.budget_bytes as u64))
+                .put("evictions", u64v(registry.evictions))
                 .done(),
         )
         .done()

@@ -32,6 +32,24 @@ pub struct GraphEntryInfo {
     pub bytes: u64,
 }
 
+/// A coherent registry-counter snapshot for the `stats` request.
+///
+/// Taken under one lock acquisition: `used_bytes` can never exceed what
+/// `graphs` entries account for, and `evictions` can never lag an
+/// eviction whose freed bytes are already reflected in `used_bytes` —
+/// guarantees three separate getter calls cannot make.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryStats {
+    /// Registered graph count.
+    pub graphs: usize,
+    /// Bytes currently charged against the budget.
+    pub used_bytes: usize,
+    /// Configured budget in bytes (0 = unbounded).
+    pub budget_bytes: usize,
+    /// Entries evicted by the budget since startup.
+    pub evictions: u64,
+}
+
 struct Entry {
     graph: Arc<Csr>,
     bytes: usize,
@@ -183,6 +201,18 @@ impl GraphRegistry {
     pub fn evictions(&self) -> u64 {
         self.inner.lock().evictions
     }
+
+    /// All counters under a single lock acquisition, so a stats reader
+    /// racing a register/evict cannot observe a torn combination.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock();
+        RegistryStats {
+            graphs: inner.entries.len(),
+            used_bytes: inner.used,
+            budget_bytes: self.budget,
+            evictions: inner.evictions,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +278,45 @@ mod tests {
         reg.register("g", build_undirected(&ring(10))).unwrap();
         assert!(reg.used_bytes() < big);
         assert_eq!(reg.get("g").unwrap().num_vertices(), 10);
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent_under_churn() {
+        // Regression for the torn-stats shape: the server used to read
+        // used/budget/evictions via three separate lock acquisitions, so
+        // a register racing the reads could yield a combination that
+        // never existed (e.g. used_bytes over budget with the eviction
+        // that freed it not yet counted).  `stats()` takes everything
+        // under one lock; hammer it against register churn and check the
+        // single-lock invariants hold in every observed snapshot.
+        let unit = graph(100).memory_bytes();
+        let reg = GraphRegistry::new(2 * unit + unit / 2);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..200u64 {
+                    reg.register(&format!("g{}", i % 4), graph(100)).unwrap();
+                }
+            });
+            let mut saw_entries = false;
+            while !writer.is_finished() {
+                let s = reg.stats();
+                assert!(
+                    s.used_bytes <= s.budget_bytes,
+                    "snapshot shows {} used bytes over the {} budget",
+                    s.used_bytes,
+                    s.budget_bytes
+                );
+                assert!(s.graphs <= 2, "budget admits at most two graphs");
+                assert_eq!(s.used_bytes, s.graphs * unit);
+                saw_entries |= s.graphs > 0;
+            }
+            writer.join().unwrap();
+            assert!(saw_entries, "reader never overlapped the churn");
+        });
+        let s = reg.stats();
+        assert_eq!(s.used_bytes, reg.used_bytes());
+        assert_eq!(s.evictions, reg.evictions());
+        assert!(s.evictions > 0, "churn never evicted");
     }
 
     #[test]

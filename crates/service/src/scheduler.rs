@@ -90,6 +90,9 @@ struct JobRecord {
     error: Option<String>,
     checkpoint: Option<StoredCheckpoint>,
     resume_from: Option<StoredCheckpoint>,
+    /// Per-superstep trace, set when the run ends (empty series when
+    /// the `trace` feature is off).
+    trace: Option<xmt_trace::JobTrace>,
 }
 
 impl JobRecord {
@@ -153,13 +156,29 @@ impl Ord for QueueEntry {
 
 struct Queue {
     heap: BinaryHeap<QueueEntry>,
+    /// Heap entries whose job was cancelled while queued.  The entries
+    /// stay in the heap (a `BinaryHeap` cannot remove by key) and
+    /// workers discard them on pop, but they must not count toward the
+    /// live queue depth: admission control would otherwise reject
+    /// submits against dead entries, and `stats()` would overcount.
+    stale: usize,
     shutdown: bool,
+}
+
+impl Queue {
+    /// Entries that represent jobs which will actually run.
+    fn live_depth(&self) -> usize {
+        self.heap.len().saturating_sub(self.stale)
+    }
 }
 
 struct Shared {
     queue: Mutex<Queue>,
     cond: Condvar,
     jobs: Mutex<HashMap<JobId, JobRecord>>,
+    /// Signalled (broadcast) on every job state transition, so waiters
+    /// in [`Scheduler::wait_job`] wake immediately instead of polling.
+    jobs_cond: Condvar,
     next_id: AtomicU64,
     next_seq: AtomicU64,
     submitted: AtomicU64,
@@ -199,10 +218,12 @@ impl Scheduler {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
+                stale: 0,
                 shutdown: false,
             }),
             cond: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
+            jobs_cond: Condvar::new(),
             next_id: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -241,7 +262,7 @@ impl Scheduler {
             if queue.shutdown {
                 return Err(ServiceError::ShuttingDown);
             }
-            if queue.heap.len() >= self.shared.config.queue_capacity {
+            if queue.live_depth() >= self.shared.config.queue_capacity {
                 // Relaxed: monotonic stats counter, read only by stats().
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::QueueFull {
@@ -271,6 +292,7 @@ impl Scheduler {
                     error: None,
                     checkpoint: None,
                     resume_from,
+                    trace: None,
                 },
             );
             queue.heap.push(QueueEntry { priority, seq, id });
@@ -290,16 +312,24 @@ impl Scheduler {
     /// running job gets its flag set and is cut at the next superstep
     /// boundary.  Cancelling a terminal job is a `wrong_state` error.
     pub fn cancel(&self, id: JobId) -> Result<JobState, ServiceError> {
+        // Queue lock before jobs lock — the order `submit` established.
+        // Cancelling a queued job must mark its heap entry stale under
+        // the same critical section that flips the state, or a stats
+        // reader between the two would see the depth and the state
+        // disagree.
+        let mut queue = self.shared.queue.lock();
         let mut jobs = self.shared.jobs.lock();
         let rec = jobs.get_mut(&id).ok_or(ServiceError::JobNotFound { id })?;
-        match rec.state {
+        let result = match rec.state {
             JobState::Queued => {
-                // The heap entry stays; workers skip non-queued jobs.
+                // The heap entry stays; workers discard it on pop and
+                // balance the stale count then.
                 // Relaxed: single monotonic flag, polled at superstep
                 // boundaries; the jobs lock orders the state change.
                 rec.cancel.store(true, Ordering::Relaxed);
                 rec.state = JobState::Cancelled;
                 rec.finished = Some(Instant::now());
+                queue.stale += 1;
                 Ok(JobState::Cancelled)
             }
             JobState::Running => {
@@ -312,7 +342,13 @@ impl Scheduler {
                 id,
                 state: other.name().to_string(),
             }),
+        };
+        drop(jobs);
+        drop(queue);
+        if matches!(result, Ok(JobState::Cancelled)) {
+            self.shared.jobs_cond.notify_all();
         }
+        result
     }
 
     /// A job's current snapshot.
@@ -381,9 +417,68 @@ impl Scheduler {
         }
     }
 
+    /// Block until `pred` holds for the job's snapshot or `wait`
+    /// elapses.  Returns the final snapshot plus `true` when the wait
+    /// timed out with the predicate still false.  Wakes on job state
+    /// transitions via a condvar — no sleep-polling — so the latency
+    /// from transition to return is a wakeup, not a poll interval.
+    pub fn wait_job(
+        &self,
+        id: JobId,
+        wait: Duration,
+        pred: impl Fn(&JobSnapshot) -> bool,
+    ) -> Result<(JobSnapshot, bool), ServiceError> {
+        let deadline = Instant::now() + wait;
+        let mut jobs = self.shared.jobs.lock();
+        loop {
+            let snap = jobs
+                .get(&id)
+                .map(|rec| rec.snapshot(id))
+                .ok_or(ServiceError::JobNotFound { id })?;
+            if pred(&snap) {
+                return Ok((snap, false));
+            }
+            // The compat condvar has no deadline wait; recompute the
+            // remaining budget each pass so spurious wakeups cannot
+            // extend the total wait.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok((snap, true));
+            }
+            self.shared.jobs_cond.wait_for(&mut jobs, remaining);
+        }
+    }
+
+    /// [`wait_job`](Self::wait_job) specialised to terminal states.
+    pub fn wait_terminal(
+        &self,
+        id: JobId,
+        wait: Duration,
+    ) -> Result<(JobSnapshot, bool), ServiceError> {
+        self.wait_job(id, wait, |snap| snap.state.is_terminal())
+    }
+
+    /// A terminal job's per-superstep trace (cloned).  The series is
+    /// empty when the `trace` feature is off or the engine produced no
+    /// superstep records; non-terminal jobs are `wrong_state`.
+    pub fn trace(&self, id: JobId) -> Result<xmt_trace::JobTrace, ServiceError> {
+        let jobs = self.shared.jobs.lock();
+        let rec = jobs.get(&id).ok_or(ServiceError::JobNotFound { id })?;
+        if !rec.state.is_terminal() {
+            return Err(ServiceError::WrongState {
+                id,
+                state: rec.state.name().to_string(),
+            });
+        }
+        Ok(rec.trace.clone().unwrap_or_else(|| xmt_trace::JobTrace {
+            label: format!("{}/{}", rec.spec.algorithm.name(), rec.spec.engine.name()),
+            supersteps: Vec::new(),
+        }))
+    }
+
     /// Aggregate counters and latency summaries.
     pub fn stats(&self) -> SchedulerStats {
-        let queue_depth = self.shared.queue.lock().heap.len();
+        let queue_depth = self.shared.queue.lock().live_depth();
         let mut by_state: HashMap<&'static str, u64> = HashMap::new();
         {
             let jobs = self.shared.jobs.lock();
@@ -409,10 +504,11 @@ impl Scheduler {
     /// boundary with a checkpoint.
     pub fn shutdown(&self) {
         {
+            // Queue before jobs — the established nesting order.  Each
+            // queued job cancelled here leaves a stale heap entry, so
+            // the counts must move together under the queue lock.
             let mut queue = self.shared.queue.lock();
             queue.shutdown = true;
-        }
-        {
             let mut jobs = self.shared.jobs.lock();
             for rec in jobs.values_mut() {
                 match rec.state {
@@ -421,6 +517,7 @@ impl Scheduler {
                         rec.cancel.store(true, Ordering::Relaxed);
                         rec.state = JobState::Cancelled;
                         rec.finished = Some(Instant::now());
+                        queue.stale += 1;
                     }
                     // Relaxed: monotonic flag, polled at superstep bounds.
                     JobState::Running => rec.cancel.store(true, Ordering::Relaxed),
@@ -429,6 +526,7 @@ impl Scheduler {
             }
         }
         self.shared.cond.notify_all();
+        self.shared.jobs_cond.notify_all();
         let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
         for handle in workers {
             let _ = handle.join();
@@ -456,20 +554,30 @@ fn worker_loop(shared: &Shared) {
                 shared.cond.wait(&mut queue);
             }
         };
-        run_one(shared, entry.id);
+        if !run_one(shared, entry.id) {
+            // The popped entry was stale (its job was cancelled while
+            // queued, or evicted).  Balance the stale count bumped at
+            // cancel time.
+            let mut queue = shared.queue.lock();
+            queue.stale = queue.stale.saturating_sub(1);
+        }
     }
 }
 
-fn run_one(shared: &Shared, id: JobId) {
+/// Run the job behind a popped queue entry.  Returns `false` when the
+/// entry was stale — the job was no longer `Queued` (cancelled while it
+/// waited) or no longer tracked — so the caller can settle the queue's
+/// stale-entry count.
+fn run_one(shared: &Shared, id: JobId) -> bool {
     // Claim the job; skip entries whose job was cancelled while queued.
     let (spec, graph, cancel, resume_from, deadline) = {
         let mut jobs = shared.jobs.lock();
         let rec = match jobs.get_mut(&id) {
             Some(rec) => rec,
-            None => return,
+            None => return false,
         };
         if rec.state != JobState::Queued {
-            return;
+            return false;
         }
         rec.state = JobState::Running;
         rec.started = Some(Instant::now());
@@ -485,6 +593,8 @@ fn run_one(shared: &Shared, id: JobId) {
             deadline,
         )
     };
+    // The claim above flipped Queued -> Running; wake status waiters.
+    shared.jobs_cond.notify_all();
 
     let stop = {
         let cancel = Arc::clone(&cancel);
@@ -492,15 +602,22 @@ fn run_one(shared: &Shared, id: JobId) {
         // stale read costs at most one extra superstep.
         move || cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d)
     };
+    // One sink per run: resumed jobs get a fresh sink whose records
+    // continue the checkpoint's absolute superstep numbering.
+    let mut sink = xmt_trace::TraceSink::new();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        execute(&spec, &graph, resume_from, &stop)
+        execute(&spec, &graph, resume_from, &stop, &mut sink)
     }));
 
     let mut jobs = shared.jobs.lock();
     let rec = match jobs.get_mut(&id) {
         Some(rec) => rec,
-        None => return,
+        None => return true,
     };
+    rec.trace = Some(xmt_trace::JobTrace {
+        label: format!("{}/{}", spec.algorithm.name(), spec.engine.name()),
+        supersteps: sink.finish(),
+    });
     let now = Instant::now();
     rec.finished = Some(now);
     match outcome {
@@ -551,6 +668,10 @@ fn run_one(shared: &Shared, id: JobId) {
             rec.error = Some(format!("panic: {message}"));
         }
     }
+    drop(jobs);
+    // Terminal transition: wake anyone blocked in wait_job.
+    shared.jobs_cond.notify_all();
+    true
 }
 
 #[cfg(test)]
@@ -662,14 +783,13 @@ mod tests {
         });
         let g = long_path();
         let id = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
-        // Let it start, then cancel mid-run.
-        loop {
-            let snap = sched.status(id).unwrap();
-            if snap.state != JobState::Queued {
-                break;
-            }
-            std::thread::yield_now();
-        }
+        // Let it start, then cancel mid-run.  The condvar wait wakes on
+        // the Queued -> Running transition — no spin.
+        let (snap, timed_out) = sched
+            .wait_job(id, Duration::from_secs(60), |s| s.state != JobState::Queued)
+            .unwrap();
+        assert!(!timed_out, "job never left the queue");
+        assert_ne!(snap.state, JobState::Queued);
         let _ = sched.cancel(id);
         let snap = wait_terminal(&sched, id);
         assert_eq!(snap.state, JobState::Cancelled);
@@ -714,14 +834,179 @@ mod tests {
     }
 
     fn wait_terminal(sched: &Scheduler, id: JobId) -> JobSnapshot {
-        let deadline = Instant::now() + Duration::from_secs(60);
-        loop {
-            let snap = sched.status(id).unwrap();
-            if snap.state.is_terminal() {
-                return snap;
-            }
-            assert!(Instant::now() < deadline, "job {id} never finished");
-            std::thread::sleep(Duration::from_millis(2));
+        let (snap, timed_out) = sched.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        assert!(!timed_out, "job {id} never finished");
+        snap
+    }
+
+    #[test]
+    fn cancelled_queued_jobs_free_their_queue_slots() {
+        // One worker pinned on a long job; the queue then fills to
+        // capacity.  Cancelling every queued job must restore the live
+        // depth to zero and re-open admission, even though the heap
+        // still physically holds the dead entries.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 3,
+        });
+        let g = long_path();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let (_, timed_out) = sched
+            .wait_job(blocker, Duration::from_secs(60), |s| {
+                s.state != JobState::Queued
+            })
+            .unwrap();
+        assert!(!timed_out);
+
+        let queued: Vec<JobId> = (0..3)
+            .map(|_| sched.submit(spec("p"), Arc::clone(&g), None).unwrap())
+            .collect();
+        assert!(matches!(
+            sched.submit(spec("p"), Arc::clone(&g), None),
+            Err(ServiceError::QueueFull { .. })
+        ));
+        for id in &queued {
+            assert_eq!(sched.cancel(*id).unwrap(), JobState::Cancelled);
         }
+        // The heap still holds 3 dead entries, but none of them count.
+        assert_eq!(sched.stats().queue_depth, 0);
+        // ... and admission control sees the free slots again.
+        let small = Arc::new(build_undirected(&path(64)));
+        let id = sched.submit(spec("small"), small, None).unwrap();
+        let _ = sched.cancel(blocker);
+        let snap = wait_terminal(&sched, id);
+        assert_eq!(snap.state, JobState::Completed);
+        // The workers drained the stale entries and settled the count.
+        let (_, _) = sched
+            .wait_terminal(blocker, Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(sched.stats().queue_depth, 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn queued_cancel_wakes_waiters_promptly() {
+        // A cancelled queued job transitions with no worker involved;
+        // only the condvar broadcast can wake the waiter.  Grant a 10 s
+        // budget and require a wake orders of magnitude sooner than the
+        // old 2 ms-poll worst case would suggest if notification broke.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let queued = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+
+        let waiter = {
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| {
+                    let (snap, timed_out) = sched
+                        .wait_terminal(queued, Duration::from_secs(10))
+                        .unwrap();
+                    (snap, timed_out, started.elapsed())
+                });
+                // Give the waiter time to block, then cancel.
+                std::thread::sleep(Duration::from_millis(50));
+                sched.cancel(queued).unwrap();
+                handle.join().unwrap()
+            })
+        };
+        let (snap, timed_out, waited) = waiter;
+        assert!(!timed_out);
+        assert_eq!(snap.state, JobState::Cancelled);
+        assert!(
+            waited < Duration::from_secs(5),
+            "condvar wake took {waited:?}; notification is broken"
+        );
+        let _ = sched.cancel(blocker);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn wait_job_times_out_with_predicate_unmet() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let queued = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        // Nothing will run `queued` while the blocker holds the only
+        // worker, so a short wait must report a timeout, not an error.
+        let (snap, timed_out) = sched
+            .wait_terminal(queued, Duration::from_millis(20))
+            .unwrap();
+        assert!(timed_out);
+        assert_eq!(snap.state, JobState::Queued);
+        let _ = sched.cancel(queued);
+        let _ = sched.cancel(blocker);
+        sched.shutdown();
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_survives_deadline_checkpoint_resume_contiguously() {
+        // Deadline cut -> checkpoint -> resume must yield two traces
+        // whose absolute superstep numbers join with no gap or overlap.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let mut s = spec("p");
+        s.deadline_ms = Some(10);
+        let id = sched.submit(s, Arc::clone(&g), None).unwrap();
+        let snap = wait_terminal(&sched, id);
+        assert_eq!(snap.state, JobState::TimedOut);
+        let first = sched.trace(id).unwrap();
+        assert_eq!(first.label, "cc/bsp");
+        assert!(!first.supersteps.is_empty(), "cut run recorded no trace");
+        assert_eq!(first.supersteps[0].superstep, 0);
+
+        let (mut orig_spec, orig_graph, cp) = sched.take_checkpoint(id).unwrap();
+        orig_spec.deadline_ms = None;
+        let resumed = sched.submit(orig_spec, orig_graph, Some(cp)).unwrap();
+        let snap = wait_terminal(&sched, resumed);
+        assert_eq!(snap.state, JobState::Completed, "err={:?}", snap.error);
+        let second = sched.trace(resumed).unwrap();
+        assert!(!second.supersteps.is_empty());
+
+        // Contiguity across the resume cut: the second trace picks up
+        // at exactly the next absolute superstep.
+        let cut = first.supersteps.last().unwrap().superstep;
+        assert_eq!(second.supersteps[0].superstep, cut + 1);
+        let all: Vec<u64> = first
+            .supersteps
+            .iter()
+            .chain(&second.supersteps)
+            .map(|t| t.superstep)
+            .collect();
+        let expect: Vec<u64> = (0..all.len() as u64).collect();
+        assert_eq!(all, expect, "combined series is not contiguous");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn trace_of_nonterminal_job_is_wrong_state() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let queued = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        assert!(matches!(
+            sched.trace(queued),
+            Err(ServiceError::WrongState { .. })
+        ));
+        assert!(matches!(
+            sched.trace(9999),
+            Err(ServiceError::JobNotFound { .. })
+        ));
+        let _ = sched.cancel(queued);
+        let _ = sched.cancel(blocker);
+        sched.shutdown();
     }
 }

@@ -13,7 +13,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::Content;
@@ -22,7 +22,7 @@ use crate::error::ServiceError;
 use crate::job::JobState;
 use crate::protocol::{
     build_graph, error_response, graph_content, job_content, ok, output_content, parse_request,
-    stats_content, Request,
+    stats_content, trace_content, Request,
 };
 use crate::registry::GraphRegistry;
 use crate::scheduler::{Scheduler, SchedulerConfig};
@@ -119,12 +119,25 @@ impl Service {
                 Ok(ok().put("job", job_content(&snap)).done())
             }
             Request::Result { job_id, wait_ms } => {
-                let snap = self.wait_terminal(*job_id, *wait_ms)?;
+                let (snap, timed_out) = self
+                    .scheduler
+                    .wait_terminal(*job_id, Duration::from_millis(*wait_ms))?;
+                if timed_out {
+                    // The *wait* expired with the job still live — a
+                    // different condition from the job itself reaching
+                    // the `timed_out` terminal state, so it rides as an
+                    // explicit field instead of masquerading as an error.
+                    return Ok(ok()
+                        .put("timed_out", Content::Bool(true))
+                        .put("job", job_content(&snap))
+                        .done());
+                }
                 match snap.state {
                     JobState::Completed => {
                         let (output, supersteps) = self.scheduler.output(*job_id)?;
                         Ok(ok()
                             .put("job_id", Content::U64(*job_id))
+                            .put("timed_out", Content::Bool(false))
                             .put("supersteps", Content::U64(supersteps))
                             .put("result", output_content(&output))
                             .done())
@@ -138,6 +151,10 @@ impl Service {
                         state: other.name().to_string(),
                     }),
                 }
+            }
+            Request::Trace { job_id } => {
+                let trace = self.scheduler.trace(*job_id)?;
+                Ok(ok().put("trace", trace_content(&trace)).done())
             }
             Request::Cancel { job_id } => {
                 let state = self.scheduler.cancel(*job_id)?;
@@ -154,32 +171,15 @@ impl Service {
             Request::Stats => Ok(ok()
                 .put(
                     "stats",
-                    stats_content(
-                        &self.scheduler.stats(),
-                        self.registry.used_bytes(),
-                        self.registry.budget_bytes(),
-                        self.registry.evictions(),
-                    ),
+                    // Both snapshots are single-lock-coherent; see
+                    // GraphRegistry::stats for the torn-read shape this
+                    // replaced.
+                    stats_content(&self.scheduler.stats(), &self.registry.stats()),
                 )
                 .done()),
             // The TCP layer intercepts Shutdown to stop the accept loop;
             // in-process callers get an acknowledgement.
             Request::Shutdown => Ok(ok().done()),
-        }
-    }
-
-    fn wait_terminal(
-        &self,
-        job_id: u64,
-        wait_ms: u64,
-    ) -> Result<crate::scheduler::JobSnapshot, ServiceError> {
-        let deadline = Instant::now() + Duration::from_millis(wait_ms);
-        loop {
-            let snap = self.scheduler.status(job_id)?;
-            if snap.state.is_terminal() || Instant::now() >= deadline {
-                return Ok(snap);
-            }
-            std::thread::sleep(Duration::from_millis(2));
         }
     }
 

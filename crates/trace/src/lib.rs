@@ -1,0 +1,267 @@
+//! Zero-dependency superstep tracing.
+//!
+//! The paper's central artifacts are *per-superstep* measurements
+//! (Fig. 1: CC time per iteration, Fig. 2: BFS time per level), so the
+//! runtime needs a way to record what each superstep cost — wall-clock
+//! split into scan/compute/exchange phases, message counters from the
+//! transport, active-set sizes, and halt votes — without perturbing the
+//! hot path it is measuring.
+//!
+//! The design is compile-time gating, not runtime indirection: the
+//! whole sink is behind the `enabled` cargo feature (forwarded as
+//! `trace` by dependents).  [`ENABLED`] is a `const`, so a caller's
+//! `if xmt_trace::ENABLED && ... { record() }` folds away entirely in
+//! feature-off builds, and [`Stopwatch`] carries its `Instant` field
+//! only under the feature, so disabled builds make no clock calls at
+//! all.  The record types ([`SuperstepTrace`], [`JobTrace`]) are always
+//! compiled so wire formats and APIs do not change shape between
+//! configurations — feature-off builds simply never produce any.
+
+/// Whether the tracing feature is compiled in.
+///
+/// A `const`, so `if ENABLED { ... }` blocks are stripped by constant
+/// folding when the feature is off — the hot path is provably unchanged.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// One superstep's (or kernel iteration's) worth of observations.
+///
+/// `superstep` is the *absolute* superstep number: a run resumed from a
+/// checkpoint at superstep `k` records its first entry as `k`, so a
+/// job's trace series stays contiguous across resume cuts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepTrace {
+    /// Absolute superstep (BSP) or level/iteration (kernel) number.
+    pub superstep: u64,
+    /// Active vertices entering the compute phase.
+    pub active: u64,
+    /// Messages shipped through the exchange this superstep (0 when the
+    /// next superstep pulls instead).
+    pub messages_sent: u64,
+    /// Messages generated before sender-side combining.
+    pub messages_generated: u64,
+    /// Messages delivered into this superstep's compute phase.
+    pub messages_delivered: u64,
+    /// Vertices that voted to halt during compute.
+    pub halt_votes: u64,
+    /// Whether this superstep read messages in pull mode.
+    pub pulled: bool,
+    /// Edge probes performed by pull-mode delivery.
+    pub pull_probes: u64,
+    /// Messages landing in each destination bucket (bucketed transport
+    /// only; empty otherwise).
+    pub bucket_messages: Vec<u64>,
+    /// Wall-clock nanoseconds spent building the active set.
+    pub scan_ns: u64,
+    /// Wall-clock nanoseconds in the parallel compute phase.
+    pub compute_ns: u64,
+    /// Wall-clock nanoseconds collecting and delivering messages.
+    pub exchange_ns: u64,
+    /// Wall-clock nanoseconds for the whole superstep.
+    pub total_ns: u64,
+}
+
+/// A finished job's superstep series plus a label for reporting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobTrace {
+    /// Human-readable label, e.g. `"cc/bsp"`.
+    pub label: String,
+    /// Per-superstep records in execution order.
+    pub supersteps: Vec<SuperstepTrace>,
+}
+
+impl JobTrace {
+    /// Header row matching [`JobTrace::csv_rows`].
+    pub const CSV_HEADER: &'static str =
+        "label,superstep,seconds,active,messages_sent,messages_delivered,halt_votes,pulled";
+
+    /// Fig. 1/Fig. 2-shaped CSV rows (one per superstep, no header).
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.supersteps
+            .iter()
+            .map(|s| {
+                format!(
+                    "{},{},{:.9},{},{},{},{},{}",
+                    self.label,
+                    s.superstep,
+                    s.total_ns as f64 / 1e9,
+                    s.active,
+                    s.messages_sent,
+                    s.messages_delivered,
+                    s.halt_votes,
+                    u8::from(s.pulled),
+                )
+            })
+            .collect()
+    }
+
+    /// Total wall-clock seconds across the series.
+    pub fn total_seconds(&self) -> f64 {
+        self.supersteps.iter().map(|s| s.total_ns).sum::<u64>() as f64 / 1e9
+    }
+}
+
+/// Collects [`SuperstepTrace`] records for one job run.
+///
+/// With the `enabled` feature off this is a zero-sized type and
+/// [`TraceSink::record`] is a no-op; callers additionally guard with
+/// [`ENABLED`] so record *construction* is stripped too.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    #[cfg(feature = "enabled")]
+    records: Vec<SuperstepTrace>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Append one superstep record.  No-op when the feature is off.
+    #[cfg_attr(not(feature = "enabled"), allow(unused_variables))]
+    pub fn record(&mut self, record: SuperstepTrace) {
+        #[cfg(feature = "enabled")]
+        self.records.push(record);
+    }
+
+    /// The number of records collected so far.
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "enabled")]
+        {
+            self.records.len()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Whether no records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consume the sink, yielding the records in insertion order.
+    pub fn finish(self) -> Vec<SuperstepTrace> {
+        #[cfg(feature = "enabled")]
+        {
+            self.records
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Vec::new()
+        }
+    }
+}
+
+/// A wall-clock stopwatch that compiles to nothing when tracing is off.
+///
+/// The `Instant` field only exists under the feature, so feature-off
+/// builds never call `Instant::now()` — the struct is zero-sized and
+/// every method is an empty inlinable body.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "enabled")]
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Start (reads the clock only when the feature is on).
+    pub fn start() -> Self {
+        Stopwatch {
+            #[cfg(feature = "enabled")]
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since start (saturating; 0 when the feature is off).
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Nanoseconds since start, then restart.  Gives back-to-back phase
+    /// timings without double-reading the clock at each boundary.
+    pub fn lap_ns(&mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        *self = Stopwatch::start();
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(superstep: u64, total_ns: u64) -> SuperstepTrace {
+        SuperstepTrace {
+            superstep,
+            active: 5,
+            messages_sent: 4,
+            messages_delivered: 4,
+            total_ns,
+            ..SuperstepTrace::default()
+        }
+    }
+
+    #[test]
+    fn sink_round_trips_records_when_enabled() {
+        let mut sink = TraceSink::new();
+        assert!(sink.is_empty());
+        sink.record(step(0, 10));
+        sink.record(step(1, 20));
+        let records = sink.finish();
+        if ENABLED {
+            assert_eq!(records.len(), 2);
+            assert_eq!(records[0].superstep, 0);
+            assert_eq!(records[1].superstep, 1);
+        } else {
+            assert!(records.is_empty());
+        }
+    }
+
+    #[test]
+    fn csv_rows_are_fig_shaped() {
+        let trace = JobTrace {
+            label: "cc/bsp".to_string(),
+            supersteps: vec![step(0, 1_500_000_000), step(1, 500_000_000)],
+        };
+        let rows = trace.csv_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("cc/bsp,0,1.5"));
+        assert!(rows[1].starts_with("cc/bsp,1,0.5"));
+        assert_eq!(JobTrace::CSV_HEADER.split(',').count(), 8);
+        assert_eq!(rows[0].split(',').count(), 8);
+        assert!((trace.total_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopwatch_monotonic_and_lap_restarts() {
+        let mut sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        if ENABLED {
+            assert!(b >= a);
+        } else {
+            assert_eq!(a, 0);
+            assert_eq!(b, 0);
+        }
+        let lap = sw.lap_ns();
+        if ENABLED {
+            assert!(lap >= b);
+        } else {
+            assert_eq!(lap, 0);
+        }
+    }
+
+    #[test]
+    fn enabled_const_matches_feature() {
+        assert_eq!(ENABLED, cfg!(feature = "enabled"));
+    }
+}

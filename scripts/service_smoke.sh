@@ -26,18 +26,25 @@ done
 [ -n "$addr" ] || { cat "$out/serve.log"; echo "server never bound"; exit 1; }
 echo "serve bound on $addr"
 
-# Register, submit, and fetch a CC result; `client` exits non-zero on
-# any error response.
+# Register, submit, and fetch a CC result plus its superstep trace;
+# `client` exits non-zero on any error response.
 target/release/client --addr "$addr" \
     '{"op":"ping"}' \
     '{"op":"register_graph","name":"smoke","kind":"rmat","scale":8,"edge_factor":8,"seed":1}' \
     '{"op":"submit","algorithm":"cc","graph":"smoke"}' \
     '{"op":"result","job_id":1,"wait_ms":60000}' \
+    '{"op":"trace","job_id":1}' \
     '{"op":"stats"}' \
     >"$out/client.log"
 
 grep -q '"labels":\[' "$out/client.log" || { cat "$out/client.log"; echo "no CC result"; exit 1; }
 echo "CC result received"
+
+# The default build has tracing on: the trace must carry per-superstep
+# records with real timings.
+grep -q '"label":"cc/bsp"' "$out/client.log" || { cat "$out/client.log"; echo "no trace"; exit 1; }
+grep -q '"total_ns":' "$out/client.log" || { cat "$out/client.log"; echo "trace has no timings"; exit 1; }
+echo "superstep trace received"
 
 target/release/client --addr "$addr" '{"op":"shutdown"}' >/dev/null
 

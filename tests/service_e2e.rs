@@ -13,7 +13,7 @@ use xmt_graph::builder::build_undirected;
 use xmt_graph::gen::er;
 use xmt_graph::gen::rmat::{rmat_edges, RmatParams};
 use xmt_graph::Csr;
-use xmt_service::client::{field, field_str, field_u64};
+use xmt_service::client::{field, field_bool, field_str, field_u64};
 use xmt_service::{Client, Server, ServiceConfig};
 
 const RMAT_SCALE: u32 = 8;
@@ -263,6 +263,139 @@ fn rejects_jobs_when_the_queue_is_full() {
     for id in admitted {
         let _ = client.request_line(&format!(r#"{{"op":"cancel","job_id":{id}}}"#));
     }
+    let _ = client.request_line(r#"{"op":"shutdown"}"#);
+    drop(client);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn expired_result_wait_is_flagged_not_errored() {
+    let (addr, server) = start_server(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        memory_budget_bytes: 0,
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let r = client
+        .request_line(r#"{"op":"register_graph","name":"long","kind":"path","n":16000}"#)
+        .expect("register");
+    assert_eq!(field_str(&r, "status"), Some("ok"));
+
+    let cfg = serde_json::to_string(&BspConfig {
+        active_set: ActiveSetStrategy::Worklist,
+        max_supersteps: 1_000_000,
+        ..BspConfig::default()
+    })
+    .expect("serialize config");
+    let r = client
+        .request_line(&format!(
+            r#"{{"op":"submit","algorithm":"cc","graph":"long","config":{cfg}}}"#
+        ))
+        .expect("submit");
+    let id = field_u64(&r, "job_id").expect("id");
+
+    // A wait far shorter than the run: the response must be an *ok*
+    // with `timed_out: true` and a live job snapshot — the wait
+    // expiring is not a job failure and must not read as one.
+    let r = client
+        .request_line(&format!(r#"{{"op":"result","job_id":{id},"wait_ms":30}}"#))
+        .expect("result");
+    assert_eq!(field_str(&r, "status"), Some("ok"), "{r:?}");
+    assert_eq!(field_bool(&r, "timed_out"), Some(true), "{r:?}");
+    let job = field(&r, "job").expect("job snapshot rides along");
+    let state = field_str(job, "state").expect("state");
+    assert!(state == "queued" || state == "running", "{state}");
+
+    // A completed job's result carries the flag as false.
+    let _ = client.request_line(&format!(r#"{{"op":"cancel","job_id":{id}}}"#));
+    let r = client
+        .request_line(r#"{"op":"register_graph","name":"small","kind":"path","n":64}"#)
+        .expect("register small");
+    assert_eq!(field_str(&r, "status"), Some("ok"));
+    let r = client
+        .request_line(r#"{"op":"submit","algorithm":"cc","graph":"small"}"#)
+        .expect("submit small");
+    let small_id = field_u64(&r, "job_id").expect("id");
+    let r = client
+        .request_line(&format!(
+            r#"{{"op":"result","job_id":{small_id},"wait_ms":120000}}"#
+        ))
+        .expect("result");
+    assert_eq!(field_str(&r, "status"), Some("ok"), "{r:?}");
+    assert_eq!(field_bool(&r, "timed_out"), Some(false), "{r:?}");
+
+    let _ = client.request_line(r#"{"op":"shutdown"}"#);
+    drop(client);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn trace_op_returns_per_superstep_records() {
+    let (addr, server) = start_server(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        memory_budget_bytes: 0,
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    register_both(&mut client);
+
+    let r = client
+        .request_line(r#"{"op":"submit","algorithm":"cc","graph":"rmat"}"#)
+        .expect("submit");
+    let id = field_u64(&r, "job_id").expect("id");
+    let r = client
+        .request_line(&format!(
+            r#"{{"op":"result","job_id":{id},"wait_ms":120000}}"#
+        ))
+        .expect("result");
+    let supersteps = field_u64(&r, "supersteps").expect("supersteps");
+
+    let r = client
+        .request_line(&format!(r#"{{"op":"trace","job_id":{id}}}"#))
+        .expect("trace");
+    assert_eq!(field_str(&r, "status"), Some("ok"), "{r:?}");
+    let trace = field(&r, "trace").expect("trace tree");
+    assert_eq!(field_str(trace, "label"), Some("cc/bsp"));
+    let Some(Content::Seq(records)) = field(trace, "supersteps") else {
+        panic!("trace.supersteps missing");
+    };
+    // The root test build enables the service's default `trace`
+    // feature, so the series is the full per-superstep profile.
+    assert_eq!(records.len() as u64, supersteps, "{r:?}");
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(field_u64(rec, "superstep"), Some(i as u64));
+        assert!(field_u64(rec, "total_ns").expect("total_ns") > 0);
+        assert!(field_u64(rec, "active").expect("active") > 0);
+    }
+    // First superstep: every vertex is active and casts no halt vote
+    // until it converges; the series must show the active set shrink.
+    let first_active = field_u64(&records[0], "active").unwrap();
+    let last_active = field_u64(records.last().unwrap(), "active").unwrap();
+    assert!(first_active >= last_active);
+
+    // Tracing a job that is not terminal is a wrong_state error.
+    let cfg = serde_json::to_string(&BspConfig {
+        active_set: ActiveSetStrategy::Worklist,
+        max_supersteps: 1_000_000,
+        ..BspConfig::default()
+    })
+    .expect("serialize config");
+    let r = client
+        .request_line(r#"{"op":"register_graph","name":"long","kind":"path","n":16000}"#)
+        .expect("register");
+    assert_eq!(field_str(&r, "status"), Some("ok"));
+    let r = client
+        .request_line(&format!(
+            r#"{{"op":"submit","algorithm":"cc","graph":"long","config":{cfg}}}"#
+        ))
+        .expect("submit long");
+    let live = field_u64(&r, "job_id").expect("id");
+    let r = client
+        .request_line(&format!(r#"{{"op":"trace","job_id":{live}}}"#))
+        .expect("trace live");
+    assert_eq!(field_str(&r, "code"), Some("wrong_state"), "{r:?}");
+    let _ = client.request_line(&format!(r#"{{"op":"cancel","job_id":{live}}}"#));
+
     let _ = client.request_line(r#"{"op":"shutdown"}"#);
     drop(client);
     server.join().expect("server thread");
