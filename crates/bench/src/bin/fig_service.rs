@@ -106,7 +106,7 @@ fn run_traced(service: &Service, spec: JobSpec) -> JobTrace {
     let graph = service.registry().get(&spec.graph).expect("graph");
     let id = service
         .scheduler()
-        .submit(spec, graph, None)
+        .submit(spec, graph, None, None)
         .expect("submit");
     let (snap, timed_out) = service
         .scheduler()

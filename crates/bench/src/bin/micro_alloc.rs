@@ -1,0 +1,188 @@
+//! Per-superstep **heap-allocation** microbenchmark: the fig1 (CC) and
+//! fig2 (BFS) series run twice through the BSP engine — once with frame
+//! recycling (the shipped configuration) and once with recycling
+//! disabled (each superstep re-allocates collector, inbox and scratch
+//! storage, emulating the pre-frame engine) — and the per-superstep
+//! allocation counts plus wall-clock land in `results/micro_alloc.*`.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --features alloc-count --bin micro_alloc \
+//!     [-- --scale N --out results]
+//! ```
+//!
+//! Without `--features alloc-count` the stock allocator stays installed
+//! and every alloc column reads 0 (the timing columns remain valid).
+
+use serde::Serialize;
+
+use xmt_bench::{build_paper_graph, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::algorithms::bfs::BfsProgram;
+use xmt_bsp::algorithms::components::CcProgram;
+use xmt_bsp::program::VertexProgram;
+use xmt_bsp::{run_bsp_slice_framed, BspConfig, SuperstepFrame, Transport};
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING: xmt_bench::alloc_count::CountingAlloc = xmt_bench::alloc_count::CountingAlloc;
+
+#[derive(Serialize)]
+struct MicroAllocPoint {
+    series: String,
+    mode: String,
+    superstep: u64,
+    allocs: u64,
+    seconds: f64,
+}
+
+fn main() {
+    // One worker by default (overridable via XMT_PAR_THREADS) so the
+    // committed artifact is deterministic: dynamic chunk self-scheduling
+    // makes per-worker scratch high-water — and hence the occasional
+    // growth realloc — depend on which worker claimed which chunk.
+    if std::env::var_os("XMT_PAR_THREADS").is_none() {
+        std::env::set_var("XMT_PAR_THREADS", "1");
+    }
+    // Hand the trace layer the process allocation counter so superstep
+    // records carry an `allocs` column (reads 0 without `alloc-count`).
+    xmt_bench::alloc_count::register();
+
+    let cfg = HarnessConfig::from_args(14);
+    if !xmt_trace::ENABLED {
+        eprintln!(
+            "micro_alloc: built without the `trace` feature; per-superstep \
+             records are unavailable. Re-run with default features."
+        );
+        return;
+    }
+    if !cfg!(feature = "alloc-count") {
+        eprintln!(
+            "micro_alloc: note: built without `alloc-count`; the counting \
+             allocator is not installed and alloc columns will read 0."
+        );
+    }
+
+    eprintln!("micro_alloc: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    let source = pick_bfs_source(&g);
+    let config = BspConfig {
+        transport: Transport::Bucketed,
+        ..BspConfig::default()
+    };
+
+    let mut points: Vec<MicroAllocPoint> = Vec::new();
+    for recycle in [true, false] {
+        let mode = if recycle { "recycled" } else { "fresh" };
+        run_series(
+            &g,
+            &CcProgram,
+            config,
+            recycle,
+            "cc/fig1",
+            mode,
+            &mut points,
+        );
+        let bfs = BfsProgram { source };
+        run_series(&g, &bfs, config, recycle, "bfs/fig2", mode, &mut points);
+    }
+
+    for series in ["cc/fig1", "bfs/fig2"] {
+        println!("\n[{series}] per-superstep heap allocations (bucketed transport, push)");
+        let mut t = Table::new(&[
+            "superstep",
+            "allocs (recycled)",
+            "allocs (fresh)",
+            "s (recycled)",
+            "s (fresh)",
+        ]);
+        let steps: Vec<u64> = points
+            .iter()
+            .filter(|p| p.series == series && p.mode == "recycled")
+            .map(|p| p.superstep)
+            .collect();
+        for s in steps {
+            let pick = |mode: &str| {
+                points
+                    .iter()
+                    .find(|p| p.series == series && p.mode == mode && p.superstep == s)
+            };
+            let (rec, fresh) = (pick("recycled"), pick("fresh"));
+            t.row(&[
+                s.to_string(),
+                rec.map_or("-".into(), |p| p.allocs.to_string()),
+                fresh.map_or("-".into(), |p| p.allocs.to_string()),
+                rec.map_or("-".into(), |p| format!("{:.3e}", p.seconds)),
+                fresh.map_or("-".into(), |p| format!("{:.3e}", p.seconds)),
+            ]);
+        }
+        t.print();
+        for mode in ["recycled", "fresh"] {
+            let steady: u64 = points
+                .iter()
+                .filter(|p| p.series == series && p.mode == mode && p.superstep >= 2)
+                .map(|p| p.allocs)
+                .sum();
+            let total_s: f64 = points
+                .iter()
+                .filter(|p| p.series == series && p.mode == mode)
+                .map(|p| p.seconds)
+                .sum();
+            println!("  {mode}: steady-state (s >= 2) allocs = {steady}, total {total_s:.4}s");
+        }
+    }
+
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "micro_alloc", &points).expect("write results");
+    }
+}
+
+fn run_series<P: VertexProgram>(
+    g: &xmt_graph::Csr,
+    program: &P,
+    config: BspConfig,
+    recycle: bool,
+    series: &str,
+    mode: &str,
+    points: &mut Vec<MicroAllocPoint>,
+) {
+    let mut frame = SuperstepFrame::with_recycle(recycle);
+    // Warm once then measure: both modes see a frame shaped for the
+    // graph, so superstep 0 of the measured run isolates per-superstep
+    // behaviour instead of first-touch growth.
+    let mut sink = xmt_trace::TraceSink::new();
+    run_bsp_slice_framed(
+        g,
+        program,
+        config,
+        None,
+        None,
+        None,
+        Some(&mut sink),
+        &mut frame,
+    )
+    .expect("warm-up run failed");
+    let mut sink = xmt_trace::TraceSink::new();
+    let run = run_bsp_slice_framed(
+        g,
+        program,
+        config,
+        None,
+        None,
+        None,
+        Some(&mut sink),
+        &mut frame,
+    )
+    .expect("measured run failed");
+    eprintln!(
+        "micro_alloc: {series} [{mode}] converged in {} supersteps",
+        run.result.supersteps
+    );
+    for t in sink.finish() {
+        points.push(MicroAllocPoint {
+            series: series.to_string(),
+            mode: mode.to_string(),
+            superstep: t.superstep,
+            allocs: t.allocs,
+            seconds: t.total_ns as f64 / 1e9,
+        });
+    }
+}

@@ -6,6 +6,7 @@
 //! recorded operation counts through the calibrated XMT model to get
 //! time-at-P series.  See DESIGN.md §5 for the experiment index.
 
+pub mod alloc_count;
 pub mod args;
 pub mod output;
 pub mod run;

@@ -1,0 +1,160 @@
+//! Allocation-regression gate: steady-state supersteps perform **zero**
+//! heap allocations.
+//!
+//! A counting `#[global_allocator]` (behind `--features alloc-count`)
+//! snapshots the process allocation total at every stop-hook poll — the
+//! engine polls the hook on each superstep boundary — so the difference
+//! between consecutive snapshots counts every allocation anywhere in
+//! between.  On a frame warmed by one full run, the window from the
+//! first steady-state boundary (superstep ≥ 2) to the last must be
+//! exactly zero for:
+//!
+//! - connected components, bucketed transport, push delivery;
+//! - BFS, bucketed transport, push delivery;
+//! - connected components, bucketed transport, **pull** delivery (the
+//!   retained snapshot buffer replaces the old `states.clone()`).
+//!
+//! Built `harness = false` (plain `main`): libtest allocates between
+//! callbacks, which would pollute the measurement windows.  Without
+//! `alloc-count` the counter never moves and the gate reports itself
+//! skipped rather than vacuously green.
+
+use std::sync::Mutex;
+
+use xmt_bench::alloc_count;
+use xmt_bench::{build_paper_graph, pick_bfs_source, HarnessConfig};
+use xmt_bsp::algorithms::bfs::BfsProgram;
+use xmt_bsp::algorithms::components::CcProgram;
+use xmt_bsp::program::VertexProgram;
+use xmt_bsp::{run_bsp_slice_framed, BspConfig, Delivery, SuperstepFrame, Transport};
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+/// Push supersteps poll the stop hook at most twice (the boundary cut
+/// check and the pull/push decision), so skipping four snapshots is
+/// guaranteed to land inside superstep >= 2.  Pull supersteps skip the
+/// cut check (a pull boundary is not checkpointable) and poll exactly
+/// once, so there two snapshots suffice.
+const SKIP_PUSH: usize = 4;
+const SKIP_PULL: usize = 2;
+
+fn main() {
+    // Pin the pool to one worker (unless the caller overrides) before
+    // anything touches it: chunk claiming is dynamically self-scheduled,
+    // so with several workers the per-worker scratch high-water depends
+    // on which worker happened to claim the biggest chunk — a warmed
+    // frame can then still see one growth realloc when the measured
+    // run's schedule differs.  One worker claims every chunk in order,
+    // making the exact-zero assertion deterministic; the superstep
+    // reuse paths under test are identical at any worker count.
+    if std::env::var_os("XMT_PAR_THREADS").is_none() {
+        std::env::set_var("XMT_PAR_THREADS", "1");
+    }
+    alloc_count::register();
+
+    if !cfg!(feature = "alloc-count") {
+        eprintln!(
+            "zero_alloc: SKIPPED — the counting allocator is not installed; \
+             re-run with `--features alloc-count` to enforce the gate."
+        );
+        return;
+    }
+
+    let cfg = HarnessConfig::from_args(12);
+    let g = build_paper_graph(&cfg);
+    assert!(
+        alloc_count::total() > 0,
+        "counting allocator installed but the counter never moved"
+    );
+    let source = pick_bfs_source(&g);
+
+    let push = BspConfig {
+        transport: Transport::Bucketed,
+        delivery: Delivery::Push,
+        ..BspConfig::default()
+    };
+    let pull = BspConfig {
+        delivery: Delivery::Pull,
+        ..push
+    };
+
+    gate(&g, &CcProgram, push, SKIP_PUSH, "cc/bucketed/push");
+    gate(
+        &g,
+        &BfsProgram { source },
+        push,
+        SKIP_PUSH,
+        "bfs/bucketed/push",
+    );
+    gate(&g, &CcProgram, pull, SKIP_PULL, "cc/bucketed/pull");
+
+    println!("zero_alloc: all steady-state windows allocation-free");
+}
+
+/// Warm the frame with one full run, then re-run with a snapshotting
+/// stop hook and require the steady-state window to be allocation-free.
+fn gate<P: VertexProgram>(
+    g: &xmt_graph::Csr,
+    program: &P,
+    config: BspConfig,
+    skip: usize,
+    label: &str,
+) {
+    let mut frame = SuperstepFrame::new();
+    run_bsp_slice_framed(g, program, config, None, None, None, None, &mut frame)
+        .unwrap_or_else(|e| panic!("{label}: warm-up run failed: {e:?}"));
+
+    // Pre-sized so recording a snapshot never allocates (a growing
+    // vector inside the hook would count itself).
+    let snaps: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(4096));
+    let hook = || {
+        snaps
+            .lock()
+            .expect("snapshot lock")
+            .push(alloc_count::total());
+        false
+    };
+    let run = run_bsp_slice_framed(
+        g,
+        program,
+        config,
+        None,
+        None,
+        Some(&hook),
+        None,
+        &mut frame,
+    )
+    .unwrap_or_else(|e| panic!("{label}: measured run failed: {e:?}"));
+    assert!(
+        !run.result.stopped_early && !run.result.hit_superstep_limit,
+        "{label}: measured run did not converge"
+    );
+
+    let snaps = snaps.into_inner().expect("snapshot lock");
+    // At least three snapshots past the skip point, so the window spans
+    // real intervals rather than being vacuously empty.
+    let min_snapshots = skip + 3;
+    assert!(
+        snaps.len() >= min_snapshots,
+        "{label}: only {} boundary snapshots — graph too small to exercise \
+         steady state (need >= {min_snapshots})",
+        snaps.len()
+    );
+    let window = &snaps[skip..];
+    let diffs: Vec<u64> = window.windows(2).map(|w| w[1] - w[0]).collect();
+    let total: u64 = diffs.iter().sum();
+    assert!(
+        total == 0,
+        "{label}: {total} heap allocation(s) in the steady-state window \
+         ({} supersteps converged; per-interval counts {diffs:?})",
+        run.result.supersteps
+    );
+    println!(
+        "zero_alloc: {label}: 0 allocations across {} boundary intervals \
+         ({} supersteps)",
+        diffs.len(),
+        run.result.supersteps
+    );
+}

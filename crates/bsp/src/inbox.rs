@@ -5,12 +5,19 @@
 //! indexes `data` by vertex.  When a combiner is configured the group is
 //! folded to a single message at delivery time, so compute sees at most
 //! one message per vertex.
+//!
+//! Inboxes are double-buffer friendly: [`Inbox::rebuild`] /
+//! [`Inbox::rebuild_bucketed`] / [`Inbox::reset_empty`] reshape an
+//! existing inbox in place, reusing its `offsets`/`data`/scratch
+//! capacity, so the superstep loop can keep two inboxes (live + spare)
+//! and swap them instead of allocating a fresh one per superstep.
 
 use std::sync::atomic::Ordering;
 
 use xmt_graph::VertexId;
 use xmt_par::atomic::as_atomic_u64;
-use xmt_par::{exclusive_prefix_sum, parallel_for};
+use xmt_par::pfor::parallel_for_chunked;
+use xmt_par::{exclusive_prefix_sum, parallel_for, WorkerScratch};
 
 use crate::program::Combiner;
 
@@ -18,17 +25,33 @@ use crate::program::Combiner;
 pub struct Inbox<M> {
     offsets: Vec<u64>,
     data: Vec<M>,
+    /// Scatter cursors for [`rebuild`](Self::rebuild), retained so the
+    /// per-superstep copy of `offsets` reuses capacity.
+    cursors: Vec<u64>,
+    /// Per-bucket base offsets for [`rebuild_bucketed`](Self::rebuild_bucketed),
+    /// retained across rebuilds.
+    bucket_base: Vec<u64>,
     combined: bool,
 }
 
 impl<M: Copy + Send + Sync> Inbox<M> {
-    /// An inbox with no messages for `n` vertices.
-    pub fn empty(n: usize) -> Self {
+    /// An inbox shell with no storage at all (zero vertices, zero
+    /// capacity); reshape it with the `rebuild` family.
+    pub fn new() -> Self {
         Inbox {
-            offsets: vec![0; n + 1],
+            offsets: Vec::new(),
             data: Vec::new(),
+            cursors: Vec::new(),
+            bucket_base: Vec::new(),
             combined: false,
         }
+    }
+
+    /// An inbox with no messages for `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        let mut inbox = Self::new();
+        inbox.reset_empty(n);
+        inbox
     }
 
     /// Group `batches` of `(dst, msg)` pairs by destination.
@@ -41,10 +64,67 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         batches: &[Vec<(VertexId, M)>],
         combiner: Option<&dyn Combiner<M>>,
     ) -> Self {
-        // Count messages per destination.
-        let mut counts = vec![0u64; n + 1];
+        let mut inbox = Self::new();
+        inbox.rebuild(n, batches, combiner);
+        inbox
+    }
+
+    /// Group radix-partitioned batches by destination *without atomics*.
+    /// See [`rebuild_bucketed`](Self::rebuild_bucketed).
+    pub fn build_bucketed(
+        n: usize,
+        stride: u64,
+        per_worker: &[Vec<Vec<(VertexId, M)>>],
+        combiner: Option<&dyn Combiner<M>>,
+    ) -> Self {
+        let mut inbox = Self::new();
+        let scratch: WorkerScratch<Vec<u64>> = WorkerScratch::new(xmt_par::num_threads());
+        inbox.rebuild_bucketed(n, stride, per_worker, combiner, &scratch);
+        inbox
+    }
+
+    /// Reshape in place to an empty inbox over `n` vertices, retaining
+    /// all capacity.
+    pub fn reset_empty(&mut self, n: usize) {
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        self.data.clear();
+        self.combined = false;
+    }
+
+    /// Message-storage slots currently allocated (the rebuild family
+    /// reallocates only when a superstep's traffic exceeds this).
+    pub fn message_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Grow message storage to hold at least `cap` messages.  The frame
+    /// equalizes its double-buffered pair with this at run start: the
+    /// two inboxes serve alternating supersteps, so their high-water
+    /// marks diverge, and a run ending role-swapped would otherwise
+    /// land its peak superstep on the smaller buffer mid-run.
+    pub fn reserve_messages(&mut self, cap: usize) {
+        self.data.reserve(cap.saturating_sub(self.data.len()));
+    }
+
+    /// Rebuild in place from flat batches (the reusable form of
+    /// [`build`](Self::build)): counts, offsets, scatter cursors and data
+    /// all reuse this inbox's retained buffers, so a steady-state rebuild
+    /// allocates nothing once the buffers have grown to their high-water
+    /// mark.
+    pub fn rebuild(
+        &mut self,
+        n: usize,
+        batches: &[Vec<(VertexId, M)>],
+        combiner: Option<&dyn Combiner<M>>,
+    ) {
+        self.combined = false;
+        // Count messages per destination (counts become the offsets
+        // after the prefix sum).
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
         {
-            let acounts = as_atomic_u64(&mut counts);
+            let acounts = as_atomic_u64(&mut self.offsets);
             parallel_for(0, batches.len(), |b| {
                 for &(dst, _) in &batches[b] {
                     // Relaxed: pure occupancy count; totals are read
@@ -53,41 +133,36 @@ impl<M: Copy + Send + Sync> Inbox<M> {
                 }
             });
         }
-        let total = exclusive_prefix_sum(&mut counts) as usize;
-        let offsets = counts;
+        let total = exclusive_prefix_sum(&mut self.offsets) as usize;
 
         // Scatter.
-        let mut data: Vec<M> = Vec::with_capacity(total);
+        self.cursors.clone_from(&self.offsets);
+        self.data.clear();
+        self.data.reserve(total);
         {
-            let mut cursors = offsets.clone();
-            let acursors = as_atomic_u64(&mut cursors);
-            let base = data.as_mut_ptr() as usize;
+            let acursors = as_atomic_u64(&mut self.cursors);
+            let base = self.data.as_mut_ptr() as usize;
             parallel_for(0, batches.len(), |b| {
                 for &(dst, msg) in &batches[b] {
                     // Relaxed: the fetch_add only reserves a unique slot
                     // index; the scattered data is published by the join.
                     let slot = acursors[dst as usize].fetch_add(1, Ordering::Relaxed) as usize;
                     // SAFETY: slots are unique via fetch-add; capacity is
-                    // exactly `total`.
+                    // at least `total` via the reserve above.
                     unsafe { (base as *mut M).add(slot).write(msg) };
                 }
             });
             // SAFETY: all `total` slots were written exactly once.
-            unsafe { data.set_len(total) };
+            unsafe { self.data.set_len(total) };
         }
 
-        let mut inbox = Inbox {
-            offsets,
-            data,
-            combined: false,
-        };
         if let Some(c) = combiner {
-            inbox.combine_in_place(c);
+            self.combine_in_place(c);
         }
-        inbox
     }
 
-    /// Group radix-partitioned batches by destination *without atomics*.
+    /// Rebuild in place from radix-partitioned batches *without atomics*
+    /// (the reusable form of [`build_bucketed`](Self::build_bucketed)).
     ///
     /// `per_worker[w][b]` holds worker `w`'s sends whose destinations lie
     /// in bucket `b`'s vertex range `[b·stride, (b+1)·stride)` (the shape
@@ -95,94 +170,106 @@ impl<M: Copy + Send + Sync> Inbox<M> {
     /// bucket `b` is owned by exactly one parallel task, that task can
     /// count, prefix-sum, and scatter its contiguous `offsets`/`data`
     /// regions with plain reads and writes — no `fetch_add` per message,
-    /// unlike [`Inbox::build`].
-    pub fn build_bucketed(
+    /// unlike [`rebuild`](Self::rebuild).
+    ///
+    /// `cursor_scratch` provides each worker's per-bucket cursor buffer;
+    /// passing a retained scratch (the `SuperstepFrame` does) makes the
+    /// steady-state rebuild allocation-free.
+    pub fn rebuild_bucketed(
+        &mut self,
         n: usize,
         stride: u64,
         per_worker: &[Vec<Vec<(VertexId, M)>>],
         combiner: Option<&dyn Combiner<M>>,
-    ) -> Self {
+        cursor_scratch: &WorkerScratch<Vec<u64>>,
+    ) {
+        self.combined = false;
         let num_buckets = per_worker.first().map_or(0, |w| w.len());
         debug_assert!(per_worker.iter().all(|w| w.len() == num_buckets));
         debug_assert!(stride.max(1) * num_buckets.max(1) as u64 >= n as u64);
 
         // Per-bucket totals -> each bucket's base offset into `data`.
         // Sequential: one addition per (worker, bucket) pair.
-        let mut bucket_base = vec![0u64; num_buckets + 1];
+        self.bucket_base.clear();
+        self.bucket_base.resize(num_buckets + 1, 0);
         for w in per_worker {
             for (b, batch) in w.iter().enumerate() {
-                bucket_base[b + 1] += batch.len() as u64;
+                self.bucket_base[b + 1] += batch.len() as u64;
             }
         }
         for b in 0..num_buckets {
-            bucket_base[b + 1] += bucket_base[b];
+            self.bucket_base[b + 1] += self.bucket_base[b];
         }
-        let total = bucket_base[num_buckets] as usize;
+        let total = self.bucket_base[num_buckets] as usize;
 
-        let mut offsets = vec![0u64; n + 1];
-        let mut data: Vec<M> = Vec::with_capacity(total);
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        self.data.clear();
+        self.data.reserve(total);
         {
-            let offsets_base = offsets.as_mut_ptr() as usize;
-            let data_base = data.as_mut_ptr() as usize;
-            let bucket_base = &bucket_base;
-            parallel_for(0, num_buckets, |b| {
-                let lo = (b as u64 * stride).min(n as u64) as usize;
-                let hi = ((b as u64 + 1) * stride).min(n as u64) as usize;
-                if lo >= hi {
-                    debug_assert_eq!(bucket_base[b], bucket_base[b + 1]);
-                    return;
-                }
-                // Count this bucket's messages per destination.
-                let mut cursors = vec![0u64; hi - lo];
-                for w in per_worker {
-                    for &(dst, _) in &w[b] {
-                        debug_assert!((lo..hi).contains(&(dst as usize)));
-                        cursors[dst as usize - lo] += 1;
+            let offsets_base = self.offsets.as_mut_ptr() as usize;
+            let data_base = self.data.as_mut_ptr() as usize;
+            let bucket_base = &self.bucket_base;
+            // Chunk size 1: each claim processes one bucket, and the
+            // worker id keys the cursor scratch (one live thread per id).
+            parallel_for_chunked(0, num_buckets, 1, |worker, range| {
+                for b in range {
+                    let lo = (b as u64 * stride).min(n as u64) as usize;
+                    let hi = ((b as u64 + 1) * stride).min(n as u64) as usize;
+                    if lo >= hi {
+                        debug_assert_eq!(bucket_base[b], bucket_base[b + 1]);
+                        continue;
                     }
-                }
-                // Local exclusive prefix starting at the bucket's base;
-                // publish each destination's offset.
-                let mut acc = bucket_base[b];
-                for (i, c) in cursors.iter_mut().enumerate() {
-                    let count = *c;
-                    *c = acc;
-                    // SAFETY: bucket vertex ranges `[lo, hi)` are
-                    // disjoint, so these offset writes are too.
-                    unsafe { (offsets_base as *mut u64).add(lo + i).write(acc) };
-                    acc += count;
-                }
-                debug_assert_eq!(acc, bucket_base[b + 1]);
-                // Scatter into this bucket's private region of `data`.
-                for w in per_worker {
-                    for &(dst, msg) in &w[b] {
-                        let cursor = &mut cursors[dst as usize - lo];
-                        // SAFETY: `cursors` hold unique slots within the
-                        // bucket's private `[bucket_base[b],
-                        // bucket_base[b+1])` region of `data`.
-                        unsafe { (data_base as *mut M).add(*cursor as usize).write(msg) };
-                        *cursor += 1;
+                    // Count this bucket's messages per destination.
+                    // SAFETY: parallel_for_chunked runs at most one
+                    // thread per worker id, so this slot is private.
+                    let cursors = unsafe { cursor_scratch.get(worker) };
+                    cursors.clear();
+                    cursors.resize(hi - lo, 0);
+                    for w in per_worker {
+                        for &(dst, _) in &w[b] {
+                            debug_assert!((lo..hi).contains(&(dst as usize)));
+                            cursors[dst as usize - lo] += 1;
+                        }
+                    }
+                    // Local exclusive prefix starting at the bucket's base;
+                    // publish each destination's offset.
+                    let mut acc = bucket_base[b];
+                    for (i, c) in cursors.iter_mut().enumerate() {
+                        let count = *c;
+                        *c = acc;
+                        // SAFETY: bucket vertex ranges `[lo, hi)` are
+                        // disjoint, so these offset writes are too.
+                        unsafe { (offsets_base as *mut u64).add(lo + i).write(acc) };
+                        acc += count;
+                    }
+                    debug_assert_eq!(acc, bucket_base[b + 1]);
+                    // Scatter into this bucket's private region of `data`.
+                    for w in per_worker {
+                        for &(dst, msg) in &w[b] {
+                            let cursor = &mut cursors[dst as usize - lo];
+                            // SAFETY: `cursors` hold unique slots within the
+                            // bucket's private `[bucket_base[b],
+                            // bucket_base[b+1])` region of `data`.
+                            unsafe { (data_base as *mut M).add(*cursor as usize).write(msg) };
+                            *cursor += 1;
+                        }
                     }
                 }
             });
             // SAFETY: the buckets' disjoint regions cover all `total`
             // slots and each was written exactly once.
-            unsafe { data.set_len(total) };
+            unsafe { self.data.set_len(total) };
         }
-        offsets[n] = total as u64;
+        self.offsets[n] = total as u64;
         // Vertices beyond the last non-empty bucket range were never
         // visited; their offsets must close the CSR (empty groups).
         let covered = ((num_buckets as u64) * stride).min(n as u64) as usize;
-        offsets[covered..n].fill(total as u64);
+        self.offsets[covered..n].fill(total as u64);
 
-        let mut inbox = Inbox {
-            offsets,
-            data,
-            combined: false,
-        };
         if let Some(c) = combiner {
-            inbox.combine_in_place(c);
+            self.combine_in_place(c);
         }
-        inbox
     }
 
     /// Fold each vertex's group to one message (kept at the group head).
@@ -239,7 +326,7 @@ impl<M: Copy + Send + Sync> Inbox<M> {
 
     /// Number of vertices this inbox covers.
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Messages awaiting delivery in each destination bucket of width
@@ -268,13 +355,29 @@ impl<M: Copy + Send + Sync> Inbox<M> {
     /// (post-combining view).  Rebuilding an inbox from this snapshot
     /// delivers the same messages — the basis of superstep checkpoints.
     pub fn snapshot(&self) -> Vec<(VertexId, M)> {
-        let mut out = Vec::new();
+        // Exact capacity from the counts already on hand: one entry per
+        // non-empty group when combined, one per stored message otherwise.
+        let cap = if self.combined {
+            (0..self.num_vertices())
+                .filter(|&v| self.offsets[v + 1] > self.offsets[v])
+                .count()
+        } else {
+            self.data.len()
+        };
+        let mut out = Vec::with_capacity(cap);
         for v in 0..self.num_vertices() as u64 {
             for &m in self.messages(v) {
                 out.push((v, m));
             }
         }
+        debug_assert_eq!(out.len(), cap);
         out
+    }
+}
+
+impl<M: Copy + Send + Sync> Default for Inbox<M> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -413,5 +516,67 @@ mod tests {
         assert_eq!(ib.bucket_counts(100), vec![5]);
         assert!(ib.bucket_counts(0).is_empty());
         assert!(Inbox::<u64>::empty(0).bucket_counts(3).is_empty());
+    }
+
+    #[test]
+    fn rebuild_reuses_and_matches_fresh_build() {
+        // One inbox rebuilt through a sequence of shapes must agree with
+        // a fresh build at every step (combined, uncombined, empty).
+        let mut reused: Inbox<u64> = Inbox::new();
+        let rounds: Vec<Vec<Vec<(u64, u64)>>> = vec![
+            vec![vec![(0, 5), (3, 1), (0, 2)], vec![(2, 7)]],
+            vec![vec![]],
+            vec![vec![(3, 3), (3, 4), (1, 9), (2, 2), (0, 1)]],
+        ];
+        for batches in &rounds {
+            for combiner in [None, Some(&MinCombiner as &dyn Combiner<u64>)] {
+                reused.rebuild(4, batches, combiner);
+                let fresh = Inbox::build(4, batches, combiner);
+                assert_eq!(reused.is_combined(), fresh.is_combined());
+                assert_eq!(reused.total_messages(), fresh.total_messages());
+                for v in 0..4u64 {
+                    let mut a: Vec<u64> = reused.messages(v).to_vec();
+                    let mut b: Vec<u64> = fresh.messages(v).to_vec();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "vertex {v}");
+                }
+            }
+        }
+        // Shrinking to empty and regrowing works too.
+        reused.reset_empty(4);
+        assert_eq!(reused.total_messages(), 0);
+        assert!(!reused.is_combined());
+    }
+
+    #[test]
+    fn rebuild_bucketed_reuses_and_matches_fresh_build() {
+        let scratch: WorkerScratch<Vec<u64>> = WorkerScratch::new(xmt_par::num_threads());
+        let mut reused: Inbox<u64> = Inbox::new();
+        let per_worker = vec![
+            vec![vec![(2u64, 9u64), (0, 1)], vec![(5, 55), (4, 2)]],
+            vec![vec![(2, 3)], vec![(3, 8)]],
+        ];
+        for _ in 0..3 {
+            reused.rebuild_bucketed(6, 3, &per_worker, Some(&MinCombiner), &scratch);
+            let fresh = Inbox::build_bucketed(6, 3, &per_worker, Some(&MinCombiner));
+            assert_eq!(reused.total_messages(), fresh.total_messages());
+            for v in 0..6u64 {
+                assert_eq!(reused.messages(v), fresh.messages(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_capacity_is_exact() {
+        let batches = vec![vec![(0u64, 9u64), (0, 3), (2, 7)]];
+        let plain = Inbox::build(3, &batches, None);
+        let snap = plain.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.capacity(), 3);
+        let combined = Inbox::build(3, &batches, Some(&MinCombiner));
+        let snap = combined.snapshot();
+        assert_eq!(snap.len(), 2); // two non-empty groups
+        assert_eq!(snap.capacity(), 2);
     }
 }

@@ -18,9 +18,11 @@ use xmt_model::{PhaseCounts, Recorder};
 use xmt_par::parallel_for;
 use xmt_par::pfor::parallel_for_chunked;
 
+use xmt_par::WorkerScratch;
+
 use crate::inbox::Inbox;
 use crate::program::{Context, VertexProgram};
-use crate::transport::{charge_exchange, CollectedBatches, MessageCollector, Transport};
+use crate::transport::{charge_exchange, Collected, MessageCollector, Transport};
 
 /// How the runtime finds the active vertices each superstep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -319,10 +321,161 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
     graph: &Csr,
     program: &P,
     config: BspConfig,
+    rec: Option<&mut Recorder>,
+    from: Option<Snapshot<P>>,
+    stop: Option<StopHook<'_>>,
+    sink: Option<&mut xmt_trace::TraceSink>,
+) -> Result<SlicedRun<P::State, P::Message>, ResumeError> {
+    let mut frame = SuperstepFrame::new();
+    run_bsp_slice_framed(graph, program, config, rec, from, stop, sink, &mut frame)
+}
+
+/// Reusable storage for the superstep loop: the message collector, the
+/// double-buffered inbox pair, the pull-mode state snapshot, the active
+/// lists and the per-worker scratch pools all live here and are cleared
+/// (capacity retained) between supersteps — and between runs — instead
+/// of reallocated.
+///
+/// One-shot callers never see a frame ([`run_bsp_slice_traced`] makes a
+/// throwaway one); a caller that runs many computations — a benchmark
+/// loop, a job scheduler resuming checkpoint slices — holds a frame and
+/// passes it to [`run_bsp_slice_framed`] so every run after the first
+/// deposits into warm buffers.  In the steady state (superstep ≥ 1 with
+/// traffic at its high-water mark) a superstep performs **zero** heap
+/// allocations; `crates/bench/tests/zero_alloc.rs` enforces this with a
+/// counting allocator.
+///
+/// The frame is pure scratch: it never carries messages or results
+/// across runs (checkpoint state travels in [`ResumePoint`]), so reusing
+/// one frame across unrelated graphs, programs of the same type, or
+/// configs is always correct — `prepare` reshapes whatever mismatches.
+pub struct SuperstepFrame<S, M> {
+    /// `false` turns every reuse path back into fresh allocation (the
+    /// pre-frame engine), for before/after measurement in `micro_alloc`.
+    recycle: bool,
+    /// Worker count the scratch pools are shaped for.
+    workers: usize,
+    /// Persistent transport storage, `reset()` each superstep.
+    collector: MessageCollector<M>,
+    /// The live inbox: messages delivered to the current superstep.
+    inbox: Inbox<M>,
+    /// The spare inbox: Phase C rebuilds it in place from the collected
+    /// messages, then swaps it with `inbox` at the boundary.
+    spare: Inbox<M>,
+    /// Retained pull-snapshot target (`clone_from` instead of `clone`).
+    snapshot: Vec<S>,
+    /// The current superstep's active list.
+    active: Vec<VertexId>,
+    /// The next superstep's active list (worklist strategy); swaps with
+    /// `active` at the boundary.
+    next_active: Vec<VertexId>,
+    /// Per-chunk aggregate contributions, drained each superstep.
+    agg_parts: Vec<(u64, f64)>,
+    /// Per-worker outbox scratch for the compute phase.
+    outbox: WorkerScratch<Vec<(VertexId, M)>>,
+    /// Per-worker awake-list scratch (worklist strategy).
+    awake: WorkerScratch<Vec<VertexId>>,
+    /// Per-worker bucket-cursor scratch for the bucketed inbox rebuild.
+    bucket_cursors: WorkerScratch<Vec<u64>>,
+}
+
+impl<S, M: Copy + Send + Sync> SuperstepFrame<S, M> {
+    /// A fresh frame; buffers grow on first use and are then recycled.
+    pub fn new() -> Self {
+        Self::with_recycle(true)
+    }
+
+    /// A frame with reuse switched on (`true`, the default) or off
+    /// (`false`: every superstep reallocates like the pre-frame engine —
+    /// the ablation baseline for allocation measurements).
+    pub fn with_recycle(recycle: bool) -> Self {
+        SuperstepFrame {
+            recycle,
+            workers: 1,
+            collector: MessageCollector::new(Transport::PerThreadOutbox, 1, 0, false),
+            inbox: Inbox::new(),
+            spare: Inbox::new(),
+            snapshot: Vec::new(),
+            active: Vec::new(),
+            next_active: Vec::new(),
+            agg_parts: Vec::new(),
+            outbox: WorkerScratch::new(1),
+            awake: WorkerScratch::new(1),
+            bucket_cursors: WorkerScratch::new(1),
+        }
+    }
+
+    /// Whether buffers are recycled across supersteps.
+    pub fn recycles(&self) -> bool {
+        self.recycle
+    }
+
+    /// Reshape for a run over `n` vertices with `workers` workers; a
+    /// frame whose shape already matches keeps all warm storage.
+    fn prepare(&mut self, n: usize, workers: usize, transport: Transport, combining: bool) {
+        let workers = workers.max(1);
+        if self.collector.transport() != transport
+            || self.collector.workers() != workers
+            || self.collector.num_vertices() != n
+            || self.collector.is_combining() != combining
+        {
+            self.collector = MessageCollector::new(transport, workers, n, combining);
+        }
+        if self.workers != workers {
+            self.workers = workers;
+            self.outbox = WorkerScratch::new(workers);
+            self.awake = WorkerScratch::new(workers);
+            self.bucket_cursors = WorkerScratch::new(workers);
+        }
+        // The live/spare inboxes serve alternating supersteps, so each
+        // buffer's high-water mark tracks only its own parity class; a
+        // run with an odd superstep count leaves the pair role-swapped,
+        // and the next run's peak superstep would land on the smaller
+        // buffer — one mid-run growth realloc.  Equalize here, at run
+        // start, so steady state stays allocation-free either way.
+        let cap = self
+            .inbox
+            .message_capacity()
+            .max(self.spare.message_capacity());
+        self.inbox.reserve_messages(cap);
+        self.spare.reserve_messages(cap);
+        // Scratch content never survives into a run's results; only
+        // capacity is carried over.
+        self.active.clear();
+        self.next_active.clear();
+        self.agg_parts.clear();
+    }
+}
+
+impl<S, M: Copy + Send + Sync> Default for SuperstepFrame<S, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S, M> std::fmt::Debug for SuperstepFrame<S, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuperstepFrame")
+            .field("recycle", &self.recycle)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// [`run_bsp_slice_traced`] with caller-owned scratch: all per-superstep
+/// storage lives in `frame` and is recycled across supersteps and across
+/// calls.  Results are identical to the frameless entry points for every
+/// config; only the allocation behavior differs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bsp_slice_framed<P: VertexProgram>(
+    graph: &Csr,
+    program: &P,
+    config: BspConfig,
     mut rec: Option<&mut Recorder>,
     from: Option<Snapshot<P>>,
     stop: Option<StopHook<'_>>,
     mut sink: Option<&mut xmt_trace::TraceSink>,
+    frame: &mut SuperstepFrame<P::State, P::Message>,
 ) -> Result<SlicedRun<P::State, P::Message>, ResumeError> {
     // `ENABLED` is a const: when the feature is off this is `false`, the
     // compiler strips every `if tracing` block below, and the loop is
@@ -330,9 +483,10 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
     let tracing = xmt_trace::ENABLED && sink.is_some();
     let n = graph.num_vertices() as usize;
     let workers = xmt_par::num_threads();
+    frame.prepare(n, workers, config.transport, program.combiner().is_some());
 
     let resumed = from.is_some();
-    let (mut states, halted, mut inbox, mut prev_agg, start_s) = match from {
+    let (mut states, halted, mut prev_agg, start_s) = match from {
         None => {
             // Initialize state (superstep "-1" setup, charged as init).
             let mut states: Vec<P::State> = Vec::with_capacity(n);
@@ -353,7 +507,8 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
                 r.push("init", 0, c, n as u64);
             }
             let halted: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-            (states, halted, Inbox::empty(n), (0u64, 0.0f64), 0u64)
+            frame.inbox.reset_empty(n);
+            (states, halted, (0u64, 0.0f64), 0u64)
         }
         Some((states, resume)) => {
             if states.len() != n {
@@ -382,27 +537,42 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
                 .iter()
                 .map(|&h| AtomicU64::new(h as u64))
                 .collect();
-            let inbox = Inbox::build(n, &[resume.pending], program.combiner());
-            (
-                states,
-                halted,
-                inbox,
-                resume.prev_aggregates,
-                resume.superstep,
-            )
+            frame
+                .inbox
+                .rebuild(n, std::slice::from_ref(&resume.pending), program.combiner());
+            (states, halted, resume.prev_aggregates, resume.superstep)
         }
     };
 
-    let mut superstep_stats = Vec::new();
-    let mut aggregates = Vec::new();
+    // Reserve the series up front so steady-state pushes stay in
+    // capacity (capped: a pathological `max_supersteps` must not reserve
+    // gigabytes for a run that quiesces in ten).
+    let series_cap = config.max_supersteps.min(16_384) as usize;
+    let mut superstep_stats = Vec::with_capacity(series_cap);
+    let mut aggregates = Vec::with_capacity(series_cap);
     let mut s = start_s;
     let mut hit_limit = false;
     let mut stopped = false;
     let worklist = config.active_set == ActiveSetStrategy::Worklist;
+    // Split the frame into disjoint field borrows for the loop.
+    let SuperstepFrame {
+        recycle,
+        collector,
+        inbox,
+        spare,
+        snapshot: snapshot_buf,
+        active,
+        next_active,
+        agg_parts: agg_parts_buf,
+        outbox: outbox_scratch,
+        awake: awake_scratch,
+        bucket_cursors,
+        ..
+    } = frame;
+    let recycle = *recycle;
     // Worklist state: the compacted next-superstep active list, built in
     // O(messages + non-halted) during the previous superstep, and a
     // generation tag per vertex for exactly-once insertion.
-    let mut next_active: Vec<VertexId> = Vec::new();
     let gen: Vec<AtomicU64> = if worklist {
         (0..n).map(|_| AtomicU64::new(u64::MAX)).collect()
     } else {
@@ -423,35 +593,60 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
         // in trace-enabled builds.
         let mut step_watch = tracing.then(xmt_trace::Stopwatch::start);
         let mut phase_watch = step_watch;
+        // Allocation window: everything from here through the end of the
+        // exchange phase is covered; trace bookkeeping after the window
+        // (bucket counts, the record itself) is excluded so tracing does
+        // not observe its own allocations.
+        let allocs_at = if tracing { xmt_trace::alloc_count() } else { 0 };
+
+        if recycle {
+            collector.reset();
+        } else {
+            // Ablation: emulate the pre-frame engine by discarding every
+            // retained buffer, so each superstep reallocates from cold.
+            *collector =
+                MessageCollector::new(config.transport, workers, n, program.combiner().is_some());
+            *spare = Inbox::new();
+            *outbox_scratch = WorkerScratch::new(workers.max(1));
+            *awake_scratch = WorkerScratch::new(workers.max(1));
+            *bucket_cursors = WorkerScratch::new(workers.max(1));
+            snapshot_buf.clear();
+            snapshot_buf.shrink_to_fit();
+            agg_parts_buf.shrink_to_fit();
+            active.shrink_to_fit();
+            next_active.shrink_to_fit();
+        }
 
         // ---- Phase A: find active vertices -------------------------------
-        let active: Vec<VertexId> = if pulling {
+        if pulling {
             // Pull superstep: any vertex with a neighbor may gather a
             // message, so the active set is every non-isolated vertex
             // plus the already-awake (a superset of push's receivers —
             // safe per the `pull_from` contract).
-            (0..n as u64)
+            active.clear();
+            active.extend((0..n as u64).filter(|&v| {
                 // Relaxed: halt flags were stored before the previous
                 // superstep's pool join, which happens-before this scan.
-                .filter(|&v| graph.degree(v) > 0 || halted[v as usize].load(Ordering::Relaxed) == 0)
-                .collect()
+                graph.degree(v) > 0 || halted[v as usize].load(Ordering::Relaxed) == 0
+            }));
         } else if s == 0 {
-            (0..n as u64).collect()
+            active.clear();
+            active.extend(0..n as u64);
         } else if worklist && !(resumed && s == start_s) {
-            std::mem::take(&mut next_active)
+            // The list built during the previous superstep becomes
+            // current; its buffer becomes the next build target.
+            std::mem::swap(active, next_active);
+            next_active.clear();
         } else {
             // Dense filter: the default strategy, and the first superstep
             // after a resume (the worklist is rebuilt incrementally from
             // here on).
-            let mut v: Vec<VertexId> = (0..n as u64)
-                .filter(|&v| {
-                    // Relaxed: flags precede the last superstep's join.
-                    inbox.has_messages(v) || halted[v as usize].load(Ordering::Relaxed) == 0
-                })
-                .collect();
-            v.shrink_to_fit();
-            v
-        };
+            active.clear();
+            active.extend((0..n as u64).filter(|&v| {
+                // Relaxed: flags precede the last superstep's join.
+                inbox.has_messages(v) || halted[v as usize].load(Ordering::Relaxed) == 0
+            }));
+        }
         let scan_ns = phase_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
         if let Some(r) = rec.as_deref_mut() {
             let mut c = if pulling {
@@ -506,35 +701,49 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
         }
 
         // ---- Phase B: compute ---------------------------------------------
-        let collector: MessageCollector<P::Message> =
-            MessageCollector::new(config.transport, workers, n, program.combiner().is_some());
-        let agg_parts: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::new());
+        // Chunk contributions accumulate into the frame's buffers, moved
+        // behind stack mutexes for the parallel region and restored after
+        // it (the mutexes themselves are stack values — no allocation).
+        let agg_parts: Mutex<Vec<(u64, f64)>> = Mutex::new(std::mem::take(agg_parts_buf));
         let delivered = AtomicU64::new(0);
         let pull_probes = AtomicU64::new(0);
         let pull_hits = AtomicU64::new(0);
         let extra_reads = AtomicU64::new(0);
         let extra_alu = AtomicU64::new(0);
         let halt_votes = AtomicU64::new(0);
-        let next_active_parts: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        let next_active_parts: Mutex<Vec<VertexId>> = Mutex::new(std::mem::take(next_active));
         // Pull supersteps gather from the states as of the *end of the
-        // previous superstep*; snapshot them so concurrent writes during
-        // this superstep cannot leak in (BSP read semantics).
-        let snapshot: Option<Vec<P::State>> = if pulling { Some(states.clone()) } else { None };
+        // previous superstep*; snapshot them (into the frame's retained
+        // buffer) so concurrent writes during this superstep cannot leak
+        // in (BSP read semantics).
+        let snapshot: Option<&[P::State]> = if pulling {
+            snapshot_buf.clone_from(&states);
+            Some(snapshot_buf.as_slice())
+        } else {
+            None
+        };
         let states_base = states.as_mut_ptr() as usize;
         {
-            let active_ref = &active;
-            let inbox_ref = &inbox;
+            let active_ref: &[VertexId] = active;
+            let inbox_ref = &*inbox;
             let halted_ref = &halted;
             let snapshot_ref = &snapshot;
+            let collector_ref = &*collector;
+            let outbox_ref = &*outbox_scratch;
+            let awake_ref = &*awake_scratch;
             let chunk = chunk_for(active_ref.len());
             parallel_for_chunked(0, active_ref.len(), chunk as usize, |worker, range| {
-                let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
+                // SAFETY: at most one live thread per worker id (the
+                // parallel_for_chunked contract), so the slots below are
+                // private to this invocation.
+                let outbox = unsafe { outbox_ref.get(worker) };
+                // SAFETY: same single-thread-per-worker-id contract.
+                let local_awake = unsafe { awake_ref.get(worker) };
                 let mut agg = (0u64, 0.0f64);
                 let mut local_delivered = 0u64;
                 let mut local_probes = (0u64, 0u64);
                 let mut local_extra = (0u64, 0u64);
                 let mut local_halts = 0u64;
-                let mut local_awake: Vec<VertexId> = Vec::new();
                 for i in range {
                     let v = active_ref[i];
                     // Pull mode: fold `pull_from` over the neighbors'
@@ -567,7 +776,7 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
                         graph,
                         superstep: s,
                         vertex: v,
-                        outbox: &mut outbox,
+                        outbox: &mut *outbox,
                         halt: false,
                         agg_u64: 0,
                         agg_f64: 0.0,
@@ -618,9 +827,11 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
                     // Relaxed: trace counter, read only post-join.
                     halt_votes.fetch_add(local_halts, Ordering::Relaxed);
                 }
-                collector.deposit(worker, outbox, program.combiner());
+                // Drains the scratch, leaving its capacity warm for the
+                // worker's next chunk (and the next superstep).
+                collector_ref.deposit_from(worker, outbox, program.combiner());
                 if !local_awake.is_empty() {
-                    next_active_parts.lock().extend(local_awake);
+                    next_active_parts.lock().extend(local_awake.drain(..));
                 }
                 if agg != (0, 0.0) {
                     agg_parts.lock().push(agg);
@@ -662,50 +873,74 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
         // superstep gathers instead.
         let messages_sent = if pull_next { 0 } else { shipped };
 
-        let collected = collector.collect();
-        let next_inbox = if pull_next {
+        // Borrow the collected messages in place (the storage stays with
+        // the collector for next superstep's reuse) and rebuild the
+        // spare inbox from them; the live/spare swap happens at the
+        // bottom of the loop.
+        let mut collected_view: Option<Collected<'_, P::Message>> = None;
+        if pull_next {
             // The pushed messages are discarded: the next superstep
             // re-derives them (and possibly more, harmlessly) from
             // neighbor state.  The worklist is likewise bypassed — the
             // pull superstep activates every non-isolated vertex.
-            if worklist {
-                next_active = Vec::new();
-            }
-            Inbox::empty(n)
+            *next_active = next_active_parts.into_inner();
+            next_active.clear();
+            spare.reset_empty(n);
         } else {
+            let collected = collector.collected();
             if worklist {
                 // Message destinations are active next superstep; claim
                 // each exactly once. O(messages), never O(V).
-                let slices = collected.slices();
-                let slices_ref = &slices;
-                parallel_for(0, slices_ref.len(), |b| {
-                    let mut local: Vec<VertexId> = Vec::new();
-                    for &(dst, _) in slices_ref[b] {
-                        // Relaxed: generation tag elects one claimer;
-                        // the list itself is read only after the join.
-                        if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
-                            local.push(dst);
+                let collected_ref = &collected;
+                let awake_ref = &*awake_scratch;
+                parallel_for_chunked(0, collected_ref.num_batches(), 1, |worker, range| {
+                    // SAFETY: at most one live thread per worker id, so
+                    // the awake slot is private to this invocation.
+                    let local = unsafe { awake_ref.get(worker) };
+                    for b in range {
+                        for &(dst, _) in collected_ref.batch(b) {
+                            // Relaxed: generation tag elects one claimer;
+                            // the list itself is read only after the join.
+                            if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
+                                local.push(dst);
+                            }
                         }
                     }
                     if !local.is_empty() {
-                        next_active_parts.lock().extend(local);
+                        next_active_parts.lock().extend(local.drain(..));
                     }
                 });
-                next_active = next_active_parts.into_inner();
             }
+            *next_active = next_active_parts.into_inner();
             match &collected {
-                CollectedBatches::Flat(batches) => Inbox::build(n, batches, program.combiner()),
-                CollectedBatches::Bucketed { stride, per_worker } => {
-                    Inbox::build_bucketed(n, *stride, per_worker, program.combiner())
+                Collected::Flat(batches) => spare.rebuild(n, batches, program.combiner()),
+                Collected::Bucketed { stride, per_worker } => {
+                    spare.rebuild_bucketed(
+                        n,
+                        *stride,
+                        per_worker,
+                        program.combiner(),
+                        bucket_cursors,
+                    );
                 }
             }
-        };
+            collected_view = Some(collected);
+        }
         let exchange_ns = phase_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
+        // End of the allocation window: the superstep's real work is
+        // done; what follows is trace/series bookkeeping.
+        let step_allocs = if tracing {
+            xmt_trace::alloc_count().saturating_sub(allocs_at)
+        } else {
+            0
+        };
         // Per-bucket boundary traffic (bucketed transport only; counts
         // what actually crosses — nothing does when the next superstep
         // pulls).
-        let bucket_messages = if tracing && !pull_next {
-            collected.bucket_counts()
+        let bucket_messages = if tracing {
+            collected_view
+                .as_ref()
+                .map_or_else(Vec::new, Collected::bucket_counts)
         } else {
             Vec::new()
         };
@@ -752,10 +987,12 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
             r.push("exchange", s, e, messages_sent);
         }
 
-        let agg: (u64, f64) = agg_parts
-            .into_inner()
-            .into_iter()
+        let mut parts = agg_parts.into_inner();
+        let agg: (u64, f64) = parts
+            .iter()
             .fold((0, 0.0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
+        parts.clear();
+        *agg_parts_buf = parts;
         aggregates.push(agg);
         prev_agg = agg;
         superstep_stats.push(SuperstepStats {
@@ -779,6 +1016,7 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
                     pulled: pulling,
                     pull_probes: probes,
                     bucket_messages,
+                    allocs: step_allocs,
                     scan_ns,
                     compute_ns,
                     exchange_ns,
@@ -786,7 +1024,9 @@ pub fn run_bsp_slice_traced<P: VertexProgram>(
                 });
             }
         }
-        inbox = next_inbox;
+        // Double-buffer flip: the freshly rebuilt spare becomes the live
+        // inbox; the old live inbox is rebuilt in place next superstep.
+        std::mem::swap(inbox, spare);
         pulling = pull_next;
         s += 1;
     }

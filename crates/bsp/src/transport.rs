@@ -22,6 +22,12 @@
 //!   worker folds messages to the same destination inside its bucket as
 //!   they are deposited, so combined programs ship O(active vertices)
 //!   messages across the boundary instead of O(edges).
+//!
+//! A collector's storage is persistent: [`MessageCollector::reset`]
+//! clears the slots while retaining their capacity, so a collector held
+//! in a `SuperstepFrame` deposits into warm buffers every superstep
+//! instead of reallocating them (the steady-state zero-allocation
+//! contract of the runtime).
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -31,6 +37,7 @@ use parking_lot::Mutex;
 
 use xmt_graph::VertexId;
 use xmt_model::{charge_push_exchange, ExchangeKind, PhaseCounts};
+use xmt_par::WorkerScratch;
 
 use crate::program::Combiner;
 
@@ -61,16 +68,11 @@ pub fn bucket_stride(n: usize, buckets: usize) -> u64 {
     (n as u64).div_ceil(buckets.max(1) as u64).max(1)
 }
 
-/// One worker's radix-partitioned outbox (bucketed transport only).
-struct BucketSlot<M> {
-    /// `buckets[b]` holds this worker's sends into destination range `b`.
-    buckets: Vec<Vec<(VertexId, M)>>,
-    /// Sender-side combining index: per bucket, destination → position in
-    /// the bucket vec.  Allocated only when the program has a combiner.
-    index: Option<Vec<HashMap<VertexId, u32>>>,
-}
-
 /// Messages drained from a [`MessageCollector`], shaped by transport.
+///
+/// The owning counterpart of [`Collected`], kept for callers that want
+/// to keep the batches around (tests, benches); the runtime reads the
+/// borrowed view instead so the collector's storage survives.
 pub enum CollectedBatches<M> {
     /// Per-slot batches (outbox or queue transport).
     Flat(Vec<Vec<(VertexId, M)>>),
@@ -117,13 +119,86 @@ impl<M> CollectedBatches<M> {
     }
 }
 
+/// A borrowed, allocation-free view of a collector's deposited messages,
+/// shaped by transport.  Obtained via [`MessageCollector::collected`];
+/// the storage stays with the collector for the next superstep's reuse.
+pub enum Collected<'a, M> {
+    /// Per-slot batches (outbox or queue transport).
+    Flat(&'a [Vec<(VertexId, M)>]),
+    /// `per_worker[w][b]` = worker `w`'s sends into destination bucket `b`.
+    Bucketed {
+        /// Vertex-range width of each bucket.
+        stride: u64,
+        /// Outer index worker, inner index bucket.
+        per_worker: &'a [Vec<Vec<(VertexId, M)>>],
+    },
+}
+
+impl<'a, M> Collected<'a, M> {
+    /// Number of addressable batches (flat slots, or worker × bucket).
+    pub fn num_batches(&self) -> usize {
+        match self {
+            Collected::Flat(batches) => batches.len(),
+            Collected::Bucketed { per_worker, .. } => {
+                per_worker.len() * per_worker.first().map_or(0, Vec::len)
+            }
+        }
+    }
+
+    /// Batch `i` in `0..num_batches()` as a `(dst, msg)` slice.
+    pub fn batch(&self, i: usize) -> &'a [(VertexId, M)] {
+        match self {
+            Collected::Flat(batches) => batches[i].as_slice(),
+            Collected::Bucketed { per_worker, .. } => {
+                let inner = per_worker.first().map_or(1, Vec::len).max(1);
+                per_worker[i / inner][i % inner].as_slice()
+            }
+        }
+    }
+
+    /// Messages bound for each destination bucket, summed across workers
+    /// (post sender-side combining); empty for flat transports.  Trace
+    /// reporting only — allocates its result.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        match self {
+            Collected::Flat(_) => Vec::new(),
+            Collected::Bucketed { per_worker, .. } => {
+                let buckets = per_worker.first().map_or(0, Vec::len);
+                let mut counts = vec![0u64; buckets];
+                for worker in *per_worker {
+                    for (b, batch) in worker.iter().enumerate() {
+                        counts[b] += batch.len() as u64;
+                    }
+                }
+                counts
+            }
+        }
+    }
+}
+
 /// Collects outgoing messages during one superstep's compute phase.
+///
+/// Storage is worker-private where the transport allows it: the outbox
+/// and bucketed slots are [`WorkerScratch`] slots (one live depositor
+/// per worker id — the `parallel_for_chunked` contract), so deposits
+/// take no lock and the buffers persist across [`reset`](Self::reset)
+/// for superstep-to-superstep reuse.  Only the single-queue transport
+/// keeps a `Mutex`, which is the point of that transport.
 pub struct MessageCollector<M> {
     transport: Transport,
-    /// One slot per worker (outbox mode) or a single slot (queue mode).
-    slots: Vec<Mutex<Vec<(VertexId, M)>>>,
-    /// One radix-partitioned slot per worker (bucketed mode).
-    bucketed: Vec<Mutex<BucketSlot<M>>>,
+    workers: usize,
+    num_vertices: usize,
+    combining: bool,
+    /// One private slot per worker (outbox mode).
+    slots: WorkerScratch<Vec<(VertexId, M)>>,
+    /// The one shared queue (single-queue mode).
+    queue: Mutex<Vec<(VertexId, M)>>,
+    /// `buckets[w][b]` = worker `w`'s sends into destination range `b`
+    /// (bucketed mode).
+    buckets: WorkerScratch<Vec<Vec<(VertexId, M)>>>,
+    /// Sender-side combining index: per worker, per bucket, destination →
+    /// position in the bucket vec (bucketed mode with a combiner).
+    index: WorkerScratch<Vec<HashMap<VertexId, u32>>>,
     stride: u64,
     /// Messages that will cross the superstep boundary (post sender-side
     /// combining), maintained with one relaxed add per deposit so
@@ -141,23 +216,36 @@ impl<M: Copy + Send> MessageCollector<M> {
     /// ship raw messages and combine at the receiver).
     pub fn new(transport: Transport, workers: usize, num_vertices: usize, combining: bool) -> Self {
         let workers = workers.max(1);
-        let (slots, bucketed) = match transport {
+        let (slots, buckets) = match transport {
             Transport::PerThreadOutbox => (workers, 0),
-            Transport::SingleQueue => (1, 0),
+            Transport::SingleQueue => (0, 0),
             Transport::Bucketed => (0, workers),
         };
         let stride = bucket_stride(num_vertices, workers);
+        let bucketed_combining = combining && transport == Transport::Bucketed;
         MessageCollector {
             transport,
-            slots: (0..slots).map(|_| Mutex::new(Vec::new())).collect(),
-            bucketed: (0..bucketed)
-                .map(|_| {
-                    Mutex::new(BucketSlot {
-                        buckets: (0..workers).map(|_| Vec::new()).collect(),
-                        index: combining.then(|| (0..workers).map(|_| HashMap::new()).collect()),
-                    })
-                })
-                .collect(),
+            workers,
+            num_vertices,
+            combining,
+            // WorkerScratch always holds ≥ 1 slot; unused shapes keep one
+            // empty (heap-free) slot.
+            slots: WorkerScratch::new(slots.max(1)),
+            queue: Mutex::new(Vec::new()),
+            buckets: WorkerScratch::with(buckets.max(1), || {
+                if buckets > 0 {
+                    (0..workers).map(|_| Vec::new()).collect()
+                } else {
+                    Vec::new()
+                }
+            }),
+            index: WorkerScratch::with(buckets.max(1), || {
+                if bucketed_combining {
+                    (0..workers).map(|_| HashMap::new()).collect()
+                } else {
+                    Vec::new()
+                }
+            }),
             stride,
             shipped: AtomicU64::new(0),
             generated: AtomicU64::new(0),
@@ -169,19 +257,66 @@ impl<M: Copy + Send> MessageCollector<M> {
         self.transport
     }
 
-    /// Deposit a worker's chunk-local sends.
+    /// The worker count this collector was shaped for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The vertex count this collector was shaped for.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Whether the sender-side combining index was requested.
+    pub fn is_combining(&self) -> bool {
+        self.combining
+    }
+
+    /// Clear all deposited messages, retaining every buffer's capacity.
     ///
-    /// In outbox mode this locks the worker's private slot (uncontended);
-    /// in single-queue mode all workers funnel through slot 0 — on the
+    /// After a reset the collector behaves like a fresh
+    /// [`new`](Self::new) with the same shape, but deposits hit warm
+    /// buffers — the superstep loop calls this instead of rebuilding.
+    pub fn reset(&mut self) {
+        for slot in self.slots.iter_mut() {
+            slot.clear();
+        }
+        self.queue.get_mut().clear();
+        for worker in self.buckets.iter_mut() {
+            for bucket in worker {
+                bucket.clear();
+            }
+        }
+        for worker in self.index.iter_mut() {
+            for map in worker {
+                // HashMap::clear retains capacity: re-inserts up to the
+                // high-water mark do not allocate.
+                map.clear();
+            }
+        }
+        // Relaxed (both): `&mut self` excludes all depositors; the next
+        // parallel region's pool handoff publishes the zeroes.
+        self.shipped.store(0, Ordering::Relaxed);
+        self.generated.store(0, Ordering::Relaxed); // Relaxed: as above.
+    }
+
+    /// Deposit a worker's chunk-local sends, draining `batch` but
+    /// leaving its capacity with the caller for reuse.
+    ///
+    /// In outbox mode this appends to the worker's private slot; in
+    /// single-queue mode all workers funnel through one lock — on the
     /// simulated machine every message would individually pay the shared
     /// cursor, which the model charges via [`charge_exchange`].  In
     /// bucketed mode the batch is radix-partitioned by destination range
     /// into the worker's private buckets, folding duplicates through
     /// `combiner` on the way in when one is supplied.
-    pub fn deposit(
+    ///
+    /// Worker-private storage relies on the `parallel_for_chunked`
+    /// contract: at most one live thread per worker id.
+    pub fn deposit_from(
         &self,
         worker: usize,
-        mut batch: Vec<(VertexId, M)>,
+        batch: &mut Vec<(VertexId, M)>,
         combiner: Option<&dyn Combiner<M>>,
     ) {
         if batch.is_empty() {
@@ -190,30 +325,33 @@ impl<M: Copy + Send> MessageCollector<M> {
         let raw = batch.len() as u64;
         let shipped = match self.transport {
             Transport::PerThreadOutbox => {
-                self.slots[worker].lock().append(&mut batch);
+                // SAFETY: one live depositor per worker id (see above).
+                unsafe { self.slots.get(worker) }.append(batch);
                 raw
             }
             Transport::SingleQueue => {
-                self.slots[0].lock().append(&mut batch);
+                self.queue.lock().append(batch);
                 raw
             }
             Transport::Bucketed => {
-                let mut slot = self.bucketed[worker].lock();
-                let slot = &mut *slot;
-                match (combiner, slot.index.as_mut()) {
-                    (Some(c), Some(index)) => {
+                // SAFETY: one live depositor per worker id (see above).
+                let buckets = unsafe { self.buckets.get(worker) };
+                match combiner {
+                    Some(c) if self.combining => {
+                        // SAFETY: same single-depositor contract.
+                        let index = unsafe { self.index.get(worker) };
                         let mut inserted = 0u64;
-                        for (dst, msg) in batch {
+                        for (dst, msg) in batch.drain(..) {
                             let b = bucket_of(dst, self.stride);
                             match index[b].entry(dst) {
                                 Entry::Occupied(e) => {
                                     let at = *e.get() as usize;
-                                    let old = slot.buckets[b][at].1;
-                                    slot.buckets[b][at].1 = c.combine(old, msg);
+                                    let old = buckets[b][at].1;
+                                    buckets[b][at].1 = c.combine(old, msg);
                                 }
                                 Entry::Vacant(e) => {
-                                    e.insert(slot.buckets[b].len() as u32);
-                                    slot.buckets[b].push((dst, msg));
+                                    e.insert(buckets[b].len() as u32);
+                                    buckets[b].push((dst, msg));
                                     inserted += 1;
                                 }
                             }
@@ -221,19 +359,31 @@ impl<M: Copy + Send> MessageCollector<M> {
                         inserted
                     }
                     _ => {
-                        for (dst, msg) in batch {
-                            slot.buckets[bucket_of(dst, self.stride)].push((dst, msg));
+                        for (dst, msg) in batch.drain(..) {
+                            buckets[bucket_of(dst, self.stride)].push((dst, msg));
                         }
                         raw
                     }
                 }
             }
         };
+        batch.clear();
         // Relaxed (both): monotonic counters; the runtime reads totals
         // only after the compute parallel_for joins, so every deposit
         // happens-before the read without counter-side ordering.
         self.generated.fetch_add(raw, Ordering::Relaxed);
         self.shipped.fetch_add(shipped, Ordering::Relaxed); // Relaxed: see above
+    }
+
+    /// Deposit a worker's chunk-local sends, consuming the batch.
+    /// Convenience wrapper over [`deposit_from`](Self::deposit_from).
+    pub fn deposit(
+        &self,
+        worker: usize,
+        mut batch: Vec<(VertexId, M)>,
+        combiner: Option<&dyn Combiner<M>>,
+    ) {
+        self.deposit_from(worker, &mut batch, combiner);
     }
 
     /// Messages that will cross the superstep boundary so far (post
@@ -253,19 +403,35 @@ impl<M: Copy + Send> MessageCollector<M> {
         self.generated.load(Ordering::Relaxed)
     }
 
-    /// Drain into transport-shaped batches for inbox construction.
-    pub fn collect(self) -> CollectedBatches<M> {
+    /// Borrow the deposited messages in transport shape without moving
+    /// them out; the storage stays warm for the next
+    /// [`reset`](Self::reset) + deposit cycle.  `&mut self` proves no
+    /// depositor is live.
+    pub fn collected(&mut self) -> Collected<'_, M> {
         match self.transport {
-            Transport::PerThreadOutbox | Transport::SingleQueue => {
-                CollectedBatches::Flat(self.slots.into_iter().map(|s| s.into_inner()).collect())
+            Transport::PerThreadOutbox => Collected::Flat(self.slots.as_slice()),
+            Transport::SingleQueue => Collected::Flat(std::slice::from_ref(self.queue.get_mut())),
+            Transport::Bucketed => Collected::Bucketed {
+                stride: self.stride,
+                per_worker: self.buckets.as_slice(),
+            },
+        }
+    }
+
+    /// Drain into transport-shaped batches for inbox construction,
+    /// giving up the collector's storage.  Kept for tests and benches;
+    /// the runtime uses [`collected`](Self::collected) instead.
+    pub fn collect(mut self) -> CollectedBatches<M> {
+        match self.transport {
+            Transport::PerThreadOutbox => {
+                CollectedBatches::Flat(self.slots.iter_mut().map(std::mem::take).collect())
+            }
+            Transport::SingleQueue => {
+                CollectedBatches::Flat(vec![std::mem::take(self.queue.get_mut())])
             }
             Transport::Bucketed => CollectedBatches::Bucketed {
                 stride: self.stride,
-                per_worker: self
-                    .bucketed
-                    .into_iter()
-                    .map(|s| s.into_inner().buckets)
-                    .collect(),
+                per_worker: self.buckets.iter_mut().map(std::mem::take).collect(),
             },
         }
     }
@@ -278,7 +444,14 @@ impl<M: Copy + Send> MessageCollector<M> {
             CollectedBatches::Flat(batches) => batches,
             CollectedBatches::Bucketed { per_worker, .. } => per_worker
                 .into_iter()
-                .map(|w| w.into_iter().flatten().collect())
+                .map(|w| {
+                    // Exact-capacity flatten: the bucket lengths are known.
+                    let mut flat = Vec::with_capacity(w.iter().map(Vec::len).sum());
+                    for bucket in w {
+                        flat.extend(bucket);
+                    }
+                    flat
+                })
                 .collect(),
         }
     }
@@ -404,6 +577,70 @@ mod tests {
             let claimed = mc.total();
             let stored: usize = mc.into_batches().iter().map(|b| b.len()).sum();
             assert_eq!(claimed, stored as u64, "{transport:?}");
+        }
+    }
+
+    #[test]
+    fn deposit_from_drains_but_keeps_capacity() {
+        let mc: MessageCollector<u64> = MessageCollector::new(Transport::Bucketed, 2, 10, true);
+        let mut outbox: Vec<(VertexId, u64)> = Vec::with_capacity(64);
+        outbox.extend([(1, 10), (7, 70), (1, 3)]);
+        let cap = outbox.capacity();
+        mc.deposit_from(0, &mut outbox, Some(&MinCombiner));
+        assert!(outbox.is_empty());
+        assert_eq!(outbox.capacity(), cap);
+        assert_eq!(mc.total_generated(), 3);
+        assert_eq!(mc.total(), 2); // (1, min(10,3)) and (7, 70)
+    }
+
+    #[test]
+    fn reset_clears_contents_and_keeps_shape() {
+        for transport in [
+            Transport::PerThreadOutbox,
+            Transport::SingleQueue,
+            Transport::Bucketed,
+        ] {
+            let mut mc: MessageCollector<u64> = MessageCollector::new(transport, 2, 10, true);
+            mc.deposit(0, vec![(1, 10), (7, 70)], Some(&MinCombiner));
+            mc.deposit(1, vec![(3, 30)], Some(&MinCombiner));
+            assert_eq!(mc.total(), 3, "{transport:?}");
+            mc.reset();
+            assert_eq!(mc.total(), 0, "{transport:?}");
+            assert_eq!(mc.total_generated(), 0, "{transport:?}");
+            // A fresh deposit after reset behaves like the first one —
+            // including re-engaging the (cleared) combining index.
+            mc.deposit(0, vec![(1, 4), (1, 2)], Some(&MinCombiner));
+            let shipped = mc.total();
+            match transport {
+                Transport::Bucketed => assert_eq!(shipped, 1, "combined after reset"),
+                _ => assert_eq!(shipped, 2),
+            }
+            let stored: usize = mc.into_batches().iter().map(|b| b.len()).sum();
+            assert_eq!(shipped, stored as u64, "{transport:?}");
+        }
+    }
+
+    #[test]
+    fn collected_view_matches_collect() {
+        let mut mc: MessageCollector<u64> =
+            MessageCollector::new(Transport::Bucketed, 2, 10, false);
+        mc.deposit(0, vec![(1, 10), (7, 70), (4, 40)], None);
+        mc.deposit(1, vec![(5, 50)], None);
+        let (batches, counts) = {
+            let view = mc.collected();
+            let mut flat: Vec<Vec<(VertexId, u64)>> = Vec::new();
+            for i in 0..view.num_batches() {
+                flat.push(view.batch(i).to_vec());
+            }
+            (flat, view.bucket_counts())
+        };
+        assert_eq!(counts, vec![2, 2]);
+        match mc.collect() {
+            CollectedBatches::Bucketed { per_worker, .. } => {
+                let owned: Vec<Vec<(VertexId, u64)>> = per_worker.into_iter().flatten().collect();
+                assert_eq!(batches, owned);
+            }
+            CollectedBatches::Flat(_) => panic!("bucketed collector must stay bucketed"),
         }
     }
 

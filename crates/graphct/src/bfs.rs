@@ -75,12 +75,17 @@ fn run(
     dist[source as usize].store(0, Ordering::Relaxed);
     parent[source as usize].store(source, Ordering::Relaxed); // Relaxed: pre-broadcast
 
-    let mut frontier: Vec<VertexId> = vec![source];
+    // Frontier buffer sized for the worst case (every vertex discovered
+    // in one level) so the per-level refill below never reallocates —
+    // each level reuses this one vector plus the `next` queue.
+    let mut frontier: Vec<VertexId> = Vec::with_capacity(n);
+    frontier.push(source);
     let mut frontier_sizes = vec![1u64];
     let mut level = 0u64;
     // Next-frontier queue, reused across levels; appended through a
-    // shared fetch-and-add cursor.
-    let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    // shared fetch-and-add cursor.  Zeroed allocation, viewed as atomics.
+    let mut next_storage = vec![0u64; n];
+    let next: &[AtomicU64] = xmt_par::atomic::as_atomic_u64(&mut next_storage);
 
     while !frontier.is_empty() {
         let cursor = AtomicU64::new(0);
@@ -131,11 +136,15 @@ fn run(
 
         let compute_ns = level_watch.as_mut().map_or(0, xmt_trace::Stopwatch::lap_ns);
         let parallel_frontier = frontier.len() as u64;
-        frontier = next[..next_len]
-            .iter()
-            // Relaxed: queue writes preceded the level-ending join.
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect();
+        // Refill the retained frontier buffer in place (no per-level
+        // allocation: capacity is n, and next_len <= n).
+        frontier.clear();
+        frontier.extend(
+            next[..next_len]
+                .iter()
+                // Relaxed: queue writes preceded the level-ending join.
+                .map(|a| a.load(Ordering::Relaxed)),
+        );
         if !frontier.is_empty() {
             frontier_sizes.push(frontier.len() as u64);
         }

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use xmt_graph::{Csr, VertexId};
 use xmt_model::{PhaseCounts, Recorder};
+use xmt_par::atomic::as_atomic_u64;
 use xmt_par::parallel_for;
 
 /// Count each triangle of the undirected graph exactly once.
@@ -58,8 +59,12 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Opti
 
     let total = AtomicU64::new(0);
     let compares = AtomicU64::new(0);
-    let tri: Option<Vec<AtomicU64>> =
-        per_vertex.then(|| (0..n).map(|_| AtomicU64::new(0)).collect());
+    // One zeroed allocation (the allocator hands back pre-zeroed pages)
+    // viewed as atomics for the sweep, then returned as plain `u64`s —
+    // no per-element construction on entry and no conversion pass on
+    // exit, so both entry points share the same buffer end to end.
+    let mut tri_storage: Option<Vec<u64>> = per_vertex.then(|| vec![0u64; n]);
+    let tri: Option<&[AtomicU64]> = tri_storage.as_mut().map(|v| as_atomic_u64(v));
 
     parallel_for(0, n, |v| {
         let v = v as u64;
@@ -112,8 +117,7 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Opti
         r.push("count", 0, c, count);
     }
 
-    let tri = tri.map(|v| v.into_iter().map(AtomicU64::into_inner).collect());
-    (count, tri)
+    (count, tri_storage)
 }
 
 /// Triangle counting with the *binary-search* intersection strategy:

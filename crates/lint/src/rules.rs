@@ -58,6 +58,12 @@ pub fn all_rules() -> Vec<Rule> {
             summary: "readfe-style acquires must be matched by writeef-style fills per function",
             check: full_empty_pairing,
         },
+        Rule {
+            name: "no-alloc-in-parallel-for",
+            severity: Severity::Warning,
+            summary: "Vec::new()/vec![] inside parallel_for closures in crates/bsp (advisory)",
+            check: no_alloc_in_parallel_for,
+        },
     ]
 }
 
@@ -314,6 +320,119 @@ fn full_empty_pairing(m: &FileModel) -> Vec<Diagnostic> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Rule 6: no-alloc-in-parallel-for (advisory)
+// ---------------------------------------------------------------------
+
+const PARALLEL_ENTRY_POINTS: &[&str] = &[
+    "parallel_for",
+    "parallel_for_on",
+    "parallel_for_chunked",
+    "parallel_for_chunked_on",
+    "parallel_fill",
+];
+
+/// Flag `Vec::new()` and `vec![...]` inside the argument list of a
+/// `parallel_for`-family call in `crates/bsp` (advisory).  The BSP
+/// engine's zero-allocation steady state depends on compute closures
+/// drawing from per-worker scratch or the superstep frame; a fresh
+/// vector constructed per invocation silently reintroduces per-superstep
+/// allocation that the `zero_alloc` gate then has to bisect.  The
+/// heuristic is paren-depth scoped: everything from the call's opening
+/// parenthesis to its matching close counts as closure territory.
+fn no_alloc_in_parallel_for(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !in_crate(&m.path, "bsp") {
+        return out;
+    }
+    let mut flagged: Vec<(usize, &'static str)> = Vec::new();
+    for (i, line) in m.src.lines.iter().enumerate() {
+        let toks = idents(&line.code);
+        for (k, &(at, id)) in toks.iter().enumerate() {
+            if !PARALLEL_ENTRY_POINTS.contains(&id)
+                || next_nonspace(&line.code, at + id.len()) != Some('(')
+            {
+                continue;
+            }
+            // A definition (`pub fn parallel_for(...)`) is not a call.
+            if k > 0 && toks[k - 1].1 == "fn" {
+                continue;
+            }
+            scan_call_region(m, i, at + id.len(), &mut flagged);
+        }
+    }
+    flagged.sort_unstable();
+    flagged.dedup();
+    for (line, what) in flagged {
+        if m.in_test_code(line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "no-alloc-in-parallel-for",
+            severity: Severity::Warning,
+            path: m.path.clone(),
+            line: line + 1,
+            message: format!(
+                "{what} inside a parallel_for closure allocates per invocation; \
+                 draw from per-worker scratch or the superstep frame instead \
+                 (lint:allow(no-alloc-in-parallel-for) if intentional)"
+            ),
+        });
+    }
+    out
+}
+
+/// Walk the lines from a call's opening parenthesis to its matching
+/// close, recording every `Vec::new` / `vec!` found in between.
+fn scan_call_region(
+    m: &FileModel,
+    start_line: usize,
+    from: usize,
+    flagged: &mut Vec<(usize, &'static str)>,
+) {
+    let mut depth = 0i64;
+    for li in start_line..m.src.lines.len() {
+        let code = &m.src.lines[li].code;
+        let lo = if li == start_line { from } else { 0 };
+        let mut hi = code.len();
+        for (ci, ch) in code.char_indices() {
+            if ci < lo {
+                continue;
+            }
+            match ch {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        hi = ci;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let seg = &code[lo..hi.max(lo)];
+        for (at, _) in seg.match_indices("Vec::new") {
+            // Reject `MyVec::new` (an identifier continuing to the left).
+            let boundary = seg[..at]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if boundary {
+                flagged.push((li, "`Vec::new()`"));
+            }
+        }
+        for &(at, id) in &idents(seg) {
+            if id == "vec" && next_nonspace(seg, at + 3) == Some('!') {
+                flagged.push((li, "`vec![]`"));
+            }
+        }
+        if depth == 0 && hi < code.len() {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,5 +546,48 @@ mod tests {
             "impl C {\n    pub fn read_fe(&self) -> u64 {\n        self.take()\n    }\n}\n",
         );
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn alloc_inside_parallel_for_closure_is_flagged() {
+        let src = "fn f() {\n    parallel_for(0, n, |i| {\n        let mut v = Vec::new();\n        v.push(i);\n    });\n}\n";
+        let d = check("no-alloc-in-parallel-for", "crates/bsp/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[0].severity, Severity::Warning);
+        // Same code outside crates/bsp is not this rule's business.
+        assert!(check("no-alloc-in-parallel-for", "crates/graphct/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_inside_chunked_closure_is_flagged() {
+        let src = "fn f() {\n    parallel_for_chunked(0, n, c, |w, range| {\n        let buf = vec![0u64; range.len()];\n    });\n}\n";
+        let d = check("no-alloc-in-parallel-for", "crates/bsp/src/runtime.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn alloc_outside_the_call_region_passes() {
+        // Before the call, after the call closes, and `MyVec::new` (a
+        // different type) are all out of scope.
+        let src = "fn f() {\n    let warm = Vec::new();\n    parallel_for(0, n, |i| {\n        let v = MyVec::new();\n    });\n    let after = vec![1];\n}\n";
+        assert!(check("no-alloc-in-parallel-for", "crates/bsp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn parallel_for_definitions_and_test_code_pass() {
+        assert!(check(
+            "no-alloc-in-parallel-for",
+            "crates/bsp/src/x.rs",
+            "pub fn parallel_for(a: usize, b: usize) {\n    let v = Vec::new();\n}\n"
+        )
+        .is_empty());
+        assert!(check(
+            "no-alloc-in-parallel-for",
+            "crates/bsp/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        parallel_for(0, n, |i| {\n            let v = Vec::new();\n        });\n    }\n}\n"
+        )
+        .is_empty());
     }
 }

@@ -1,0 +1,12 @@
+// Fixture: allocation hoisted out of the parallel region, and a
+// `MyVec::new()` (a different type's constructor) inside it -> no
+// findings.
+
+pub fn relabel(out: &mut [u64]) {
+    let staging: Vec<u64> = Vec::with_capacity(out.len());
+    parallel_for(out.len(), |i| {
+        let probe = MyVec::new();
+        out[i] = staging.len() as u64 + probe.get(i);
+    });
+    drop(staging);
+}

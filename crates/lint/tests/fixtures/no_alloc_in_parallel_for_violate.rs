@@ -1,0 +1,15 @@
+// Fixture: `Vec::new()` and `vec![]` inside `parallel_for`-family
+// closures in crates/bsp allocate once per invocation -> two advisory
+// findings.
+
+pub fn relabel(out: &mut [u64]) {
+    parallel_for(out.len(), |i| {
+        let mut tmp = Vec::new();
+        tmp.push(i as u64);
+        out[i] = tmp[0];
+    });
+    parallel_for_chunked_on(pool(), out.len(), 64, |_, lo, hi| {
+        let batch = vec![0u64; hi - lo];
+        drop(batch);
+    });
+}

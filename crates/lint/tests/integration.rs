@@ -36,6 +36,11 @@ const CASES: &[(&str, &str, &str)] = &[
         "full_empty_pairing",
         "crates/par/src/lib.rs",
     ),
+    (
+        "no-alloc-in-parallel-for",
+        "no_alloc_in_parallel_for",
+        "crates/bsp/src/lib.rs",
+    ),
 ];
 
 fn fixture_dir() -> PathBuf {

@@ -53,6 +53,7 @@ pub mod pfor;
 pub mod pool;
 pub mod reduce;
 pub mod scan;
+pub mod scratch;
 
 pub use barrier::SenseBarrier;
 pub use full_empty::FullEmptyCell;
@@ -60,6 +61,7 @@ pub use pfor::{parallel_for, parallel_for_chunked};
 pub use pool::{global, Pool};
 pub use reduce::{reduce, reduce_commutative};
 pub use scan::{exclusive_prefix_sum, exclusive_prefix_sum_seq};
+pub use scratch::WorkerScratch;
 
 /// Number of workers in the global pool.
 pub fn num_threads() -> usize {

@@ -114,7 +114,14 @@ impl Pool {
         F: Fn(usize) + Sync,
     {
         let n = self.num_workers();
-        let latch = Arc::new(Latch::new(n));
+        let latch = LOCAL_LATCH.with(Arc::clone);
+        // Reset the recycled latch.  Relaxed (both stores): no worker
+        // observes them before the channel sends below, whose internal
+        // lock releases/acquires publish the values; after the previous
+        // `wait()` returned no worker touches the latch (see LOCAL_LATCH).
+        latch.remaining.store(n, Ordering::Relaxed);
+        latch.panicked.store(false, Ordering::Relaxed); // Relaxed: as above.
+        *latch.mutex.lock() = false;
         let wide: *const (dyn Fn(usize) + Sync + '_) = &f;
         // SAFETY: only the lifetime is erased — the pointer is
         // dereferenced solely by workers while this frame is blocked in
@@ -146,6 +153,20 @@ impl Drop for Pool {
             let _ = h.join();
         }
     }
+}
+
+thread_local! {
+    /// One reusable completion latch per submitting thread.
+    ///
+    /// `run` used to allocate a fresh `Arc<Latch>` per call — the last
+    /// allocation left on the steady-state superstep path.  Reuse is
+    /// sound because `wait()` returning proves every worker finished its
+    /// `arrive` (the final arriver released the latch mutex that the
+    /// waiter then re-acquired), so no worker touches the latch again
+    /// until the next broadcast; the channel send publishes the reset.
+    /// Distinct submitting threads each have their own latch, preserving
+    /// the old "concurrent `run`s don't share a latch" property.
+    static LOCAL_LATCH: Arc<Latch> = Arc::new(Latch::new(0));
 }
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();

@@ -7,6 +7,10 @@
 
 use crate::pool::global;
 
+/// Upper bound on scan blocks: enough for (workers × 4) on any machine
+/// this targets, small enough to live on the stack.
+const MAX_BLOCKS: usize = 256;
+
 /// In-place exclusive prefix sum; returns the grand total.
 ///
 /// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
@@ -18,12 +22,15 @@ pub fn exclusive_prefix_sum(data: &mut [u64]) -> u64 {
     if n < 1 << 16 || workers == 1 {
         return exclusive_prefix_sum_seq(data);
     }
-    let nblocks = (workers * 4).min(n);
+    let nblocks = (workers * 4).min(n).min(MAX_BLOCKS);
     let block = n.div_ceil(nblocks);
     let nblocks = n.div_ceil(block);
 
-    // Phase 1: per-block totals.
-    let mut totals = vec![0u64; nblocks];
+    // Phase 1: per-block totals.  A fixed stack array (blocks are capped
+    // at MAX_BLOCKS) keeps the scan allocation-free: the BSP exchange
+    // runs one per superstep.
+    let mut totals = [0u64; MAX_BLOCKS];
+    let totals = &mut totals[..nblocks];
     {
         let totals_base = totals.as_mut_ptr() as usize;
         let data_ref = &*data;
@@ -37,7 +44,7 @@ pub fn exclusive_prefix_sum(data: &mut [u64]) -> u64 {
     }
 
     // Phase 2: sequential scan of block totals.
-    let grand = exclusive_prefix_sum_seq(&mut totals);
+    let grand = exclusive_prefix_sum_seq(totals);
 
     // Phase 3: local exclusive scan with block offset.
     {

@@ -14,15 +14,19 @@ use xmt_bsp::algorithms::components::CcProgram;
 use xmt_bsp::algorithms::pagerank::PagerankProgram;
 use xmt_bsp::program::VertexProgram;
 use xmt_bsp::runtime::Snapshot;
-use xmt_bsp::{run_bsp_slice_traced, SlicedRun, StopHook};
+use xmt_bsp::{run_bsp_slice_framed, SlicedRun, StopHook, SuperstepFrame};
 use xmt_graph::Csr;
 use xmt_trace::TraceSink;
 
 use crate::error::ServiceError;
-use crate::job::{Algorithm, Engine, JobOutput, JobSpec, StoredCheckpoint};
+use crate::job::{Algorithm, Engine, JobOutput, JobSpec, StoredCheckpoint, StoredFrame};
 
 /// How a job run ended.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
+// One verdict exists per run and the scheduler destructures it on
+// receipt — it is never stored in bulk — so the variant-size spread
+// (the warmed frame's buffer handles) is not worth an indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum ExecVerdict {
     /// Ran to quiescence.
     Completed {
@@ -35,6 +39,9 @@ pub enum ExecVerdict {
     Interrupted {
         /// Partial states + runtime checkpoint.
         checkpoint: StoredCheckpoint,
+        /// The run's warmed superstep frame; a resume that hands it back
+        /// continues without re-paying the warm-up allocations.
+        frame: StoredFrame,
         /// Supersteps executed before the cut.
         supersteps: u64,
     },
@@ -43,15 +50,20 @@ pub enum ExecVerdict {
 /// Run `spec` on `graph`, optionally continuing `from` a checkpoint,
 /// polling `stop` at superstep boundaries.  Per-superstep trace records
 /// accumulate in `sink` (a no-op unless the `trace` feature is on).
+///
+/// `frame` optionally carries the warmed [`StoredFrame`] of the
+/// interrupted run being resumed; a mismatched or absent frame just
+/// means the run warms a fresh one (results are identical either way).
 pub fn execute(
     spec: &JobSpec,
     graph: &Arc<Csr>,
     from: Option<StoredCheckpoint>,
+    frame: Option<StoredFrame>,
     stop: StopHook<'_>,
     sink: &mut TraceSink,
 ) -> Result<ExecVerdict, ServiceError> {
     match spec.engine {
-        Engine::Bsp => execute_bsp(spec, graph, from, stop, sink),
+        Engine::Bsp => execute_bsp(spec, graph, from, frame, stop, sink),
         Engine::GraphCt => execute_graphct(spec, graph, from, sink),
     }
 }
@@ -60,6 +72,7 @@ fn execute_bsp(
     spec: &JobSpec,
     graph: &Arc<Csr>,
     from: Option<StoredCheckpoint>,
+    frame: Option<StoredFrame>,
     stop: StopHook<'_>,
     sink: &mut TraceSink,
 ) -> Result<ExecVerdict, ServiceError> {
@@ -70,8 +83,17 @@ fn execute_bsp(
                 Some(StoredCheckpoint::Cc(states, resume)) => Some((states, resume)),
                 Some(other) => return Err(checkpoint_mismatch(spec.algorithm, &other)),
             };
-            let run = run_sliced(graph, &CcProgram, spec, from, stop, sink)?;
-            Ok(verdict(run, JobOutput::Labels, StoredCheckpoint::Cc))
+            let mut frame = match frame {
+                Some(StoredFrame::Cc(f)) => f,
+                _ => SuperstepFrame::new(),
+            };
+            let run = run_sliced(graph, &CcProgram, spec, from, stop, sink, &mut frame)?;
+            Ok(verdict(
+                run,
+                JobOutput::Labels,
+                StoredCheckpoint::Cc,
+                StoredFrame::Cc(frame),
+            ))
         }
         Algorithm::Bfs => {
             let from = match from {
@@ -82,7 +104,11 @@ fn execute_bsp(
             let program = BfsProgram {
                 source: spec.source,
             };
-            let run = run_sliced(graph, &program, spec, from, stop, sink)?;
+            let mut frame = match frame {
+                Some(StoredFrame::Bfs(f)) => f,
+                _ => SuperstepFrame::new(),
+            };
+            let run = run_sliced(graph, &program, spec, from, stop, sink, &mut frame)?;
             Ok(verdict(
                 run,
                 |states| JobOutput::Bfs {
@@ -90,6 +116,7 @@ fn execute_bsp(
                     parent: states.iter().map(|s| s.parent).collect(),
                 },
                 StoredCheckpoint::Bfs,
+                StoredFrame::Bfs(frame),
             ))
         }
         Algorithm::Pagerank => {
@@ -102,8 +129,17 @@ fn execute_bsp(
                 damping: spec.damping,
                 tolerance: spec.tolerance,
             };
-            let run = run_sliced(graph, &program, spec, from, stop, sink)?;
-            Ok(verdict(run, JobOutput::Ranks, StoredCheckpoint::Pagerank))
+            let mut frame = match frame {
+                Some(StoredFrame::Pagerank(f)) => f,
+                _ => SuperstepFrame::new(),
+            };
+            let run = run_sliced(graph, &program, spec, from, stop, sink, &mut frame)?;
+            Ok(verdict(
+                run,
+                JobOutput::Ranks,
+                StoredCheckpoint::Pagerank,
+                StoredFrame::Pagerank(frame),
+            ))
         }
     }
 }
@@ -115,8 +151,9 @@ fn run_sliced<P: VertexProgram>(
     from: Option<Snapshot<P>>,
     stop: StopHook<'_>,
     sink: &mut TraceSink,
+    frame: &mut SuperstepFrame<P::State, P::Message>,
 ) -> Result<SlicedRun<P::State, P::Message>, ServiceError> {
-    run_bsp_slice_traced(
+    run_bsp_slice_framed(
         graph,
         program,
         spec.config,
@@ -124,6 +161,7 @@ fn run_sliced<P: VertexProgram>(
         from,
         Some(stop),
         Some(sink),
+        frame,
     )
     .map_err(|e| ServiceError::Internal {
         message: e.to_string(),
@@ -134,6 +172,7 @@ fn verdict<S, M>(
     run: SlicedRun<S, M>,
     output: impl FnOnce(Vec<S>) -> JobOutput,
     checkpoint: impl FnOnce(Vec<S>, xmt_bsp::ResumePoint<M>) -> StoredCheckpoint,
+    frame: StoredFrame,
 ) -> ExecVerdict {
     let supersteps = run.result.supersteps;
     match run.resume {
@@ -143,6 +182,7 @@ fn verdict<S, M>(
         },
         Some(resume) => ExecVerdict::Interrupted {
             checkpoint: checkpoint(run.result.states, resume),
+            frame,
             supersteps,
         },
     }

@@ -2,7 +2,7 @@
 //! what an interrupted run leaves behind.
 
 use xmt_bsp::algorithms::bfs::BfsState;
-use xmt_bsp::{BspConfig, ResumePoint};
+use xmt_bsp::{BspConfig, ResumePoint, SuperstepFrame};
 use xmt_graph::VertexId;
 
 /// Monotonically increasing job identifier.
@@ -181,6 +181,34 @@ impl StoredCheckpoint {
             StoredCheckpoint::Cc(_, r) => r.superstep,
             StoredCheckpoint::Bfs(_, r) => r.superstep,
             StoredCheckpoint::Pagerank(_, r) => r.superstep,
+        }
+    }
+}
+
+/// The typed per-algorithm [`SuperstepFrame`] an interrupted BSP job
+/// hands back alongside its checkpoint.  Unlike the checkpoint it is
+/// pure capacity — buckets, inbox pair, scratch pools — with no
+/// algorithmic state, so a resume that reuses it produces bit-identical
+/// results while skipping the warm-up allocations an interrupted run
+/// already paid for.  Dropping it (or resuming with `None`) is always
+/// correct, just slower on the first resumed superstep.
+#[derive(Debug)]
+pub enum StoredFrame {
+    /// Frame from an interrupted connected-components run.
+    Cc(SuperstepFrame<VertexId, VertexId>),
+    /// Frame from an interrupted BFS run.
+    Bfs(SuperstepFrame<BfsState, (u64, VertexId)>),
+    /// Frame from an interrupted PageRank run.
+    Pagerank(SuperstepFrame<f64, f64>),
+}
+
+impl StoredFrame {
+    /// The algorithm whose run shaped this frame.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            StoredFrame::Cc(_) => Algorithm::Cc,
+            StoredFrame::Bfs(_) => Algorithm::Bfs,
+            StoredFrame::Pagerank(_) => Algorithm::Pagerank,
         }
     }
 }

@@ -29,7 +29,7 @@ use xmt_graph::Csr;
 
 use crate::engine::{execute, ExecVerdict};
 use crate::error::ServiceError;
-use crate::job::{JobId, JobOutput, JobSpec, JobState, StoredCheckpoint};
+use crate::job::{JobId, JobOutput, JobSpec, JobState, StoredCheckpoint, StoredFrame};
 use crate::stats::{LatencyBook, LatencySummary};
 
 /// Scheduler sizing.
@@ -90,6 +90,10 @@ struct JobRecord {
     error: Option<String>,
     checkpoint: Option<StoredCheckpoint>,
     resume_from: Option<StoredCheckpoint>,
+    /// The warmed [`StoredFrame`] travelling with the job: set at
+    /// submit time for a resume, taken by the worker when the run
+    /// starts, and re-attached when an interrupted run hands it back.
+    frame: Option<StoredFrame>,
     /// Per-superstep trace, set when the run ends (empty series when
     /// the `trace` feature is off).
     trace: Option<xmt_trace::JobTrace>,
@@ -250,12 +254,16 @@ impl Scheduler {
     }
 
     /// Admit a job: bounded-queue admission control, then enqueue.
-    /// `resume_from` continues an interrupted run from its checkpoint.
+    /// `resume_from` continues an interrupted run from its checkpoint;
+    /// `resume_frame` optionally rides along with the interrupted run's
+    /// warmed superstep frame (skipping the continuation's warm-up
+    /// allocations — results are identical with or without it).
     pub fn submit(
         &self,
         spec: JobSpec,
         graph: Arc<Csr>,
         resume_from: Option<StoredCheckpoint>,
+        resume_frame: Option<StoredFrame>,
     ) -> Result<JobId, ServiceError> {
         let id = {
             let mut queue = self.shared.queue.lock();
@@ -292,6 +300,7 @@ impl Scheduler {
                     error: None,
                     checkpoint: None,
                     resume_from,
+                    frame: resume_frame,
                     trace: None,
                 },
             );
@@ -395,20 +404,29 @@ impl Scheduler {
         }
     }
 
-    /// Take an interrupted job's checkpoint for resumption.  Move
-    /// semantics: the checkpoint transfers to the new job, so a stale
-    /// double-resume gets `no_checkpoint` instead of forking the run.
+    /// Take an interrupted job's checkpoint (and warmed frame, when the
+    /// run left one) for resumption.  Move semantics: both transfer to
+    /// the new job, so a stale double-resume gets `no_checkpoint`
+    /// instead of forking the run.
+    #[allow(clippy::type_complexity)]
     pub fn take_checkpoint(
         &self,
         id: JobId,
-    ) -> Result<(JobSpec, Arc<Csr>, StoredCheckpoint), ServiceError> {
+    ) -> Result<(JobSpec, Arc<Csr>, StoredCheckpoint, Option<StoredFrame>), ServiceError> {
         let mut jobs = self.shared.jobs.lock();
         let rec = jobs.get_mut(&id).ok_or(ServiceError::JobNotFound { id })?;
         match rec.state {
             JobState::Cancelled | JobState::TimedOut | JobState::Interrupted => rec
                 .checkpoint
                 .take()
-                .map(|cp| (rec.spec.clone(), Arc::clone(&rec.graph), cp))
+                .map(|cp| {
+                    (
+                        rec.spec.clone(),
+                        Arc::clone(&rec.graph),
+                        cp,
+                        rec.frame.take(),
+                    )
+                })
                 .ok_or(ServiceError::NoCheckpoint { id }),
             other => Err(ServiceError::WrongState {
                 id,
@@ -570,7 +588,7 @@ fn worker_loop(shared: &Shared) {
 /// stale-entry count.
 fn run_one(shared: &Shared, id: JobId) -> bool {
     // Claim the job; skip entries whose job was cancelled while queued.
-    let (spec, graph, cancel, resume_from, deadline) = {
+    let (spec, graph, cancel, resume_from, resume_frame, deadline) = {
         let mut jobs = shared.jobs.lock();
         let rec = match jobs.get_mut(&id) {
             Some(rec) => rec,
@@ -590,6 +608,7 @@ fn run_one(shared: &Shared, id: JobId) -> bool {
             Arc::clone(&rec.graph),
             Arc::clone(&rec.cancel),
             rec.resume_from.take(),
+            rec.frame.take(),
             deadline,
         )
     };
@@ -606,7 +625,7 @@ fn run_one(shared: &Shared, id: JobId) -> bool {
     // continue the checkpoint's absolute superstep numbering.
     let mut sink = xmt_trace::TraceSink::new();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        execute(&spec, &graph, resume_from, &stop, &mut sink)
+        execute(&spec, &graph, resume_from, resume_frame, &stop, &mut sink)
     }));
 
     let mut jobs = shared.jobs.lock();
@@ -633,10 +652,12 @@ fn run_one(shared: &Shared, id: JobId) -> bool {
         }
         Ok(Ok(ExecVerdict::Interrupted {
             checkpoint,
+            frame,
             supersteps,
         })) => {
             rec.supersteps = supersteps;
             rec.checkpoint = Some(checkpoint);
+            rec.frame = Some(frame);
             // Why did the run stop?  Cancel flag and deadline map to
             // their own states; otherwise the superstep budget cut it.
             // Relaxed: post-run classification; the flag only ever goes
@@ -722,7 +743,7 @@ mod tests {
         let mut admitted = Vec::new();
         let mut rejected = 0;
         for _ in 0..16 {
-            match sched.submit(spec("p"), Arc::clone(&g), None) {
+            match sched.submit(spec("p"), Arc::clone(&g), None, None) {
                 Ok(id) => admitted.push(id),
                 Err(ServiceError::QueueFull { capacity }) => {
                     assert_eq!(capacity, 2);
@@ -749,7 +770,7 @@ mod tests {
         let g = long_path();
         let mut s = spec("p");
         s.deadline_ms = Some(10);
-        let id = sched.submit(s, Arc::clone(&g), None).unwrap();
+        let id = sched.submit(s, Arc::clone(&g), None, None).unwrap();
         let snap = wait_terminal(&sched, id);
         assert_eq!(snap.state, JobState::TimedOut);
         assert!(snap.has_checkpoint, "timed-out job kept no checkpoint");
@@ -757,9 +778,12 @@ mod tests {
 
         // Resume to completion (without the old deadline, which would
         // just cut the continuation again).
-        let (mut orig_spec, orig_graph, cp) = sched.take_checkpoint(id).unwrap();
+        let (mut orig_spec, orig_graph, cp, frame) = sched.take_checkpoint(id).unwrap();
         orig_spec.deadline_ms = None;
-        let resumed = sched.submit(orig_spec, orig_graph, Some(cp)).unwrap();
+        assert!(frame.is_some(), "interrupted bsp run kept no frame");
+        let resumed = sched
+            .submit(orig_spec, orig_graph, Some(cp), frame)
+            .unwrap();
         let snap = wait_terminal(&sched, resumed);
         assert_eq!(snap.state, JobState::Completed, "err={:?}", snap.error);
         let (output, _) = sched.output(resumed).unwrap();
@@ -782,7 +806,7 @@ mod tests {
             queue_capacity: 8,
         });
         let g = long_path();
-        let id = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let id = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
         // Let it start, then cancel mid-run.  The condvar wait wakes on
         // the Queued -> Running transition — no spin.
         let (snap, timed_out) = sched
@@ -797,7 +821,7 @@ mod tests {
 
         // The same worker still serves new jobs.
         let small = Arc::new(build_undirected(&path(64)));
-        let id2 = sched.submit(spec("small"), small, None).unwrap();
+        let id2 = sched.submit(spec("small"), small, None, None).unwrap();
         let snap = wait_terminal(&sched, id2);
         assert_eq!(snap.state, JobState::Completed);
         sched.shutdown();
@@ -811,12 +835,16 @@ mod tests {
         });
         let g = long_path();
         // Occupy the worker so the queue orders the rest.
-        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
         let small = Arc::new(build_undirected(&path(32)));
-        let lo = sched.submit(spec("lo"), Arc::clone(&small), None).unwrap();
+        let lo = sched
+            .submit(spec("lo"), Arc::clone(&small), None, None)
+            .unwrap();
         let mut hi_spec = spec("hi");
         hi_spec.priority = 9;
-        let hi = sched.submit(hi_spec, Arc::clone(&small), None).unwrap();
+        let hi = sched
+            .submit(hi_spec, Arc::clone(&small), None, None)
+            .unwrap();
         let _ = sched.cancel(blocker);
         let hi_snap = wait_terminal(&sched, hi);
         let lo_snap = sched.status(lo).unwrap();
@@ -850,7 +878,7 @@ mod tests {
             queue_capacity: 3,
         });
         let g = long_path();
-        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
         let (_, timed_out) = sched
             .wait_job(blocker, Duration::from_secs(60), |s| {
                 s.state != JobState::Queued
@@ -859,10 +887,10 @@ mod tests {
         assert!(!timed_out);
 
         let queued: Vec<JobId> = (0..3)
-            .map(|_| sched.submit(spec("p"), Arc::clone(&g), None).unwrap())
+            .map(|_| sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap())
             .collect();
         assert!(matches!(
-            sched.submit(spec("p"), Arc::clone(&g), None),
+            sched.submit(spec("p"), Arc::clone(&g), None, None),
             Err(ServiceError::QueueFull { .. })
         ));
         for id in &queued {
@@ -872,7 +900,7 @@ mod tests {
         assert_eq!(sched.stats().queue_depth, 0);
         // ... and admission control sees the free slots again.
         let small = Arc::new(build_undirected(&path(64)));
-        let id = sched.submit(spec("small"), small, None).unwrap();
+        let id = sched.submit(spec("small"), small, None, None).unwrap();
         let _ = sched.cancel(blocker);
         let snap = wait_terminal(&sched, id);
         assert_eq!(snap.state, JobState::Completed);
@@ -895,8 +923,8 @@ mod tests {
             queue_capacity: 8,
         });
         let g = long_path();
-        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
-        let queued = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
+        let queued = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
 
         let waiter = {
             let started = Instant::now();
@@ -931,8 +959,8 @@ mod tests {
             queue_capacity: 8,
         });
         let g = long_path();
-        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
-        let queued = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
+        let queued = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
         // Nothing will run `queued` while the blocker holds the only
         // worker, so a short wait must report a timeout, not an error.
         let (snap, timed_out) = sched
@@ -957,7 +985,7 @@ mod tests {
         let g = long_path();
         let mut s = spec("p");
         s.deadline_ms = Some(10);
-        let id = sched.submit(s, Arc::clone(&g), None).unwrap();
+        let id = sched.submit(s, Arc::clone(&g), None, None).unwrap();
         let snap = wait_terminal(&sched, id);
         assert_eq!(snap.state, JobState::TimedOut);
         let first = sched.trace(id).unwrap();
@@ -965,9 +993,12 @@ mod tests {
         assert!(!first.supersteps.is_empty(), "cut run recorded no trace");
         assert_eq!(first.supersteps[0].superstep, 0);
 
-        let (mut orig_spec, orig_graph, cp) = sched.take_checkpoint(id).unwrap();
+        let (mut orig_spec, orig_graph, cp, frame) = sched.take_checkpoint(id).unwrap();
         orig_spec.deadline_ms = None;
-        let resumed = sched.submit(orig_spec, orig_graph, Some(cp)).unwrap();
+        assert!(frame.is_some(), "interrupted bsp run kept no frame");
+        let resumed = sched
+            .submit(orig_spec, orig_graph, Some(cp), frame)
+            .unwrap();
         let snap = wait_terminal(&sched, resumed);
         assert_eq!(snap.state, JobState::Completed, "err={:?}", snap.error);
         let second = sched.trace(resumed).unwrap();
@@ -995,8 +1026,8 @@ mod tests {
             queue_capacity: 8,
         });
         let g = long_path();
-        let blocker = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
-        let queued = sched.submit(spec("p"), Arc::clone(&g), None).unwrap();
+        let blocker = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
+        let queued = sched.submit(spec("p"), Arc::clone(&g), None, None).unwrap();
         assert!(matches!(
             sched.trace(queued),
             Err(ServiceError::WrongState { .. })

@@ -97,17 +97,20 @@ impl Service {
                 .done()),
             Request::Submit { spec } => {
                 let graph = self.registry.get(&spec.graph)?;
-                let id = self.scheduler.submit(spec.clone(), graph, None)?;
+                let id = self.scheduler.submit(spec.clone(), graph, None, None)?;
                 Ok(ok().put("job_id", Content::U64(id)).done())
             }
             Request::Resume {
                 job_id,
                 deadline_ms,
             } => {
-                let (mut spec, graph, checkpoint) = self.scheduler.take_checkpoint(*job_id)?;
+                let (mut spec, graph, checkpoint, frame) =
+                    self.scheduler.take_checkpoint(*job_id)?;
                 spec.deadline_ms = *deadline_ms;
                 let from_superstep = checkpoint.superstep();
-                let id = self.scheduler.submit(spec, graph, Some(checkpoint))?;
+                let id = self
+                    .scheduler
+                    .submit(spec, graph, Some(checkpoint), frame)?;
                 Ok(ok()
                     .put("job_id", Content::U64(id))
                     .put("resumed_from", Content::U64(*job_id))

@@ -23,6 +23,29 @@
 /// folding when the feature is off — the hot path is provably unchanged.
 pub const ENABLED: bool = cfg!(feature = "enabled");
 
+/// Process-global allocation-counter hook.
+///
+/// The runtime wants to report *heap allocations per superstep* next to
+/// its wall-clock laps, but the counting `#[global_allocator]` lives in
+/// the top-of-stack binary (`xmt-bench`), which this crate must not
+/// depend on.  The binary registers its counter here once at startup;
+/// [`alloc_count`] then exposes it to the runtime.  Unregistered (the
+/// normal case outside allocation benchmarks) the count reads 0 and
+/// traced runs report `allocs = 0`.
+static ALLOC_COUNTER: std::sync::OnceLock<fn() -> u64> = std::sync::OnceLock::new();
+
+/// Register the process's allocation counter (a monotonic total of heap
+/// allocations).  First registration wins; later calls are ignored.
+pub fn set_alloc_counter(counter: fn() -> u64) {
+    let _ = ALLOC_COUNTER.set(counter);
+}
+
+/// The process's monotonic allocation count, or 0 when no counter has
+/// been registered via [`set_alloc_counter`].
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNTER.get().map_or(0, |f| f())
+}
+
 /// One superstep's (or kernel iteration's) worth of observations.
 ///
 /// `superstep` is the *absolute* superstep number: a run resumed from a
@@ -50,6 +73,11 @@ pub struct SuperstepTrace {
     /// Messages landing in each destination bucket (bucketed transport
     /// only; empty otherwise).
     pub bucket_messages: Vec<u64>,
+    /// Heap allocations performed during the superstep's scan, compute
+    /// and exchange phases (0 unless the process registered a counting
+    /// allocator via [`set_alloc_counter`]).  Steady-state supersteps of
+    /// a frame-reusing run report 0.
+    pub allocs: u64,
     /// Wall-clock nanoseconds spent building the active set.
     pub scan_ns: u64,
     /// Wall-clock nanoseconds in the parallel compute phase.
@@ -72,7 +100,7 @@ pub struct JobTrace {
 impl JobTrace {
     /// Header row matching [`JobTrace::csv_rows`].
     pub const CSV_HEADER: &'static str =
-        "label,superstep,seconds,active,messages_sent,messages_delivered,halt_votes,pulled";
+        "label,superstep,seconds,active,messages_sent,messages_delivered,halt_votes,pulled,allocs";
 
     /// Fig. 1/Fig. 2-shaped CSV rows (one per superstep, no header).
     pub fn csv_rows(&self) -> Vec<String> {
@@ -80,7 +108,7 @@ impl JobTrace {
             .iter()
             .map(|s| {
                 format!(
-                    "{},{},{:.9},{},{},{},{},{}",
+                    "{},{},{:.9},{},{},{},{},{},{}",
                     self.label,
                     s.superstep,
                     s.total_ns as f64 / 1e9,
@@ -89,6 +117,7 @@ impl JobTrace {
                     s.messages_delivered,
                     s.halt_votes,
                     u8::from(s.pulled),
+                    s.allocs,
                 )
             })
             .collect()
@@ -236,8 +265,8 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(rows[0].starts_with("cc/bsp,0,1.5"));
         assert!(rows[1].starts_with("cc/bsp,1,0.5"));
-        assert_eq!(JobTrace::CSV_HEADER.split(',').count(), 8);
-        assert_eq!(rows[0].split(',').count(), 8);
+        assert_eq!(JobTrace::CSV_HEADER.split(',').count(), 9);
+        assert_eq!(rows[0].split(',').count(), 9);
         assert!((trace.total_seconds() - 2.0).abs() < 1e-9);
     }
 
@@ -263,5 +292,16 @@ mod tests {
     #[test]
     fn enabled_const_matches_feature() {
         assert_eq!(ENABLED, cfg!(feature = "enabled"));
+    }
+
+    #[test]
+    fn alloc_counter_registers_once() {
+        // Unregistered reads are 0; this test is the only registrar in
+        // this test binary, so it owns the process-global slot.
+        assert_eq!(alloc_count(), 0);
+        set_alloc_counter(|| 7);
+        assert_eq!(alloc_count(), 7);
+        set_alloc_counter(|| 42); // ignored: first registration wins
+        assert_eq!(alloc_count(), 7);
     }
 }
