@@ -1,0 +1,331 @@
+//! Native-engine benchmark: measured host wall-clock of the **native**
+//! executor (guided scheduling, no model charging) against the **sim**
+//! engine on the same kernels — CC and BFS through the unmodified BSP
+//! programs, triangle counting through the GraphCT kernel.
+//!
+//! Two sim-side numbers are reported per kernel:
+//!
+//! - `sim predicted s` — the simulated XMT wall-clock the sim engine
+//!   exists to produce (recorder charges folded through the cost model
+//!   at the largest `--procs` count);
+//! - `sim host s` — how long the sim-engine run takes on this host
+//!   (fixed chunking plus per-phase model charging), measured the same
+//!   way as the native rows: frame warmed once, minimum of [`REPS`]
+//!   repetitions.
+//!
+//! `best vs sim` is host-against-host — fastest native row over
+//! `sim host s`; the predicted XMT seconds are context, not the
+//! denominator (a simulated 128-processor XMT is *supposed* to beat
+//! one host core).
+//!
+//! The native side is measured wall-clock at pinned pool sizes 1/2/4/8
+//! (explicit pools, so the scale-up rows are meaningful regardless of
+//! `XMT_PAR_THREADS`); `host_threads` records how many hardware threads
+//! the host actually has, since scale-up beyond it is oversubscription.
+//! Results land in `results/native_vs_sim.{txt,json}`.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin micro_native \
+//!     [-- --scale N --out results]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use xmt_bench::run::total_seconds;
+use xmt_bench::{build_paper_graph, pick_bfs_source, write_json, HarnessConfig, Table};
+use xmt_bsp::algorithms::bfs::BfsProgram;
+use xmt_bsp::algorithms::components::CcProgram;
+use xmt_bsp::program::VertexProgram;
+use xmt_bsp::{run_bsp_slice_exec, BspConfig, SuperstepFrame, Transport};
+use xmt_model::Recorder;
+use xmt_par::{Executor, Pool};
+
+/// Pool sizes for the native scale-up rows.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Measured repetitions per configuration (minimum is reported).
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct NativeRow {
+    threads: usize,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    kernel: String,
+    /// Simulated XMT seconds (recorder charges through the cost model).
+    sim_predicted_seconds: f64,
+    /// Host wall-clock of the sim-engine run.
+    sim_host_seconds: f64,
+    /// Measured native wall-clock per pool size.
+    native: Vec<NativeRow>,
+    /// Fastest native row.
+    native_best_seconds: f64,
+    /// `sim_host_seconds / native_best_seconds` — host wall-clock
+    /// against host wall-clock.
+    native_vs_sim_speedup: f64,
+    /// Native seconds at 1 thread over native seconds at 4 threads.
+    scaleup_1_to_4: f64,
+}
+
+#[derive(Serialize)]
+struct NativeVsSim {
+    scale: u32,
+    edge_factor: u64,
+    seed: u64,
+    /// Processor count the sim prediction is folded at.
+    sim_procs: usize,
+    /// Hardware threads available on this host: native rows at larger
+    /// pool sizes are oversubscribed and cannot show real scale-up.
+    host_threads: usize,
+    kernels: Vec<KernelReport>,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(14);
+    let model = cfg.model();
+    let procs = cfg.max_procs();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("micro_native: building RMAT scale {} ...", cfg.scale);
+    let g = build_paper_graph(&cfg);
+    let source = pick_bfs_source(&g);
+    let config = BspConfig {
+        transport: Transport::Bucketed,
+        ..BspConfig::default()
+    };
+
+    let mut kernels = Vec::new();
+
+    // --- CC: BSP program on both engines -----------------------------
+    eprintln!("micro_native: cc (sim) ...");
+    let (sim_cc, cc_predicted, cc_sim_host) = sim_bsp_run(&g, &CcProgram, config, &model, procs);
+    let cc_native = native_bsp_rows(&g, &CcProgram, config, |states| {
+        assert_eq!(states, &sim_cc, "native CC labels disagree with sim");
+    });
+    kernels.push(report("cc", cc_predicted, cc_sim_host, cc_native));
+
+    // --- BFS: BSP program on both engines ----------------------------
+    eprintln!("micro_native: bfs (sim) ...");
+    let bfs = BfsProgram { source };
+    let (sim_bfs, bfs_predicted, bfs_sim_host) = sim_bsp_run(&g, &bfs, config, &model, procs);
+    let sim_dist: Vec<u64> = sim_bfs.iter().map(|s| s.dist).collect();
+    let bfs_native = native_bsp_rows(&g, &bfs, config, |states| {
+        let dist: Vec<u64> = states.iter().map(|s| s.dist).collect();
+        assert_eq!(dist, sim_dist, "native BFS distances disagree with sim");
+    });
+    kernels.push(report("bfs", bfs_predicted, bfs_sim_host, bfs_native));
+
+    // --- Triangles: GraphCT kernel on both engines --------------------
+    eprintln!("micro_native: triangles (sim) ...");
+    let mut rec = Recorder::new();
+    let sim_tc = graphct::count_triangles_instrumented(&g, &mut rec);
+    let tc_predicted = total_seconds(&rec, &model, procs);
+    let tc_sim_host = (0..REPS)
+        .map(|_| {
+            let mut rec = Recorder::new();
+            let t = Instant::now();
+            let n = graphct::count_triangles_instrumented(&g, &mut rec);
+            let s = t.elapsed().as_secs_f64();
+            assert_eq!(n, sim_tc);
+            s
+        })
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("micro_native: triangles (sim host): {tc_sim_host:.4}s");
+    let tc_native = THREADS
+        .iter()
+        .map(|&threads| {
+            let exec = Executor::guided_on(Arc::new(Pool::new(threads)));
+            let warm = graphct::count_triangles_exec(&g, &exec);
+            assert_eq!(warm, sim_tc, "native triangle count disagrees with sim");
+            let seconds = (0..REPS)
+                .map(|_| {
+                    let t = Instant::now();
+                    let n = graphct::count_triangles_exec(&g, &exec);
+                    let s = t.elapsed().as_secs_f64();
+                    assert_eq!(n, sim_tc);
+                    s
+                })
+                .fold(f64::INFINITY, f64::min);
+            eprintln!("micro_native: triangles (native, {threads}t): {seconds:.4}s");
+            NativeRow { threads, seconds }
+        })
+        .collect();
+    kernels.push(report("triangles", tc_predicted, tc_sim_host, tc_native));
+
+    // --- Report -------------------------------------------------------
+    let mut table = Table::new(&[
+        "kernel",
+        "sim predicted s",
+        "sim host s",
+        "native 1t",
+        "native 2t",
+        "native 4t",
+        "native 8t",
+        "best vs sim",
+        "scale-up 1->4",
+    ]);
+    for k in &kernels {
+        let at = |t: usize| {
+            k.native
+                .iter()
+                .find(|r| r.threads == t)
+                .map_or("-".into(), |r| format!("{:.4}", r.seconds))
+        };
+        table.row(&[
+            k.kernel.clone(),
+            format!("{:.4}", k.sim_predicted_seconds),
+            format!("{:.4}", k.sim_host_seconds),
+            at(1),
+            at(2),
+            at(4),
+            at(8),
+            format!("{:.1}x", k.native_vs_sim_speedup),
+            format!("{:.2}x", k.scaleup_1_to_4),
+        ]);
+    }
+    println!(
+        "\nnative vs sim (scale {}, sim procs {}, host threads {})",
+        cfg.scale, procs, host_threads
+    );
+    table.print();
+    if host_threads < 4 {
+        println!(
+            "note: host has {host_threads} hardware thread(s); pool sizes beyond \
+             it are oversubscribed, so scale-up ratios reflect scheduling \
+             overhead, not parallel speedup."
+        );
+    }
+
+    let payload = NativeVsSim {
+        scale: cfg.scale,
+        edge_factor: cfg.edge_factor,
+        seed: cfg.seed,
+        sim_procs: procs,
+        host_threads,
+        kernels,
+    };
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "native_vs_sim", &payload).expect("write results");
+        std::fs::create_dir_all(dir).expect("create results dir");
+        std::fs::write(dir.join("native_vs_sim.txt"), table.render()).expect("write table");
+    }
+}
+
+/// Sim-engine measurement for a BSP program: one recorder run warms the
+/// frame and yields the converged states plus the model's predicted XMT
+/// seconds, then the minimum of [`REPS`] further recorder runs (fresh
+/// `Recorder` each — model charging is part of what the sim engine does)
+/// gives the host wall-clock.
+fn sim_bsp_run<P: VertexProgram>(
+    g: &xmt_graph::Csr,
+    program: &P,
+    config: BspConfig,
+    model: &xmt_model::ModelParams,
+    procs: usize,
+) -> (Vec<P::State>, f64, f64) {
+    let sim = Executor::fixed();
+    let mut frame = SuperstepFrame::new();
+    let mut rec = Recorder::new();
+    let run = run_bsp_slice_exec(
+        g,
+        program,
+        config,
+        Some(&mut rec),
+        None,
+        None,
+        None,
+        &mut frame,
+        &sim,
+    )
+    .expect("sim run failed");
+    assert!(!run.result.hit_superstep_limit, "sim run did not converge");
+    let predicted = total_seconds(&rec, model, procs);
+    let host = (0..REPS)
+        .map(|_| {
+            let mut rec = Recorder::new();
+            let t = Instant::now();
+            run_bsp_slice_exec(
+                g,
+                program,
+                config,
+                Some(&mut rec),
+                None,
+                None,
+                None,
+                &mut frame,
+                &sim,
+            )
+            .expect("sim run failed");
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("micro_native: sim host: {host:.4}s");
+    (run.result.states, predicted, host)
+}
+
+/// Native rows for a BSP program: per pool size, warm a frame once,
+/// check the states against sim, then report the minimum of [`REPS`]
+/// measured runs (model charging off — the native engine does not
+/// simulate, it executes).
+fn native_bsp_rows<P: VertexProgram>(
+    g: &xmt_graph::Csr,
+    program: &P,
+    config: BspConfig,
+    check: impl Fn(&[P::State]),
+) -> Vec<NativeRow> {
+    THREADS
+        .iter()
+        .map(|&threads| {
+            let exec = Executor::guided_on(Arc::new(Pool::new(threads)));
+            let mut frame = SuperstepFrame::new();
+            let warm = run_bsp_slice_exec(
+                g, program, config, None, None, None, None, &mut frame, &exec,
+            )
+            .expect("native warm-up failed");
+            check(&warm.result.states);
+            let seconds = (0..REPS)
+                .map(|_| {
+                    let t = Instant::now();
+                    run_bsp_slice_exec(
+                        g, program, config, None, None, None, None, &mut frame, &exec,
+                    )
+                    .expect("native run failed");
+                    t.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            eprintln!("micro_native: native {threads}t: {seconds:.4}s");
+            NativeRow { threads, seconds }
+        })
+        .collect()
+}
+
+fn report(
+    kernel: &str,
+    sim_predicted_seconds: f64,
+    sim_host_seconds: f64,
+    native: Vec<NativeRow>,
+) -> KernelReport {
+    let native_best_seconds = native
+        .iter()
+        .map(|r| r.seconds)
+        .fold(f64::INFINITY, f64::min);
+    let at = |t: usize| native.iter().find(|r| r.threads == t).map(|r| r.seconds);
+    let scaleup_1_to_4 = match (at(1), at(4)) {
+        (Some(one), Some(four)) if four > 0.0 => one / four,
+        _ => f64::NAN,
+    };
+    KernelReport {
+        kernel: kernel.to_string(),
+        sim_predicted_seconds,
+        sim_host_seconds,
+        native,
+        native_best_seconds,
+        native_vs_sim_speedup: sim_host_seconds / native_best_seconds,
+        scaleup_1_to_4,
+    }
+}

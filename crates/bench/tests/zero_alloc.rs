@@ -12,7 +12,10 @@
 //! - connected components, bucketed transport, push delivery;
 //! - BFS, bucketed transport, push delivery;
 //! - connected components, bucketed transport, **pull** delivery (the
-//!   retained snapshot buffer replaces the old `states.clone()`).
+//!   retained snapshot buffer replaces the old `states.clone()`);
+//! - the same CC and BFS push configurations on the **native** executor
+//!   (guided scheduling): the guided claim loop must be as
+//!   allocation-free as the fixed one.
 //!
 //! Built `harness = false` (plain `main`): libtest allocates between
 //! callbacks, which would pollute the measurement windows.  Without
@@ -26,7 +29,8 @@ use xmt_bench::{build_paper_graph, pick_bfs_source, HarnessConfig};
 use xmt_bsp::algorithms::bfs::BfsProgram;
 use xmt_bsp::algorithms::components::CcProgram;
 use xmt_bsp::program::VertexProgram;
-use xmt_bsp::{run_bsp_slice_framed, BspConfig, Delivery, SuperstepFrame, Transport};
+use xmt_bsp::{run_bsp_slice_exec, BspConfig, Delivery, SuperstepFrame, Transport};
+use xmt_par::Executor;
 
 #[cfg(feature = "alloc-count")]
 #[global_allocator]
@@ -80,15 +84,37 @@ fn main() {
         ..push
     };
 
-    gate(&g, &CcProgram, push, SKIP_PUSH, "cc/bucketed/push");
+    let sim = Executor::fixed();
+    let native = Executor::guided();
+
+    gate(&g, &CcProgram, push, SKIP_PUSH, "cc/bucketed/push", &sim);
     gate(
         &g,
         &BfsProgram { source },
         push,
         SKIP_PUSH,
         "bfs/bucketed/push",
+        &sim,
     );
-    gate(&g, &CcProgram, pull, SKIP_PULL, "cc/bucketed/pull");
+    gate(&g, &CcProgram, pull, SKIP_PULL, "cc/bucketed/pull", &sim);
+    // Native engine: the guided schedule reuses the same frame paths, so
+    // its steady state must be equally allocation-free.
+    gate(
+        &g,
+        &CcProgram,
+        push,
+        SKIP_PUSH,
+        "cc/bucketed/push/native",
+        &native,
+    );
+    gate(
+        &g,
+        &BfsProgram { source },
+        push,
+        SKIP_PUSH,
+        "bfs/bucketed/push/native",
+        &native,
+    );
 
     println!("zero_alloc: all steady-state windows allocation-free");
 }
@@ -101,9 +127,10 @@ fn gate<P: VertexProgram>(
     config: BspConfig,
     skip: usize,
     label: &str,
+    exec: &Executor,
 ) {
     let mut frame = SuperstepFrame::new();
-    run_bsp_slice_framed(g, program, config, None, None, None, None, &mut frame)
+    run_bsp_slice_exec(g, program, config, None, None, None, None, &mut frame, exec)
         .unwrap_or_else(|e| panic!("{label}: warm-up run failed: {e:?}"));
 
     // Pre-sized so recording a snapshot never allocates (a growing
@@ -116,7 +143,7 @@ fn gate<P: VertexProgram>(
             .push(alloc_count::total());
         false
     };
-    let run = run_bsp_slice_framed(
+    let run = run_bsp_slice_exec(
         g,
         program,
         config,
@@ -125,6 +152,7 @@ fn gate<P: VertexProgram>(
         Some(&hook),
         None,
         &mut frame,
+        exec,
     )
     .unwrap_or_else(|e| panic!("{label}: measured run failed: {e:?}"));
     assert!(

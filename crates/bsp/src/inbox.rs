@@ -16,8 +16,7 @@ use std::sync::atomic::Ordering;
 
 use xmt_graph::VertexId;
 use xmt_par::atomic::as_atomic_u64;
-use xmt_par::pfor::parallel_for_chunked;
-use xmt_par::{exclusive_prefix_sum, parallel_for, WorkerScratch};
+use xmt_par::{exclusive_prefix_sum, Executor, WorkerScratch};
 
 use crate::program::Combiner;
 
@@ -118,6 +117,18 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         batches: &[Vec<(VertexId, M)>],
         combiner: Option<&dyn Combiner<M>>,
     ) {
+        self.rebuild_exec(&Executor::fixed(), n, batches, combiner);
+    }
+
+    /// [`rebuild`](Self::rebuild) on an explicit executor — the native
+    /// engine routes its inbox reshaping through its own pool/schedule.
+    pub fn rebuild_exec(
+        &mut self,
+        exec: &Executor,
+        n: usize,
+        batches: &[Vec<(VertexId, M)>],
+        combiner: Option<&dyn Combiner<M>>,
+    ) {
         self.combined = false;
         // Count messages per destination (counts become the offsets
         // after the prefix sum).
@@ -125,7 +136,7 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         self.offsets.resize(n + 1, 0);
         {
             let acounts = as_atomic_u64(&mut self.offsets);
-            parallel_for(0, batches.len(), |b| {
+            exec.pfor(0, batches.len(), |b| {
                 for &(dst, _) in &batches[b] {
                     // Relaxed: pure occupancy count; totals are read
                     // only after the parallel_for join barrier.
@@ -142,7 +153,7 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         {
             let acursors = as_atomic_u64(&mut self.cursors);
             let base = self.data.as_mut_ptr() as usize;
-            parallel_for(0, batches.len(), |b| {
+            exec.pfor(0, batches.len(), |b| {
                 for &(dst, msg) in &batches[b] {
                     // Relaxed: the fetch_add only reserves a unique slot
                     // index; the scattered data is published by the join.
@@ -157,7 +168,7 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         }
 
         if let Some(c) = combiner {
-            self.combine_in_place(c);
+            self.combine_in_place(exec, c);
         }
     }
 
@@ -177,6 +188,28 @@ impl<M: Copy + Send + Sync> Inbox<M> {
     /// steady-state rebuild allocation-free.
     pub fn rebuild_bucketed(
         &mut self,
+        n: usize,
+        stride: u64,
+        per_worker: &[Vec<Vec<(VertexId, M)>>],
+        combiner: Option<&dyn Combiner<M>>,
+        cursor_scratch: &WorkerScratch<Vec<u64>>,
+    ) {
+        self.rebuild_bucketed_exec(
+            &Executor::fixed(),
+            n,
+            stride,
+            per_worker,
+            combiner,
+            cursor_scratch,
+        );
+    }
+
+    /// [`rebuild_bucketed`](Self::rebuild_bucketed) on an explicit
+    /// executor.  `cursor_scratch` must be sized for that executor's
+    /// worker count.
+    pub fn rebuild_bucketed_exec(
+        &mut self,
+        exec: &Executor,
         n: usize,
         stride: u64,
         per_worker: &[Vec<Vec<(VertexId, M)>>],
@@ -212,7 +245,7 @@ impl<M: Copy + Send + Sync> Inbox<M> {
             let bucket_base = &self.bucket_base;
             // Chunk size 1: each claim processes one bucket, and the
             // worker id keys the cursor scratch (one live thread per id).
-            parallel_for_chunked(0, num_buckets, 1, |worker, range| {
+            exec.pfor_chunked(0, num_buckets, 1, |worker, range| {
                 for b in range {
                     let lo = (b as u64 * stride).min(n as u64) as usize;
                     let hi = ((b as u64 + 1) * stride).min(n as u64) as usize;
@@ -268,16 +301,16 @@ impl<M: Copy + Send + Sync> Inbox<M> {
         self.offsets[covered..n].fill(total as u64);
 
         if let Some(c) = combiner {
-            self.combine_in_place(c);
+            self.combine_in_place(exec, c);
         }
     }
 
     /// Fold each vertex's group to one message (kept at the group head).
-    fn combine_in_place(&mut self, combiner: &dyn Combiner<M>) {
+    fn combine_in_place(&mut self, exec: &Executor, combiner: &dyn Combiner<M>) {
         let n = self.num_vertices();
         let offsets = &self.offsets;
         let base = self.data.as_mut_ptr() as usize;
-        parallel_for(0, n, |v| {
+        exec.pfor(0, n, |v| {
             let lo = offsets[v] as usize;
             let hi = offsets[v + 1] as usize;
             if hi - lo >= 2 {

@@ -64,9 +64,9 @@ pub mod transport;
 pub use inbox::Inbox;
 pub use program::{Combiner, Context, VertexProgram};
 pub use runtime::{
-    resume_bsp, run_bsp, run_bsp_slice, run_bsp_slice_framed, run_bsp_slice_traced,
-    run_bsp_slice_with_stop, ActiveSetStrategy, BspConfig, BspResult, Delivery, ResumeError,
-    ResumePoint, SlicedRun, StopHook, SuperstepFrame,
+    resume_bsp, run_bsp, run_bsp_slice, run_bsp_slice_exec, run_bsp_slice_framed,
+    run_bsp_slice_traced, run_bsp_slice_with_stop, ActiveSetStrategy, BspConfig, BspResult,
+    Delivery, ResumeError, ResumePoint, SlicedRun, StopHook, SuperstepFrame,
 };
 pub use transport::Transport;
 pub use xmt_trace::{JobTrace, SuperstepTrace, TraceSink};

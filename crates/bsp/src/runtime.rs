@@ -15,10 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use xmt_graph::{Csr, VertexId};
 use xmt_model::{PhaseCounts, Recorder};
-use xmt_par::parallel_for;
-use xmt_par::pfor::parallel_for_chunked;
-
-use xmt_par::WorkerScratch;
+use xmt_par::{Executor, WorkerScratch};
 
 use crate::inbox::Inbox;
 use crate::program::{Context, VertexProgram};
@@ -471,18 +468,55 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
     graph: &Csr,
     program: &P,
     config: BspConfig,
+    rec: Option<&mut Recorder>,
+    from: Option<Snapshot<P>>,
+    stop: Option<StopHook<'_>>,
+    sink: Option<&mut xmt_trace::TraceSink>,
+    frame: &mut SuperstepFrame<P::State, P::Message>,
+) -> Result<SlicedRun<P::State, P::Message>, ResumeError> {
+    // The fixed executor on the global pool is exactly the historical
+    // behavior of this entry point — same chunking, same claim loop.
+    run_bsp_slice_exec(
+        graph,
+        program,
+        config,
+        rec,
+        from,
+        stop,
+        sink,
+        frame,
+        &Executor::fixed(),
+    )
+}
+
+/// [`run_bsp_slice_framed`] on an explicit [`Executor`] — the seam both
+/// engines share.
+///
+/// The simulator engine passes `Executor::fixed()` (static chunks on the
+/// global pool, the loop shape the cost model charges for); the native
+/// engine passes a guided executor, optionally pinned to its own pool.
+/// The program, transports, frame reuse, checkpoints and traces are
+/// identical across executors — only where and how the parallel loops
+/// run differs, so results agree superstep-for-superstep whenever the
+/// program's message folding is order-independent (any combiner).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bsp_slice_exec<P: VertexProgram>(
+    graph: &Csr,
+    program: &P,
+    config: BspConfig,
     mut rec: Option<&mut Recorder>,
     from: Option<Snapshot<P>>,
     stop: Option<StopHook<'_>>,
     mut sink: Option<&mut xmt_trace::TraceSink>,
     frame: &mut SuperstepFrame<P::State, P::Message>,
+    exec: &Executor,
 ) -> Result<SlicedRun<P::State, P::Message>, ResumeError> {
     // `ENABLED` is a const: when the feature is off this is `false`, the
     // compiler strips every `if tracing` block below, and the loop is
     // bit-identical to the untraced build.
     let tracing = xmt_trace::ENABLED && sink.is_some();
     let n = graph.num_vertices() as usize;
-    let workers = xmt_par::num_threads();
+    let workers = exec.workers();
     frame.prepare(n, workers, config.transport, program.combiner().is_some());
 
     let resumed = from.is_some();
@@ -492,7 +526,7 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
             let mut states: Vec<P::State> = Vec::with_capacity(n);
             {
                 let base = states.as_mut_ptr() as usize;
-                parallel_for(0, n, |v| {
+                exec.pfor(0, n, |v| {
                     // SAFETY: each index written once; capacity reserved.
                     unsafe { (base as *mut P::State).add(v).write(program.init(v as u64)) };
                 });
@@ -502,7 +536,7 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
             if let Some(r) = rec.as_deref_mut() {
                 let mut c = PhaseCounts::with_items(n as u64);
                 c.writes = n as u64;
-                c.charge_loop_overhead(chunk_for(n));
+                c.charge_loop_overhead(chunk_for(n, workers));
                 c.barriers = 1;
                 r.push("init", 0, c, n as u64);
             }
@@ -537,9 +571,12 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
                 .iter()
                 .map(|&h| AtomicU64::new(h as u64))
                 .collect();
-            frame
-                .inbox
-                .rebuild(n, std::slice::from_ref(&resume.pending), program.combiner());
+            frame.inbox.rebuild_exec(
+                exec,
+                n,
+                std::slice::from_ref(&resume.pending),
+                program.combiner(),
+            );
             (states, halted, resume.prev_aggregates, resume.superstep)
         }
     };
@@ -676,7 +713,7 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
                     }
                 }
             };
-            c.charge_loop_overhead(chunk_for(n));
+            c.charge_loop_overhead(chunk_for(n, workers));
             c.barriers = 1;
             r.push("scan", s, c, active.len() as u64);
         }
@@ -731,11 +768,11 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
             let collector_ref = &*collector;
             let outbox_ref = &*outbox_scratch;
             let awake_ref = &*awake_scratch;
-            let chunk = chunk_for(active_ref.len());
-            parallel_for_chunked(0, active_ref.len(), chunk as usize, |worker, range| {
+            let chunk = chunk_for(active_ref.len(), workers);
+            exec.pfor_chunked(0, active_ref.len(), chunk as usize, |worker, range| {
                 // SAFETY: at most one live thread per worker id (the
-                // parallel_for_chunked contract), so the slots below are
-                // private to this invocation.
+                // pfor_chunked contract under both schedules), so the
+                // slots below are private to this invocation.
                 let outbox = unsafe { outbox_ref.get(worker) };
                 // SAFETY: same single-thread-per-worker-id contract.
                 let local_awake = unsafe { awake_ref.get(worker) };
@@ -893,7 +930,7 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
                 // each exactly once. O(messages), never O(V).
                 let collected_ref = &collected;
                 let awake_ref = &*awake_scratch;
-                parallel_for_chunked(0, collected_ref.num_batches(), 1, |worker, range| {
+                exec.pfor_chunked(0, collected_ref.num_batches(), 1, |worker, range| {
                     // SAFETY: at most one live thread per worker id, so
                     // the awake slot is private to this invocation.
                     let local = unsafe { awake_ref.get(worker) };
@@ -913,9 +950,12 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
             }
             *next_active = next_active_parts.into_inner();
             match &collected {
-                Collected::Flat(batches) => spare.rebuild(n, batches, program.combiner()),
+                Collected::Flat(batches) => {
+                    spare.rebuild_exec(exec, n, batches, program.combiner())
+                }
                 Collected::Bucketed { stride, per_worker } => {
-                    spare.rebuild_bucketed(
+                    spare.rebuild_bucketed_exec(
+                        exec,
                         n,
                         *stride,
                         per_worker,
@@ -965,7 +1005,7 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
             } else {
                 c.reads += messages_delivered * msg_words;
             }
-            c.charge_loop_overhead(chunk_for(active.len()));
+            c.charge_loop_overhead(chunk_for(active.len(), workers));
             r.push("superstep", s, c, messages_sent);
             // Exchange phase: grouping messages into the next inbox is a
             // vertex-wide operation (counts, prefix sum, scatter) whose
@@ -983,7 +1023,7 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
                     e.atomics += messages_sent + a;
                 }
             }
-            e.charge_loop_overhead(chunk_for(n));
+            e.charge_loop_overhead(chunk_for(n, workers));
             r.push("exchange", s, e, messages_sent);
         }
 
@@ -1055,8 +1095,8 @@ pub fn run_bsp_slice_framed<P: VertexProgram>(
     })
 }
 
-fn chunk_for(n: usize) -> u64 {
-    xmt_par::pfor::default_chunk(n.max(1), xmt_par::num_threads()) as u64
+fn chunk_for(n: usize, workers: usize) -> u64 {
+    xmt_par::pfor::default_chunk(n.max(1), workers) as u64
 }
 
 #[cfg(test)]

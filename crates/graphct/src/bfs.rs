@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use xmt_graph::{Csr, VertexId, NO_VERTEX};
 use xmt_model::{PhaseCounts, Recorder};
 use xmt_par::atomic::claim;
-use xmt_par::parallel_for;
+use xmt_par::Executor;
 
 /// Distances and BFS-tree parents from a source.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,13 +30,21 @@ pub struct BfsResult {
 
 /// Level-synchronous BFS from `source`.
 pub fn bfs(g: &Csr, source: VertexId) -> BfsResult {
-    run(g, source, &mut None, None)
+    run(g, source, &mut None, None, &Executor::fixed())
+}
+
+/// As [`bfs`] on an explicit [`Executor`] — the native engine's entry
+/// point (guided chunking, optionally a pinned pool).  Distances are
+/// identical across executors; parents and frontier order may differ
+/// where several discoverers race (any valid BFS tree).
+pub fn bfs_exec(g: &Csr, source: VertexId, exec: &Executor) -> BfsResult {
+    run(g, source, &mut None, None, exec)
 }
 
 /// As [`bfs`], recording one `"level"` phase per frontier expansion
 /// (observed = frontier size entering the level).
 pub fn bfs_instrumented(g: &Csr, source: VertexId, rec: &mut Recorder) -> BfsResult {
-    run(g, source, &mut Some(rec), None)
+    run(g, source, &mut Some(rec), None, &Executor::fixed())
 }
 
 /// As [`bfs`], appending one wall-clock trace record per level to
@@ -44,7 +52,7 @@ pub fn bfs_instrumented(g: &Csr, source: VertexId, rec: &mut Recorder) -> BfsRes
 /// GraphCT side yields the same Fig. 2-shaped series as a BSP run.
 /// No-op when the `trace` feature is off.
 pub fn bfs_traced(g: &Csr, source: VertexId, sink: &mut xmt_trace::TraceSink) -> BfsResult {
-    run(g, source, &mut None, Some(sink))
+    run(g, source, &mut None, Some(sink), &Executor::fixed())
 }
 
 fn run(
@@ -52,7 +60,9 @@ fn run(
     source: VertexId,
     rec: &mut Option<&mut Recorder>,
     mut sink: Option<&mut xmt_trace::TraceSink>,
+    exec: &Executor,
 ) -> BfsResult {
+    let workers = exec.workers();
     // Const-folds to `false` in feature-off builds: no clocks, no
     // records, hot loop unchanged.
     let tracing = xmt_trace::ENABLED && sink.is_some();
@@ -65,7 +75,7 @@ fn run(
     if let Some(r) = rec.as_deref_mut() {
         let mut c = PhaseCounts::with_items(n as u64);
         c.writes = 2 * n as u64; // dist + parent initialization
-        c.charge_loop_overhead(chunk(n));
+        c.charge_loop_overhead(chunk(n, workers));
         c.barriers = 1;
         r.push("init", 0, c, 0);
     }
@@ -94,7 +104,7 @@ fn run(
 
         {
             let frontier_ref = &frontier;
-            parallel_for(0, frontier_ref.len(), |i| {
+            exec.pfor(0, frontier_ref.len(), |i| {
                 let v = frontier_ref[i];
                 let d = level + 1;
                 let nbrs = g.neighbors(v);
@@ -129,7 +139,7 @@ fn run(
             c.atomics = discovered;
             c.writes = 2 * discovered;
             c.hotspot_ops = discovered;
-            c.charge_loop_overhead(chunk(frontier.len()));
+            c.charge_loop_overhead(chunk(frontier.len(), workers));
             c.barriers = 1;
             r.push("level", level, c, frontier.len() as u64);
         }
@@ -175,8 +185,8 @@ fn run(
     }
 }
 
-fn chunk(n: usize) -> u64 {
-    xmt_par::pfor::default_chunk(n.max(1), xmt_par::num_threads()) as u64
+fn chunk(n: usize, workers: usize) -> u64 {
+    xmt_par::pfor::default_chunk(n.max(1), workers) as u64
 }
 
 #[cfg(test)]

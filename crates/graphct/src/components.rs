@@ -17,18 +17,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use xmt_graph::{Csr, VertexId};
 use xmt_model::{PhaseCounts, Recorder};
 use xmt_par::atomic::fetch_min;
-use xmt_par::parallel_for;
+use xmt_par::{parallel_for, Executor};
 
 /// Compute component labels (each vertex gets the minimum vertex id of
 /// its component).
 pub fn connected_components(g: &Csr) -> Vec<VertexId> {
-    run(g, &mut None, None)
+    run(g, &mut None, None, &Executor::fixed())
+}
+
+/// As [`connected_components`] on an explicit [`Executor`] — the native
+/// engine's entry point.  Labels are identical across executors (the
+/// atomic-min hook is order-independent); only the sweep count until
+/// fixpoint may differ by a race.
+pub fn connected_components_exec(g: &Csr, exec: &Executor) -> Vec<VertexId> {
+    run(g, &mut None, None, exec)
 }
 
 /// As [`connected_components`], recording one `"iteration"` phase per
 /// sweep (observed = number of label updates in the sweep).
 pub fn connected_components_instrumented(g: &Csr, rec: &mut Recorder) -> Vec<VertexId> {
-    run(g, &mut Some(rec), None)
+    run(g, &mut Some(rec), None, &Executor::fixed())
 }
 
 /// As [`connected_components`], appending one wall-clock trace record
@@ -36,15 +44,17 @@ pub fn connected_components_instrumented(g: &Csr, rec: &mut Recorder) -> Vec<Ver
 /// updates) so the GraphCT side yields the same Fig. 1-shaped series as
 /// a BSP run.  No-op when the `trace` feature is off.
 pub fn connected_components_traced(g: &Csr, sink: &mut xmt_trace::TraceSink) -> Vec<VertexId> {
-    run(g, &mut None, Some(sink))
+    run(g, &mut None, Some(sink), &Executor::fixed())
 }
 
 fn run(
     g: &Csr,
     rec: &mut Option<&mut Recorder>,
     mut sink: Option<&mut xmt_trace::TraceSink>,
+    exec: &Executor,
 ) -> Vec<VertexId> {
     assert!(!g.is_directed(), "components require an undirected graph");
+    let workers = exec.workers();
     // Const-folds to `false` in feature-off builds: no clocks, no
     // records, hot sweeps unchanged.
     let tracing = xmt_trace::ENABLED && sink.is_some();
@@ -55,7 +65,7 @@ fn run(
     if let Some(r) = rec.as_deref_mut() {
         let mut c = PhaseCounts::with_items(n as u64);
         c.writes = n as u64;
-        c.charge_loop_overhead(chunk(n));
+        c.charge_loop_overhead(chunk(n, workers));
         c.barriers = 1;
         r.push("init", 0, c, n as u64);
     }
@@ -68,7 +78,7 @@ fn run(
         // Hook: for every arc (u, v) pull the smaller label across.
         // Updated labels are read by later arcs in the SAME sweep —
         // the label-propagation behaviour the paper highlights.
-        parallel_for(0, n, |v| {
+        exec.pfor(0, n, |v| {
             // Relaxed (all label loads in this sweep): deliberately racy
             // reads of a monotonically decreasing label array — a stale
             // value can only delay convergence, never corrupt it, and
@@ -91,7 +101,7 @@ fn run(
 
         // Compress: pointer-jump labels to their representative.
         let jumps = AtomicU64::new(0);
-        parallel_for(0, n, |v| {
+        exec.pfor(0, n, |v| {
             // Relaxed: same monotone-label argument as the hook sweep —
             // stale reads chase a shorter chain, the next sweep retries.
             let mut l = labels[v].load(Ordering::Relaxed);
@@ -126,7 +136,7 @@ fn run(
             // representative's label at least once; extra reads per hop.
             c.reads += 2 * n as u64 + jumps.load(Ordering::Relaxed); // Relaxed: post-join read
             c.writes += jumps.load(Ordering::Relaxed).min(n as u64); // Relaxed: post-join read
-            c.charge_loop_overhead(chunk(n));
+            c.charge_loop_overhead(chunk(n, workers));
             c.barriers = 2; // hook and compress are separate sweeps
             r.push("iteration", iteration, c, changed);
         }
@@ -176,7 +186,7 @@ pub fn connected_components_jacobi(g: &Csr, mut rec: Option<&mut Recorder>) -> V
     if let Some(r) = rec.as_deref_mut() {
         let mut c = PhaseCounts::with_items(n as u64);
         c.writes = 2 * n as u64;
-        c.charge_loop_overhead(chunk(n));
+        c.charge_loop_overhead(chunk(n, xmt_par::num_threads()));
         c.barriers = 1;
         r.push("init", 0, c, n as u64);
     }
@@ -217,7 +227,7 @@ pub fn connected_components_jacobi(g: &Csr, mut rec: Option<&mut Recorder>) -> V
             c.reads = n as u64 + arcs + 2 * n as u64;
             c.alu_ops = arcs;
             c.writes = n as u64;
-            c.charge_loop_overhead(chunk(n));
+            c.charge_loop_overhead(chunk(n, xmt_par::num_threads()));
             c.barriers = 1;
             r.push("iteration", iteration, c, changed);
         }
@@ -230,8 +240,8 @@ pub fn connected_components_jacobi(g: &Csr, mut rec: Option<&mut Recorder>) -> V
     current
 }
 
-fn chunk(n: usize) -> u64 {
-    xmt_par::pfor::default_chunk(n, xmt_par::num_threads()) as u64
+fn chunk(n: usize, workers: usize) -> u64 {
+    xmt_par::pfor::default_chunk(n, workers) as u64
 }
 
 /// Number of distinct components in a labeling.

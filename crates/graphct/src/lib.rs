@@ -55,16 +55,16 @@ pub mod triangles;
 pub mod workflow;
 
 pub use betweenness::betweenness_centrality;
-pub use bfs::{bfs, bfs_instrumented, bfs_traced, BfsResult};
+pub use bfs::{bfs, bfs_exec, bfs_instrumented, bfs_traced, BfsResult};
 pub use components::{
-    connected_components, connected_components_instrumented, connected_components_jacobi,
-    connected_components_traced,
+    connected_components, connected_components_exec, connected_components_instrumented,
+    connected_components_jacobi, connected_components_traced,
 };
 pub use kcore::kcore_decomposition;
 pub use pagerank::pagerank;
 pub use sssp::sssp;
 pub use triangles::{
-    clustering_coefficients, count_triangles, count_triangles_binsearch,
+    clustering_coefficients, count_triangles, count_triangles_binsearch, count_triangles_exec,
     count_triangles_instrumented,
 };
 pub use workflow::Workflow;

@@ -13,18 +13,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use xmt_graph::{Csr, VertexId};
 use xmt_model::{PhaseCounts, Recorder};
 use xmt_par::atomic::as_atomic_u64;
-use xmt_par::parallel_for;
+use xmt_par::{parallel_for, Executor};
 
 /// Count each triangle of the undirected graph exactly once.
 pub fn count_triangles(g: &Csr) -> u64 {
-    let (count, _) = run(g, &mut None, false);
+    let (count, _) = run(g, &mut None, false, &Executor::fixed());
+    count
+}
+
+/// As [`count_triangles`] on an explicit [`Executor`] — the native
+/// engine's entry point.  Guided chunking matters most here: per-vertex
+/// intersection work is proportional to degree², so RMAT hubs make
+/// static chunks wildly unbalanced.  The count is identical across
+/// executors.
+pub fn count_triangles_exec(g: &Csr, exec: &Executor) -> u64 {
+    let (count, _) = run(g, &mut None, false, exec);
     count
 }
 
 /// As [`count_triangles`], recording a single `"count"` phase (observed =
 /// triangles found).
 pub fn count_triangles_instrumented(g: &Csr, rec: &mut Recorder) -> u64 {
-    let (count, _) = run(g, &mut Some(rec), false);
+    let (count, _) = run(g, &mut Some(rec), false, &Executor::fixed());
     count
 }
 
@@ -32,7 +42,7 @@ pub fn count_triangles_instrumented(g: &Csr, rec: &mut Recorder) -> u64 {
 ///
 /// `cc[v] = 2·tri(v) / (d(v)·(d(v)−1))`, 0 for degree < 2.
 pub fn clustering_coefficients(g: &Csr) -> (Vec<f64>, u64) {
-    let (count, per_vertex) = run(g, &mut None, true);
+    let (count, per_vertex) = run(g, &mut None, true, &Executor::fixed());
     // lint:allow(no-panic-in-lib): unreachable — `run` returns Some
     // whenever `per_vertex` is true, which this call hardcodes.
     let tri = per_vertex.expect("per-vertex counts requested");
@@ -49,7 +59,12 @@ pub fn clustering_coefficients(g: &Csr) -> (Vec<f64>, u64) {
     (cc, count)
 }
 
-fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Option<Vec<u64>>) {
+fn run(
+    g: &Csr,
+    rec: &mut Option<&mut Recorder>,
+    per_vertex: bool,
+    exec: &Executor,
+) -> (u64, Option<Vec<u64>>) {
     assert!(
         !g.is_directed(),
         "triangle counting needs an undirected graph"
@@ -66,7 +81,7 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Opti
     let mut tri_storage: Option<Vec<u64>> = per_vertex.then(|| vec![0u64; n]);
     let tri: Option<&[AtomicU64]> = tri_storage.as_mut().map(|v| as_atomic_u64(v));
 
-    parallel_for(0, n, |v| {
+    exec.pfor(0, n, |v| {
         let v = v as u64;
         let nv = g.neighbors(v);
         let mut local = 0u64;
@@ -112,7 +127,7 @@ fn run(g: &Csr, rec: &mut Option<&mut Recorder>, per_vertex: bool) -> (u64, Opti
         c.alu_ops = cmp;
         c.writes = count;
         c.atomics = count;
-        c.charge_loop_overhead(chunk(n));
+        c.charge_loop_overhead(chunk(n, exec.workers()));
         c.barriers = 1;
         r.push("count", 0, c, count);
     }
@@ -178,7 +193,7 @@ pub fn count_triangles_binsearch(g: &Csr, mut rec: Option<&mut Recorder>) -> u64
         c.alu_ops = p;
         c.writes = count;
         c.atomics = count;
-        c.charge_loop_overhead(chunk(n));
+        c.charge_loop_overhead(chunk(n, xmt_par::num_threads()));
         c.barriers = 1;
         r.push("count", 0, c, count);
     }
@@ -226,8 +241,8 @@ fn credit_third_corners(nv: &[VertexId], nu: &[VertexId], floor: VertexId, tri: 
     }
 }
 
-fn chunk(n: usize) -> u64 {
-    xmt_par::pfor::default_chunk(n.max(1), xmt_par::num_threads()) as u64
+fn chunk(n: usize, workers: usize) -> u64 {
+    xmt_par::pfor::default_chunk(n.max(1), workers) as u64
 }
 
 #[cfg(test)]

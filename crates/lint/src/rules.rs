@@ -61,7 +61,7 @@ pub fn all_rules() -> Vec<Rule> {
         Rule {
             name: "no-alloc-in-parallel-for",
             severity: Severity::Warning,
-            summary: "Vec::new()/vec![] inside parallel_for closures in crates/bsp (advisory)",
+            summary: "Vec::new()/vec![] inside parallel_for closures in crates/{par,bsp,graphct} (advisory)",
             check: no_alloc_in_parallel_for,
         },
     ]
@@ -329,20 +329,25 @@ const PARALLEL_ENTRY_POINTS: &[&str] = &[
     "parallel_for_on",
     "parallel_for_chunked",
     "parallel_for_chunked_on",
+    "parallel_for_guided_on",
     "parallel_fill",
+    "pfor",
+    "pfor_chunked",
 ];
 
 /// Flag `Vec::new()` and `vec![...]` inside the argument list of a
-/// `parallel_for`-family call in `crates/bsp` (advisory).  The BSP
-/// engine's zero-allocation steady state depends on compute closures
-/// drawing from per-worker scratch or the superstep frame; a fresh
-/// vector constructed per invocation silently reintroduces per-superstep
-/// allocation that the `zero_alloc` gate then has to bisect.  The
-/// heuristic is paren-depth scoped: everything from the call's opening
-/// parenthesis to its matching close counts as closure territory.
+/// `parallel_for`-family call (including the `Executor::pfor` wrappers
+/// both engines run through) in `crates/par`, `crates/bsp` and
+/// `crates/graphct` (advisory).  The BSP engine's zero-allocation steady
+/// state depends on compute closures drawing from per-worker scratch or
+/// the superstep frame; a fresh vector constructed per invocation
+/// silently reintroduces per-superstep allocation that the `zero_alloc`
+/// gate then has to bisect.  The heuristic is paren-depth scoped:
+/// everything from the call's opening parenthesis to its matching close
+/// counts as closure territory.
 fn no_alloc_in_parallel_for(m: &FileModel) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    if !in_crate(&m.path, "bsp") {
+    if !(in_crate(&m.path, "par") || in_crate(&m.path, "bsp") || in_crate(&m.path, "graphct")) {
         return out;
     }
     let mut flagged: Vec<(usize, &'static str)> = Vec::new();
@@ -555,8 +560,30 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 3);
         assert_eq!(d[0].severity, Severity::Warning);
-        // Same code outside crates/bsp is not this rule's business.
-        assert!(check("no-alloc-in-parallel-for", "crates/graphct/src/x.rs", src).is_empty());
+        // The kernel crates run the same hot loops, so they are in scope
+        // too; code outside them is not this rule's business.
+        assert_eq!(
+            check("no-alloc-in-parallel-for", "crates/graphct/src/x.rs", src).len(),
+            1
+        );
+        assert_eq!(
+            check("no-alloc-in-parallel-for", "crates/par/src/x.rs", src).len(),
+            1
+        );
+        assert!(check("no-alloc-in-parallel-for", "crates/model/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_inside_executor_pfor_closure_is_flagged() {
+        // The Executor seam's `pfor`/`pfor_chunked` wrappers are hot-path
+        // entry points exactly like the free functions they dispatch to.
+        let src = "fn f(exec: &Executor) {\n    exec.pfor(0, n, |w, r| {\n        let mut v = Vec::new();\n        v.extend(r);\n    });\n}\n";
+        let d = check("no-alloc-in-parallel-for", "crates/graphct/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        let src = "fn f(exec: &Executor) {\n    exec.pfor_chunked(0, n, 1, |w, r| {\n        let buf = vec![0u8; 4];\n    });\n}\n";
+        let d = check("no-alloc-in-parallel-for", "crates/par/src/x.rs", src);
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

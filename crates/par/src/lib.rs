@@ -16,6 +16,9 @@
 //! * [`parallel_for`] / [`parallel_for_chunked`] — dynamically chunked
 //!   loop parallelism over an index range (the XMT compiler's `#pragma mta
 //!   assert parallel` analogue).
+//! * [`Executor`] — a pool + schedule handle ([`Schedule::Fixed`] static
+//!   chunks, or [`Schedule::Guided`] decaying chunks for skewed work)
+//!   that the BSP runtime and GraphCT kernels are parameterized over.
 //! * [`reduce`] and [`scan`] — parallel reductions and prefix sums.
 //! * [`atomic`] — `int_fetch_add`-style helpers plus atomic-min/max CAS
 //!   loops used by label-update kernels.
@@ -48,6 +51,7 @@
 
 pub mod atomic;
 pub mod barrier;
+pub mod exec;
 pub mod full_empty;
 pub mod pfor;
 pub mod pool;
@@ -56,6 +60,7 @@ pub mod scan;
 pub mod scratch;
 
 pub use barrier::SenseBarrier;
+pub use exec::{Executor, Schedule};
 pub use full_empty::FullEmptyCell;
 pub use pfor::{parallel_for, parallel_for_chunked};
 pub use pool::{global, Pool};

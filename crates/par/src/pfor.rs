@@ -84,6 +84,52 @@ where
     });
 }
 
+/// Guided-schedule parallel loop on an explicit pool: workers claim
+/// chunks whose size decays with the remaining work.
+///
+/// Early claims hand out large chunks (low cursor contention), late
+/// claims shrink toward `min_chunk` so stragglers on skewed work (RMAT
+/// hub vertices) can be back-filled by idle workers.  This is the
+/// classic OpenMP `schedule(guided)` shape: each claim takes
+/// `remaining / (2 * workers)`, floored at `min_chunk`.
+pub fn parallel_for_guided_on<F>(pool: &Pool, start: usize, end: usize, min_chunk: usize, body: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    if start >= end {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    let n = end - start;
+    // Small trip counts: run inline to skip broadcast overhead.
+    if n <= min_chunk {
+        body(0, start..end);
+        return;
+    }
+    let workers = pool.num_workers();
+    let cursor = AtomicUsize::new(start);
+    pool.run(|worker| {
+        // Relaxed everywhere on the cursor: it only partitions the
+        // index range — each successful CAS claims a disjoint chunk and
+        // results written by `body` are published by the pool's join.
+        let mut lo = cursor.load(Ordering::Relaxed);
+        while lo < end {
+            let remaining = end - lo;
+            let chunk = (remaining / (2 * workers)).max(min_chunk);
+            let hi = lo.saturating_add(chunk).min(end);
+            // Relaxed (see above): the CAS carries no payload.
+            match cursor.compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    body(worker, lo..hi);
+                    // Relaxed (see above): re-read the shared cursor.
+                    lo = cursor.load(Ordering::Relaxed);
+                }
+                Err(cur) => lo = cur,
+            }
+        }
+    });
+}
+
 /// Fill `out[i] = f(i)` in parallel.
 pub fn parallel_fill<T, F>(out: &mut [T], f: F)
 where
@@ -143,6 +189,42 @@ mod tests {
             }
         });
         assert!(seen.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn guided_ranges_partition_the_space() {
+        let n = 5000;
+        let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_guided_on(global(), 0, n, 4, |_, r| {
+            for i in r {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(seen.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn guided_respects_offsets_and_empty_ranges() {
+        let total = AtomicU64::new(0);
+        parallel_for_guided_on(global(), 100, 200, 1, |_, r| {
+            for i in r {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        let expect: u64 = (100..200u64).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+        parallel_for_guided_on(global(), 5, 5, 1, |_, _| panic!("must not run"));
+        parallel_for_guided_on(global(), 9, 3, 1, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn guided_worker_ids_stay_in_bounds() {
+        let workers = global().num_workers() as u64;
+        let max_seen = AtomicU64::new(0);
+        parallel_for_guided_on(global(), 0, 10_000, 8, |worker, _| {
+            max_seen.fetch_max(worker as u64, Ordering::Relaxed);
+        });
+        assert!(max_seen.load(Ordering::Relaxed) < workers.max(1));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Job execution: one spec in, one verdict out.
 //!
-//! The BSP engine threads the scheduler's stop hook into
-//! [`run_bsp_slice_with_stop`], so cancellation and deadlines cut the
-//! run at a superstep boundary and hand back a [`StoredCheckpoint`]
-//! instead of losing the work.  The GraphCT engine serves the same three
-//! kernels from the shared-memory baseline — faster per job, but
-//! uninterruptible once started (no superstep boundaries to cut at).
+//! The BSP engines (`bsp` on the simulator-faithful fixed executor,
+//! `native` on the guided host-thread executor) thread the scheduler's
+//! stop hook into the sliced runtime, so cancellation and deadlines cut
+//! the run at a superstep boundary and hand back a [`StoredCheckpoint`]
+//! instead of losing the work — a checkpoint cut on one BSP engine
+//! resumes on the other, since both run the same programs and frame
+//! format.  The GraphCT engine serves the same three kernels from the
+//! shared-memory baseline — faster per job, but uninterruptible once
+//! started (no superstep boundaries to cut at).
 
 use std::sync::Arc;
 
@@ -14,8 +17,9 @@ use xmt_bsp::algorithms::components::CcProgram;
 use xmt_bsp::algorithms::pagerank::PagerankProgram;
 use xmt_bsp::program::VertexProgram;
 use xmt_bsp::runtime::Snapshot;
-use xmt_bsp::{run_bsp_slice_framed, SlicedRun, StopHook, SuperstepFrame};
+use xmt_bsp::{run_bsp_slice_exec, SlicedRun, StopHook, SuperstepFrame};
 use xmt_graph::Csr;
+use xmt_par::Executor;
 use xmt_trace::TraceSink;
 
 use crate::error::ServiceError;
@@ -63,11 +67,17 @@ pub fn execute(
     sink: &mut TraceSink,
 ) -> Result<ExecVerdict, ServiceError> {
     match spec.engine {
-        Engine::Bsp => execute_bsp(spec, graph, from, frame, stop, sink),
+        // Fixed scheduling on the global pool: the loop shapes the XMT
+        // cost model is calibrated against.
+        Engine::Bsp => execute_bsp(spec, graph, from, frame, stop, sink, &Executor::fixed()),
+        // Guided scheduling: decaying chunks back-fill RMAT hub skew.
+        // Same programs, transports, frames and checkpoints as `bsp`.
+        Engine::Native => execute_bsp(spec, graph, from, frame, stop, sink, &Executor::guided()),
         Engine::GraphCt => execute_graphct(spec, graph, from, sink),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_bsp(
     spec: &JobSpec,
     graph: &Arc<Csr>,
@@ -75,6 +85,7 @@ fn execute_bsp(
     frame: Option<StoredFrame>,
     stop: StopHook<'_>,
     sink: &mut TraceSink,
+    exec: &Executor,
 ) -> Result<ExecVerdict, ServiceError> {
     match spec.algorithm {
         Algorithm::Cc => {
@@ -87,7 +98,7 @@ fn execute_bsp(
                 Some(StoredFrame::Cc(f)) => f,
                 _ => SuperstepFrame::new(),
             };
-            let run = run_sliced(graph, &CcProgram, spec, from, stop, sink, &mut frame)?;
+            let run = run_sliced(graph, &CcProgram, spec, from, stop, sink, &mut frame, exec)?;
             Ok(verdict(
                 run,
                 JobOutput::Labels,
@@ -108,7 +119,7 @@ fn execute_bsp(
                 Some(StoredFrame::Bfs(f)) => f,
                 _ => SuperstepFrame::new(),
             };
-            let run = run_sliced(graph, &program, spec, from, stop, sink, &mut frame)?;
+            let run = run_sliced(graph, &program, spec, from, stop, sink, &mut frame, exec)?;
             Ok(verdict(
                 run,
                 |states| JobOutput::Bfs {
@@ -133,7 +144,7 @@ fn execute_bsp(
                 Some(StoredFrame::Pagerank(f)) => f,
                 _ => SuperstepFrame::new(),
             };
-            let run = run_sliced(graph, &program, spec, from, stop, sink, &mut frame)?;
+            let run = run_sliced(graph, &program, spec, from, stop, sink, &mut frame, exec)?;
             Ok(verdict(
                 run,
                 JobOutput::Ranks,
@@ -144,6 +155,7 @@ fn execute_bsp(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sliced<P: VertexProgram>(
     graph: &Csr,
     program: &P,
@@ -152,8 +164,9 @@ fn run_sliced<P: VertexProgram>(
     stop: StopHook<'_>,
     sink: &mut TraceSink,
     frame: &mut SuperstepFrame<P::State, P::Message>,
+    exec: &Executor,
 ) -> Result<SlicedRun<P::State, P::Message>, ServiceError> {
-    run_bsp_slice_framed(
+    run_bsp_slice_exec(
         graph,
         program,
         spec.config,
@@ -162,6 +175,7 @@ fn run_sliced<P: VertexProgram>(
         Some(stop),
         Some(sink),
         frame,
+        exec,
     )
     .map_err(|e| ServiceError::Internal {
         message: e.to_string(),
@@ -207,7 +221,7 @@ fn execute_graphct(
     if from.is_some() {
         return Err(ServiceError::Internal {
             message: "the graphct engine has no superstep boundaries and cannot resume \
-                      a checkpoint; resubmit on the bsp engine"
+                      a checkpoint; resubmit on the bsp or native engine"
                 .to_string(),
         });
     }

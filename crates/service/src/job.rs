@@ -40,13 +40,20 @@ impl Algorithm {
     }
 }
 
-/// Which implementation serves the job: the BSP runtime (checkpointable,
-/// cancellable at superstep boundaries) or the shared-memory GraphCT
-/// kernels (faster, but run to completion once started).
+/// Which implementation serves the job: the simulator-faithful BSP
+/// runtime (checkpointable, cancellable at superstep boundaries, charges
+/// the XMT cost model), the native BSP runtime (same programs and
+/// checkpoints, guided host-thread scheduling, wall-clock oriented), or
+/// the shared-memory GraphCT kernels (run to completion once started).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Engine {
-    /// The vertex-centric BSP runtime.
+    /// The vertex-centric BSP runtime on the simulator-faithful
+    /// executor (wire names `bsp` and `sim`).
     Bsp,
+    /// The same BSP runtime on the native executor: guided chunk
+    /// scheduling tuned for skewed degree distributions, no model
+    /// charging (wire name `native`).
+    Native,
     /// The shared-memory GraphCT-style kernels.
     GraphCt,
 }
@@ -55,7 +62,8 @@ impl Engine {
     /// Parse the wire name.
     pub fn parse(s: &str) -> Option<Engine> {
         match s {
-            "bsp" => Some(Engine::Bsp),
+            "bsp" | "sim" => Some(Engine::Bsp),
+            "native" => Some(Engine::Native),
             "graphct" | "shared" => Some(Engine::GraphCt),
             _ => None,
         }
@@ -65,6 +73,7 @@ impl Engine {
     pub fn name(&self) -> &'static str {
         match self {
             Engine::Bsp => "bsp",
+            Engine::Native => "native",
             Engine::GraphCt => "graphct",
         }
     }

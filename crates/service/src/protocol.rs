@@ -210,9 +210,11 @@ fn parse_job_spec(c: &Content) -> Result<JobSpec, ServiceError> {
     let engine: Option<String> = opt(c, "engine")?;
     let engine = match engine {
         None => Engine::Bsp,
-        Some(name) => {
-            Engine::parse(&name).ok_or_else(|| bad(&format!("unknown engine `{name}`")))?
-        }
+        Some(name) => Engine::parse(&name).ok_or_else(|| {
+            bad(&format!(
+                "unknown engine `{name}` (expected `bsp`/`sim`, `native`, or `graphct`/`shared`)"
+            ))
+        })?,
     };
     // `config` takes a full serialized BspConfig (strict, all fields);
     // `max_supersteps` alone is the common-case shortcut.
@@ -454,6 +456,31 @@ mod tests {
         assert_eq!(spec.priority, 0);
         assert_eq!(spec.deadline_ms, None);
         assert_eq!(spec.config, BspConfig::default());
+    }
+
+    #[test]
+    fn engine_names_parse_and_rejections_list_them() {
+        for (name, engine) in [
+            ("bsp", Engine::Bsp),
+            ("sim", Engine::Bsp),
+            ("native", Engine::Native),
+            ("graphct", Engine::GraphCt),
+            ("shared", Engine::GraphCt),
+        ] {
+            let line =
+                format!(r#"{{"op":"submit","algorithm":"cc","engine":"{name}","graph":"g"}}"#);
+            let Request::Submit { spec } = parse(&line).unwrap() else {
+                panic!("wrong op");
+            };
+            assert_eq!(spec.engine, engine, "engine name `{name}`");
+        }
+        let err =
+            parse(r#"{"op":"submit","algorithm":"cc","engine":"warp","graph":"g"}"#).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        let msg = err.to_string();
+        for expected in ["warp", "bsp", "sim", "native", "graphct", "shared"] {
+            assert!(msg.contains(expected), "`{msg}` missing `{expected}`");
+        }
     }
 
     #[test]

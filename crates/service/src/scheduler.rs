@@ -57,7 +57,7 @@ pub struct JobSnapshot {
     pub id: JobId,
     /// Kernel name (`cc`/`bfs`/`pagerank`).
     pub algorithm: &'static str,
-    /// Engine name (`bsp`/`graphct`).
+    /// Engine name (`bsp`/`native`/`graphct`).
     pub engine: &'static str,
     /// Target graph's registry name.
     pub graph: String,
@@ -796,6 +796,46 @@ mod tests {
             sched.take_checkpoint(id).unwrap_err(),
             ServiceError::NoCheckpoint { id }
         );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn native_engine_checkpoint_resumes_across_engines() {
+        // Cut a run on the native engine, resume it on the sim engine:
+        // the two BSP executors share programs, frames and checkpoints,
+        // so a boundary cut on one continues exactly on the other.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let g = long_path();
+        let mut s = spec("p");
+        s.engine = Engine::Native;
+        s.deadline_ms = Some(10);
+        let id = sched.submit(s, Arc::clone(&g), None, None).unwrap();
+        let snap = wait_terminal(&sched, id);
+        assert_eq!(snap.state, JobState::TimedOut);
+        assert_eq!(snap.engine, "native");
+        assert!(
+            snap.has_checkpoint,
+            "timed-out native job kept no checkpoint"
+        );
+        assert!(snap.supersteps >= 1);
+
+        let (mut orig_spec, orig_graph, cp, frame) = sched.take_checkpoint(id).unwrap();
+        orig_spec.deadline_ms = None;
+        orig_spec.engine = Engine::Bsp;
+        assert!(frame.is_some(), "interrupted native run kept no frame");
+        let resumed = sched
+            .submit(orig_spec, orig_graph, Some(cp), frame)
+            .unwrap();
+        let snap = wait_terminal(&sched, resumed);
+        assert_eq!(snap.state, JobState::Completed, "err={:?}", snap.error);
+        let (output, _) = sched.output(resumed).unwrap();
+        let JobOutput::Labels(labels) = output else {
+            panic!("cc job returned non-label output");
+        };
+        assert!(labels.iter().all(|&l| l == 0), "path has one component");
         sched.shutdown();
     }
 

@@ -7,6 +7,13 @@
 //! transport, active-set sizes, and halt votes — without perturbing the
 //! hot path it is measuring.
 //!
+//! Both execution engines emit these records: the sim engine's *cost
+//! predictions* are simulated XMT cycles (the recorder's department, not
+//! this crate's), but every [`SuperstepTrace`] here is host wall-clock —
+//! the `sim` and `native` engines produce identically-shaped series
+//! (labels e.g. `"cc/bsp"` vs `"cc/native"`), differing only in the
+//! nanoseconds their schedulers actually spent.
+//!
 //! The design is compile-time gating, not runtime indirection: the
 //! whole sink is behind the `enabled` cargo feature (forwarded as
 //! `trace` by dependents).  [`ENABLED`] is a `const`, so a caller's

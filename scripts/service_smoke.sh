@@ -26,7 +26,8 @@ done
 [ -n "$addr" ] || { cat "$out/serve.log"; echo "server never bound"; exit 1; }
 echo "serve bound on $addr"
 
-# Register, submit, and fetch a CC result plus its superstep trace;
+# Register, submit, and fetch a CC result plus its superstep trace —
+# once on the default (sim) engine and once on the native engine;
 # `client` exits non-zero on any error response.
 target/release/client --addr "$addr" \
     '{"op":"ping"}' \
@@ -34,6 +35,9 @@ target/release/client --addr "$addr" \
     '{"op":"submit","algorithm":"cc","graph":"smoke"}' \
     '{"op":"result","job_id":1,"wait_ms":60000}' \
     '{"op":"trace","job_id":1}' \
+    '{"op":"submit","algorithm":"cc","graph":"smoke","engine":"native"}' \
+    '{"op":"result","job_id":2,"wait_ms":60000}' \
+    '{"op":"trace","job_id":2}' \
     '{"op":"stats"}' \
     >"$out/client.log"
 
@@ -41,10 +45,11 @@ grep -q '"labels":\[' "$out/client.log" || { cat "$out/client.log"; echo "no CC 
 echo "CC result received"
 
 # The default build has tracing on: the trace must carry per-superstep
-# records with real timings.
+# records with real timings, on both engines.
 grep -q '"label":"cc/bsp"' "$out/client.log" || { cat "$out/client.log"; echo "no trace"; exit 1; }
+grep -q '"label":"cc/native"' "$out/client.log" || { cat "$out/client.log"; echo "no native trace"; exit 1; }
 grep -q '"total_ns":' "$out/client.log" || { cat "$out/client.log"; echo "trace has no timings"; exit 1; }
-echo "superstep trace received"
+echo "superstep traces received (sim + native)"
 
 target/release/client --addr "$addr" '{"op":"shutdown"}' >/dev/null
 
