@@ -1,0 +1,392 @@
+//! Streaming-service driver: an update stream concurrent with analytics
+//! jobs against one live server.
+//!
+//! One client thread streams edge insert/delete batches at a dynamic
+//! RMAT graph while a second client submits connected-components jobs
+//! the whole time, alternating the `incremental` engine (answered from
+//! the stinger-maintained state) with the `native` engine (full
+//! recompute against the epoch snapshot).  Afterwards a quiet phase
+//! times each engine alone.  Reported:
+//!
+//! * update throughput (edges/s and batches/s) *while analytics ran*;
+//! * client-observed analytics latency per engine during the stream;
+//! * the incremental-vs-recompute speedup from the quiet phase; and
+//! * a cross-engine agreement check (labels and triangle counts).
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin service_stream \
+//!     [-- --scale N --out DIR]
+//! ```
+//!
+//! With `--out DIR` writes `streaming.json` (the full report) and
+//! `streaming.txt` (the human table, same as stdout).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use xmt_bench::{write_json, HarnessConfig, Table};
+use xmt_graph::gen::rmat::{rmat_edges, RmatParams};
+use xmt_service::client::{field, field_str, field_u64};
+use xmt_service::{Client, Server, ServiceConfig};
+
+const BATCHES: usize = 48;
+const INSERTS_PER_BATCH: usize = 192;
+const DELETES_PER_BATCH: usize = 64;
+const QUIET_RUNS: usize = 8;
+/// Keep the update stream alive at least this long so the concurrent
+/// analytics jobs really do overlap a sustained stream.
+const MIN_STREAM_SECONDS: f64 = 1.0;
+
+#[derive(Serialize)]
+struct EngineLatency {
+    engine: String,
+    jobs: u64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct StreamingReport {
+    scale: u32,
+    vertices: u64,
+    initial_edges: u64,
+    final_edges: u64,
+    final_epoch: u64,
+    batches_applied: u64,
+    edges_inserted: u64,
+    edges_deleted: u64,
+    stream_seconds: f64,
+    update_edges_per_second: f64,
+    update_batches_per_second: f64,
+    concurrent: Vec<EngineLatency>,
+    quiet: Vec<EngineLatency>,
+    incremental_speedup_vs_native: f64,
+    incremental_speedup_vs_graphct: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args(12);
+    let n = 1u64 << cfg.scale;
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            memory_budget_bytes: 0,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let server = server.spawn();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    eprintln!(
+        "service_stream: registering dynamic RMAT scale {} ...",
+        cfg.scale
+    );
+    let r = ok(
+        &mut client,
+        &format!(
+            r#"{{"op":"register_graph","name":"r","kind":"rmat","scale":{},"edge_factor":{},"seed":{},"dynamic":true}}"#,
+            cfg.scale, cfg.edge_factor, cfg.seed
+        ),
+    );
+    let info = field(&r, "graph").expect("graph info");
+    let initial_edges = field_u64(info, "edges").expect("edges");
+
+    // The update pool: a second RMAT stream over the same vertex set, so
+    // inserts follow the same skewed degree distribution as the base
+    // graph.  Deletes target edges inserted two batches earlier.
+    let needed = BATCHES * INSERTS_PER_BATCH;
+    // Generate half again as many as needed; the surplus absorbs the
+    // self-loops filtered out below.
+    let pool_factor = (needed as u64 * 3 / 2).div_ceil(n).max(1);
+    let pool = rmat_edges(
+        &RmatParams {
+            edge_factor: pool_factor,
+            ..RmatParams::graph500(cfg.scale)
+        },
+        cfg.seed + 17,
+    );
+    let pool: Vec<(u64, u64)> = pool
+        .edges
+        .iter()
+        .filter(|&&(u, v)| u != v && u < n && v < n)
+        .take(needed)
+        .copied()
+        .collect();
+    assert!(pool.len() == needed, "update pool came up short");
+
+    // Concurrent phase: stream batches while analytics jobs run.
+    let streaming = Arc::new(AtomicBool::new(true));
+    let analytics = {
+        let addr = addr.clone();
+        let streaming = Arc::clone(&streaming);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect analytics");
+            let mut lat: Vec<(&'static str, f64)> = Vec::new();
+            let mut flip = false;
+            // Relaxed: a stop flag for a bench loop; one extra job after
+            // the stream drains is harmless.
+            while streaming.load(Ordering::Relaxed) {
+                let engine = if flip { "native" } else { "incremental" };
+                flip = !flip;
+                let started = Instant::now();
+                run_cc(&mut client, engine);
+                lat.push((engine, started.elapsed().as_secs_f64() * 1e3));
+            }
+            lat
+        })
+    };
+
+    eprintln!(
+        "service_stream: streaming {BATCHES} batches of +{INSERTS_PER_BATCH}/-{DELETES_PER_BATCH} ..."
+    );
+    let stream_started = Instant::now();
+    for b in 0..BATCHES {
+        let inserts = &pool[b * INSERTS_PER_BATCH..(b + 1) * INSERTS_PER_BATCH];
+        // Deletes lag two batches so they hit edges that really landed.
+        let deletes: &[(u64, u64)] = if b >= 2 {
+            &pool[(b - 2) * INSERTS_PER_BATCH..(b - 2) * INSERTS_PER_BATCH + DELETES_PER_BATCH]
+        } else {
+            &[]
+        };
+        let line = format!(
+            r#"{{"op":"update","graph":"r","insert":[{}],"delete":[{}]}}"#,
+            pairs(inserts),
+            pairs(deletes)
+        );
+        ok(&mut client, &line);
+    }
+    // Growth done; keep churning (delete a slice, reinsert it) until the
+    // stream has run long enough to overlap a real analytics mix.  Each
+    // toggle pair leaves its slice present, so the graph stays near its
+    // grown size.
+    let mut slice = 0usize;
+    while stream_started.elapsed().as_secs_f64() < MIN_STREAM_SECONDS {
+        let edges = &pool[slice * INSERTS_PER_BATCH..(slice + 1) * INSERTS_PER_BATCH];
+        ok(
+            &mut client,
+            &format!(
+                r#"{{"op":"update","graph":"r","delete":[{}]}}"#,
+                pairs(edges)
+            ),
+        );
+        ok(
+            &mut client,
+            &format!(
+                r#"{{"op":"update","graph":"r","insert":[{}]}}"#,
+                pairs(edges)
+            ),
+        );
+        slice = (slice + 1) % BATCHES;
+    }
+    let stream_seconds = stream_started.elapsed().as_secs_f64();
+    // Relaxed: see the load above.
+    streaming.store(false, Ordering::Relaxed);
+    let concurrent_lat = analytics.join().expect("analytics thread");
+
+    // What the stream actually applied, from the registry's counters.
+    let r = ok(&mut client, r#"{"op":"stats"}"#);
+    let stats = field(&r, "stats").expect("stats");
+    let registry = field(stats, "registry").expect("registry");
+    let batches_applied = field_u64(registry, "batches_applied").expect("batches");
+    let edges_inserted = field_u64(registry, "edges_inserted").expect("inserted");
+    let edges_deleted = field_u64(registry, "edges_deleted").expect("deleted");
+
+    let r = ok(&mut client, r#"{"op":"list_graphs"}"#);
+    let serde::Content::Seq(graphs) = field(&r, "graphs").expect("graphs").clone() else {
+        panic!("graphs is not a list");
+    };
+    let final_edges = field_u64(&graphs[0], "edges").expect("edges");
+    let final_epoch = field_u64(&graphs[0], "epoch").expect("epoch");
+
+    // Agreement check before timing anything quiet: the maintained
+    // answers must equal full recomputes on the final graph.
+    let inc_labels = run_cc(&mut client, "incremental");
+    let native_labels = run_cc(&mut client, "native");
+    assert_eq!(inc_labels, native_labels, "incremental CC diverged");
+    let inc_tri = run_triangles(&mut client, "incremental");
+    let ct_tri = run_triangles(&mut client, "graphct");
+    assert_eq!(inc_tri, ct_tri, "incremental triangle count diverged");
+    eprintln!("service_stream: agreement check passed (triangles = {inc_tri})");
+
+    // Quiet phase: each engine alone, no stream competing.
+    let mut quiet = Vec::new();
+    for engine in ["incremental", "native", "graphct"] {
+        let mut samples = Vec::with_capacity(QUIET_RUNS);
+        for _ in 0..QUIET_RUNS {
+            let started = Instant::now();
+            run_cc(&mut client, engine);
+            samples.push(started.elapsed().as_secs_f64() * 1e3);
+        }
+        quiet.push(summarize(engine, &samples));
+    }
+    let mean = |engine: &str| -> f64 {
+        quiet
+            .iter()
+            .find(|l| l.engine == engine)
+            .map(|l| l.mean_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let inc_mean = mean("incremental");
+    let speedup_native = mean("native") / inc_mean;
+    let speedup_graphct = mean("graphct") / inc_mean;
+
+    let mut concurrent = Vec::new();
+    for engine in ["incremental", "native"] {
+        let samples: Vec<f64> = concurrent_lat
+            .iter()
+            .filter(|(e, _)| *e == engine)
+            .map(|(_, ms)| *ms)
+            .collect();
+        concurrent.push(summarize(engine, &samples));
+    }
+
+    let report = StreamingReport {
+        scale: cfg.scale,
+        vertices: n,
+        initial_edges,
+        final_edges,
+        final_epoch,
+        batches_applied,
+        edges_inserted,
+        edges_deleted,
+        stream_seconds,
+        update_edges_per_second: (edges_inserted + edges_deleted) as f64 / stream_seconds,
+        update_batches_per_second: batches_applied as f64 / stream_seconds,
+        concurrent,
+        quiet,
+        incremental_speedup_vs_native: speedup_native,
+        incremental_speedup_vs_graphct: speedup_graphct,
+    };
+
+    let text = render(&report);
+    println!("{text}");
+    if let Some(dir) = &cfg.out_dir {
+        write_json(dir, "streaming", &report).expect("write streaming.json");
+        let path = dir.join("streaming.txt");
+        let mut f = std::fs::File::create(&path).expect("create streaming.txt");
+        writeln!(f, "{text}").expect("write streaming.txt");
+        eprintln!("wrote {}", path.display());
+    }
+
+    let _ = client.request_line(r#"{"op":"shutdown"}"#);
+    drop(client);
+    server.join().expect("server thread");
+}
+
+fn render(r: &StreamingReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "STREAMING SERVICE — RMAT scale {} ({} vertices), {} -> {} edges over {} batches (epoch {})\n\n",
+        r.scale, r.vertices, r.initial_edges, r.final_edges, r.batches_applied, r.final_epoch
+    ));
+    out.push_str(&format!(
+        "update stream (concurrent with analytics): {:.1} edges/s, {:.1} batches/s over {:.2}s\n",
+        r.update_edges_per_second, r.update_batches_per_second, r.stream_seconds
+    ));
+    out.push_str(&format!(
+        "  applied: +{} / -{} edges\n\n",
+        r.edges_inserted, r.edges_deleted
+    ));
+    let mut t = Table::new(&["phase", "engine", "jobs", "mean_ms", "p50_ms", "p99_ms"]);
+    for (phase, series) in [("concurrent", &r.concurrent), ("quiet", &r.quiet)] {
+        for l in series.iter() {
+            t.row(&[
+                phase.to_string(),
+                l.engine.clone(),
+                l.jobs.to_string(),
+                format!("{:.3}", l.mean_ms),
+                format!("{:.3}", l.p50_ms),
+                format!("{:.3}", l.p99_ms),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nincremental speedup: {:.1}x vs native recompute, {:.1}x vs graphct\n",
+        r.incremental_speedup_vs_native, r.incremental_speedup_vs_graphct
+    ));
+    out
+}
+
+fn summarize(engine: &str, samples: &[f64]) -> EngineLatency {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+    };
+    EngineLatency {
+        engine: engine.to_string(),
+        jobs: samples.len() as u64,
+        mean_ms: samples.iter().sum::<f64>() / samples.len().max(1) as f64,
+        p50_ms: pct(0.5),
+        p99_ms: pct(0.99),
+    }
+}
+
+fn pairs(edges: &[(u64, u64)]) -> String {
+    edges
+        .iter()
+        .map(|(u, v)| format!("[{u},{v}]"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn ok(client: &mut Client, line: &str) -> serde::Content {
+    let r = client.request_line(line).expect("request");
+    assert_eq!(
+        field_str(&r, "status"),
+        Some("ok"),
+        "request failed: {r:?} (line: {})",
+        &line[..line.len().min(120)]
+    );
+    r
+}
+
+/// Submit CC on `engine`, wait, return the labels.
+fn run_cc(client: &mut Client, engine: &str) -> Vec<u64> {
+    let result = run_to_result(
+        client,
+        &format!(r#"{{"op":"submit","algorithm":"cc","engine":"{engine}","graph":"r"}}"#),
+    );
+    let serde::Content::Seq(items) = field(&result, "labels").expect("labels").clone() else {
+        panic!("labels is not a list");
+    };
+    items
+        .iter()
+        .map(|i| match i {
+            serde::Content::U64(v) => *v,
+            serde::Content::I64(v) => *v as u64,
+            other => panic!("non-integer label {other:?}"),
+        })
+        .collect()
+}
+
+fn run_triangles(client: &mut Client, engine: &str) -> u64 {
+    let result = run_to_result(
+        client,
+        &format!(r#"{{"op":"submit","algorithm":"triangles","engine":"{engine}","graph":"r"}}"#),
+    );
+    field_u64(&result, "triangles").expect("triangles")
+}
+
+fn run_to_result(client: &mut Client, submit: &str) -> serde::Content {
+    let r = ok(client, submit);
+    let id = field_u64(&r, "job_id").expect("job id");
+    let r = ok(
+        client,
+        &format!(r#"{{"op":"result","job_id":{id},"wait_ms":600000}}"#),
+    );
+    field(&r, "result").expect("result").clone()
+}

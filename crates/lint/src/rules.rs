@@ -61,7 +61,7 @@ pub fn all_rules() -> Vec<Rule> {
         Rule {
             name: "no-alloc-in-parallel-for",
             severity: Severity::Warning,
-            summary: "Vec::new()/vec![] inside parallel_for closures in crates/{par,bsp,graphct} (advisory)",
+            summary: "Vec::new()/vec![] inside parallel_for closures in crates/{par,bsp,graphct,stinger} (advisory)",
             check: no_alloc_in_parallel_for,
         },
     ]
@@ -337,8 +337,9 @@ const PARALLEL_ENTRY_POINTS: &[&str] = &[
 
 /// Flag `Vec::new()` and `vec![...]` inside the argument list of a
 /// `parallel_for`-family call (including the `Executor::pfor` wrappers
-/// both engines run through) in `crates/par`, `crates/bsp` and
-/// `crates/graphct` (advisory).  The BSP engine's zero-allocation steady
+/// both engines run through) in `crates/par`, `crates/bsp`,
+/// `crates/graphct` and `crates/stinger` (advisory).  The BSP engine's
+/// zero-allocation steady
 /// state depends on compute closures drawing from per-worker scratch or
 /// the superstep frame; a fresh vector constructed per invocation
 /// silently reintroduces per-superstep allocation that the `zero_alloc`
@@ -347,7 +348,11 @@ const PARALLEL_ENTRY_POINTS: &[&str] = &[
 /// counts as closure territory.
 fn no_alloc_in_parallel_for(m: &FileModel) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    if !(in_crate(&m.path, "par") || in_crate(&m.path, "bsp") || in_crate(&m.path, "graphct")) {
+    if !(in_crate(&m.path, "par")
+        || in_crate(&m.path, "bsp")
+        || in_crate(&m.path, "graphct")
+        || in_crate(&m.path, "stinger"))
+    {
         return out;
     }
     let mut flagged: Vec<(usize, &'static str)> = Vec::new();
@@ -571,6 +576,12 @@ mod tests {
             1
         );
         assert!(check("no-alloc-in-parallel-for", "crates/model/src/x.rs", src).is_empty());
+        // The streaming structures feed the same engines, so stinger's
+        // hot loops are in scope as well.
+        assert_eq!(
+            check("no-alloc-in-parallel-for", "crates/stinger/src/x.rs", src).len(),
+            1
+        );
     }
 
     #[test]

@@ -115,6 +115,14 @@ fn decode_error(response: &Content) -> ServiceError {
         Some("graph_not_found") => ServiceError::GraphNotFound {
             name: message.to_string(),
         },
+        Some("budget_exceeded") => ServiceError::BudgetExceeded {
+            name: message.to_string(),
+            bytes: 0,
+            budget: 0,
+        },
+        Some("not_dynamic") => ServiceError::NotDynamic {
+            name: message.to_string(),
+        },
         Some("job_not_found") => ServiceError::JobNotFound { id: 0 },
         Some("no_checkpoint") => ServiceError::NoCheckpoint { id: 0 },
         Some("wrong_state") => ServiceError::WrongState {

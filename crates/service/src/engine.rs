@@ -15,6 +15,7 @@ use std::sync::Arc;
 use xmt_bsp::algorithms::bfs::BfsProgram;
 use xmt_bsp::algorithms::components::CcProgram;
 use xmt_bsp::algorithms::pagerank::PagerankProgram;
+use xmt_bsp::algorithms::triangles::TcProgram;
 use xmt_bsp::program::VertexProgram;
 use xmt_bsp::runtime::Snapshot;
 use xmt_bsp::{run_bsp_slice_exec, SlicedRun, StopHook, SuperstepFrame};
@@ -74,6 +75,12 @@ pub fn execute(
         // Same programs, transports, frames and checkpoints as `bsp`.
         Engine::Native => execute_bsp(spec, graph, from, frame, stop, sink, &Executor::guided()),
         Engine::GraphCt => execute_graphct(spec, graph, from, sink),
+        // Incremental jobs are answered at admission (the registry
+        // captures the stinger-maintained state under the graph lock)
+        // and short-circuited by the scheduler before reaching here.
+        Engine::Incremental => Err(ServiceError::Internal {
+            message: "incremental jobs are answered at admission; nothing to execute".to_string(),
+        }),
     }
 }
 
@@ -150,6 +157,27 @@ fn execute_bsp(
                 JobOutput::Ranks,
                 StoredCheckpoint::Pagerank,
                 StoredFrame::Pagerank(frame),
+            ))
+        }
+        Algorithm::Triangles => {
+            let from = match from {
+                None => None,
+                Some(StoredCheckpoint::Triangles(states, resume)) => Some((states, resume)),
+                Some(other) => return Err(checkpoint_mismatch(spec.algorithm, &other)),
+            };
+            let mut frame = match frame {
+                Some(StoredFrame::Triangles(f)) => f,
+                _ => SuperstepFrame::new(),
+            };
+            let run = run_sliced(graph, &TcProgram, spec, from, stop, sink, &mut frame, exec)?;
+            Ok(verdict(
+                run,
+                // Per-vertex confirmed-triangle tallies sum to the
+                // global count (each triangle lands at its
+                // lowest-ordered corner exactly once).
+                |states| JobOutput::Triangles(states.iter().sum()),
+                StoredCheckpoint::Triangles,
+                StoredFrame::Triangles(frame),
             ))
         }
     }
@@ -244,6 +272,8 @@ fn execute_graphct(
                 max_iterations: spec.config.max_supersteps as usize,
             },
         )),
+        // One-shot kernel (no per-level structure to trace).
+        Algorithm::Triangles => JobOutput::Triangles(graphct::count_triangles(graph)),
     };
     Ok(ExecVerdict::Completed {
         output,

@@ -26,6 +26,16 @@ pub enum ServiceError {
         bytes: usize,
         budget: usize,
     },
+    /// An update batch would grow the graph past the registry's memory
+    /// budget even with every other entry evicted; nothing was applied.
+    BudgetExceeded {
+        name: String,
+        bytes: usize,
+        budget: usize,
+    },
+    /// The operation needs a dynamic (streaming) graph but the named
+    /// entry is a static registration.
+    NotDynamic { name: String },
     /// No job with this id (never existed, or evicted).
     JobNotFound { id: u64 },
     /// A resume request for a job that holds no checkpoint (it
@@ -50,6 +60,8 @@ impl ServiceError {
             ServiceError::QueueFull { .. } => "queue_full",
             ServiceError::GraphNotFound { .. } => "graph_not_found",
             ServiceError::GraphTooLarge { .. } => "graph_too_large",
+            ServiceError::BudgetExceeded { .. } => "budget_exceeded",
+            ServiceError::NotDynamic { .. } => "not_dynamic",
             ServiceError::JobNotFound { .. } => "job_not_found",
             ServiceError::NoCheckpoint { .. } => "no_checkpoint",
             ServiceError::WrongState { .. } => "wrong_state",
@@ -74,6 +86,20 @@ impl fmt::Display for ServiceError {
             } => write!(
                 f,
                 "graph `{name}` needs {bytes} bytes but the registry budget is {budget}"
+            ),
+            ServiceError::BudgetExceeded {
+                name,
+                bytes,
+                budget,
+            } => write!(
+                f,
+                "update would grow graph `{name}` to {bytes} bytes, past the {budget}-byte \
+                 registry budget; batch rejected"
+            ),
+            ServiceError::NotDynamic { name } => write!(
+                f,
+                "graph `{name}` is a static registration; register it with `dynamic: true` \
+                 to accept updates"
             ),
             ServiceError::JobNotFound { id } => write!(f, "no job {id}"),
             ServiceError::NoCheckpoint { id } => write!(f, "job {id} holds no checkpoint"),

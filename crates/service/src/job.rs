@@ -1,9 +1,11 @@
 //! The job model: what a client submits, what the scheduler tracks, and
 //! what an interrupted run leaves behind.
 
+use std::sync::Arc;
+
 use xmt_bsp::algorithms::bfs::BfsState;
 use xmt_bsp::{BspConfig, ResumePoint, SuperstepFrame};
-use xmt_graph::VertexId;
+use xmt_graph::{Csr, VertexId};
 
 /// Monotonically increasing job identifier.
 pub type JobId = u64;
@@ -17,6 +19,8 @@ pub enum Algorithm {
     Bfs,
     /// PageRank (the Pregel staple).
     Pagerank,
+    /// Triangle counting (paper Alg. 3).
+    Triangles,
 }
 
 impl Algorithm {
@@ -26,6 +30,7 @@ impl Algorithm {
             "cc" | "components" => Some(Algorithm::Cc),
             "bfs" => Some(Algorithm::Bfs),
             "pagerank" | "pr" => Some(Algorithm::Pagerank),
+            "triangles" | "tc" => Some(Algorithm::Triangles),
             _ => None,
         }
     }
@@ -36,6 +41,7 @@ impl Algorithm {
             Algorithm::Cc => "cc",
             Algorithm::Bfs => "bfs",
             Algorithm::Pagerank => "pagerank",
+            Algorithm::Triangles => "triangles",
         }
     }
 }
@@ -56,6 +62,11 @@ pub enum Engine {
     Native,
     /// The shared-memory GraphCT-style kernels.
     GraphCt,
+    /// Incrementally maintained answers on a dynamic graph: the result
+    /// is captured at admission from the stinger-maintained state (the
+    /// job runs zero supersteps).  Valid only for `cc`/`triangles` on a
+    /// graph registered with `dynamic: true`.
+    Incremental,
 }
 
 impl Engine {
@@ -65,6 +76,7 @@ impl Engine {
             "bsp" | "sim" => Some(Engine::Bsp),
             "native" => Some(Engine::Native),
             "graphct" | "shared" => Some(Engine::GraphCt),
+            "incremental" | "inc" => Some(Engine::Incremental),
             _ => None,
         }
     }
@@ -75,6 +87,7 @@ impl Engine {
             Engine::Bsp => "bsp",
             Engine::Native => "native",
             Engine::GraphCt => "graphct",
+            Engine::Incremental => "incremental",
         }
     }
 }
@@ -157,6 +170,38 @@ pub enum JobOutput {
     },
     /// Per-vertex ranks (`pagerank`).
     Ranks(Vec<f64>),
+    /// Global triangle count (`triangles`).
+    Triangles(u64),
+}
+
+/// The graph handle a job computes against, resolved at admission.
+///
+/// For a static registration this is just the registry's `Arc<Csr>`
+/// (epoch 0).  For a dynamic graph it is an immutable *snapshot* of a
+/// specific epoch: update batches landing after admission create new
+/// epochs and never touch this CSR, so the job — across deadline cuts,
+/// checkpoints and resumes, which all travel this same handle — observes
+/// exactly the graph that existed when it was admitted.
+#[derive(Clone, Debug)]
+pub struct JobGraph {
+    /// The immutable CSR the engines execute against.
+    pub csr: Arc<Csr>,
+    /// The snapshot epoch the CSR materializes (0 for static graphs).
+    pub epoch: u64,
+    /// For the `incremental` engine: the answer captured atomically at
+    /// admission from the stinger-maintained state.  The worker returns
+    /// it as the job output without invoking an engine.
+    pub precomputed: Option<JobOutput>,
+}
+
+impl From<Arc<Csr>> for JobGraph {
+    fn from(csr: Arc<Csr>) -> Self {
+        JobGraph {
+            csr,
+            epoch: 0,
+            precomputed: None,
+        }
+    }
 }
 
 /// The typed per-algorithm checkpoint an interrupted BSP job leaves
@@ -171,6 +216,8 @@ pub enum StoredCheckpoint {
     Bfs(Vec<BfsState>, ResumePoint<(u64, VertexId)>),
     /// Interrupted PageRank.
     Pagerank(Vec<f64>, ResumePoint<f64>),
+    /// Interrupted triangle counting (message = wedge originator id).
+    Triangles(Vec<u64>, ResumePoint<VertexId>),
 }
 
 impl StoredCheckpoint {
@@ -181,6 +228,7 @@ impl StoredCheckpoint {
             StoredCheckpoint::Cc(..) => Algorithm::Cc,
             StoredCheckpoint::Bfs(..) => Algorithm::Bfs,
             StoredCheckpoint::Pagerank(..) => Algorithm::Pagerank,
+            StoredCheckpoint::Triangles(..) => Algorithm::Triangles,
         }
     }
 
@@ -190,6 +238,7 @@ impl StoredCheckpoint {
             StoredCheckpoint::Cc(_, r) => r.superstep,
             StoredCheckpoint::Bfs(_, r) => r.superstep,
             StoredCheckpoint::Pagerank(_, r) => r.superstep,
+            StoredCheckpoint::Triangles(_, r) => r.superstep,
         }
     }
 }
@@ -209,6 +258,8 @@ pub enum StoredFrame {
     Bfs(SuperstepFrame<BfsState, (u64, VertexId)>),
     /// Frame from an interrupted PageRank run.
     Pagerank(SuperstepFrame<f64, f64>),
+    /// Frame from an interrupted triangle-counting run.
+    Triangles(SuperstepFrame<u64, VertexId>),
 }
 
 impl StoredFrame {
@@ -218,6 +269,7 @@ impl StoredFrame {
             StoredFrame::Cc(_) => Algorithm::Cc,
             StoredFrame::Bfs(_) => Algorithm::Bfs,
             StoredFrame::Pagerank(_) => Algorithm::Pagerank,
+            StoredFrame::Triangles(_) => Algorithm::Triangles,
         }
     }
 }

@@ -15,6 +15,12 @@
 //! cuts it at a superstep boundary into a [`StoredCheckpoint`], and a
 //! `resume` request continues it exactly where it stopped.
 //!
+//! Graphs registered with `dynamic: true` additionally accept `update`
+//! batches (edge inserts/deletes) while analytics jobs run: each job is
+//! admitted against an immutable epoch snapshot (see [`streaming`]), and
+//! the `incremental` engine answers `cc`/`triangles` straight from the
+//! stinger-maintained state without recomputing.
+//!
 //! Layering:
 //!
 //! ```text
@@ -36,13 +42,15 @@ pub mod registry;
 pub mod scheduler;
 pub mod server;
 pub mod stats;
+pub mod streaming;
 
 pub use client::Client;
 pub use engine::{execute, ExecVerdict};
 pub use error::ServiceError;
-pub use job::{Algorithm, Engine, JobId, JobOutput, JobSpec, JobState, StoredCheckpoint};
+pub use job::{Algorithm, Engine, JobGraph, JobId, JobOutput, JobSpec, JobState, StoredCheckpoint};
 pub use protocol::{parse_request, GraphSpec, Request};
-pub use registry::{GraphEntryInfo, GraphRegistry, RegistryStats};
+pub use registry::{edge_ops, GraphEntryInfo, GraphRegistry, RegistryStats};
 pub use scheduler::{JobSnapshot, Scheduler, SchedulerConfig, SchedulerStats};
 pub use server::{Server, Service, ServiceConfig};
 pub use stats::{LatencyBook, LatencyHistogram, LatencySummary};
+pub use streaming::{batch_ops, UpdateOutcome};

@@ -29,6 +29,7 @@ use crate::error::ServiceError;
 use crate::job::{Algorithm, Engine, JobId, JobOutput, JobSpec};
 use crate::registry::{GraphEntryInfo, RegistryStats};
 use crate::scheduler::{JobSnapshot, SchedulerStats};
+use crate::streaming::UpdateOutcome;
 
 /// A parsed, validated client request.
 #[derive(Clone, Debug)]
@@ -41,6 +42,18 @@ pub enum Request {
         name: String,
         /// Generator description.
         spec: GraphSpec,
+        /// Register as a dynamic (streaming) entry that accepts
+        /// `update` batches.
+        dynamic: bool,
+    },
+    /// Apply an edge insert/delete batch to a dynamic graph.
+    Update {
+        /// Registry name of the target (dynamic) graph.
+        graph: String,
+        /// Undirected edges to insert, as `[u, v]` pairs.
+        insert: Vec<(u64, u64)>,
+        /// Undirected edges to delete, as `[u, v]` pairs.
+        delete: Vec<(u64, u64)>,
     },
     /// Drop a graph from the registry.
     UnregisterGraph {
@@ -78,10 +91,13 @@ pub enum Request {
         /// Target job.
         job_id: JobId,
     },
-    /// A terminal job's per-superstep trace.
+    /// A terminal job's per-superstep trace (`job_id`), or a dynamic
+    /// graph's applied-batch trace (`graph`).  Exactly one target.
     Trace {
-        /// Target job.
-        job_id: JobId,
+        /// Target job, for a per-superstep trace.
+        job_id: Option<JobId>,
+        /// Target dynamic graph, for an update-batch trace.
+        graph: Option<String>,
     },
     /// Snapshots of all jobs.
     ListJobs,
@@ -171,7 +187,20 @@ pub fn parse_request(c: &Content) -> Result<Request, ServiceError> {
                 m: opt(c, "m")?.unwrap_or(4096),
                 seed: opt(c, "seed")?.unwrap_or(1),
             },
+            dynamic: opt(c, "dynamic")?.unwrap_or(false),
         }),
+        "update" => {
+            let insert: Vec<(u64, u64)> = opt(c, "insert")?.unwrap_or_default();
+            let delete: Vec<(u64, u64)> = opt(c, "delete")?.unwrap_or_default();
+            if insert.is_empty() && delete.is_empty() {
+                return Err(bad("update needs a non-empty `insert` or `delete` list"));
+            }
+            Ok(Request::Update {
+                graph: req(c, "graph")?,
+                insert,
+                delete,
+            })
+        }
         "unregister_graph" => Ok(Request::UnregisterGraph {
             name: req(c, "name")?,
         }),
@@ -193,9 +222,15 @@ pub fn parse_request(c: &Content) -> Result<Request, ServiceError> {
         "cancel" => Ok(Request::Cancel {
             job_id: req(c, "job_id")?,
         }),
-        "trace" => Ok(Request::Trace {
-            job_id: req(c, "job_id")?,
-        }),
+        "trace" => {
+            let job_id: Option<JobId> = opt(c, "job_id")?;
+            let graph: Option<String> = opt(c, "graph")?;
+            match (&job_id, &graph) {
+                (None, None) => Err(bad("trace needs a `job_id` or a `graph`")),
+                (Some(_), Some(_)) => Err(bad("trace takes `job_id` or `graph`, not both")),
+                _ => Ok(Request::Trace { job_id, graph }),
+            }
+        }
         "list_jobs" => Ok(Request::ListJobs),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
@@ -212,7 +247,8 @@ fn parse_job_spec(c: &Content) -> Result<JobSpec, ServiceError> {
         None => Engine::Bsp,
         Some(name) => Engine::parse(&name).ok_or_else(|| {
             bad(&format!(
-                "unknown engine `{name}` (expected `bsp`/`sim`, `native`, or `graphct`/`shared`)"
+                "unknown engine `{name}` (expected `bsp`/`sim`, `native`, `graphct`/`shared`, \
+                 or `incremental`/`inc`)"
             ))
         })?,
     };
@@ -293,6 +329,47 @@ pub fn graph_content(info: &GraphEntryInfo) -> Content {
         .put("vertices", u64v(info.vertices))
         .put("edges", u64v(info.edges))
         .put("bytes", u64v(info.bytes))
+        .put("dynamic", Content::Bool(info.dynamic))
+        .put("epoch", u64v(info.epoch))
+        .done()
+}
+
+/// An applied update batch's outcome as a response tree.
+pub fn update_content(graph: &str, outcome: &UpdateOutcome) -> Content {
+    Obj::new()
+        .put("graph", str(graph))
+        .put("epoch", u64v(outcome.epoch))
+        .put("inserted", u64v(outcome.inserted))
+        .put("deleted", u64v(outcome.deleted))
+        .put("edges", u64v(outcome.edges))
+        .put("bytes", u64v(outcome.bytes))
+        .done()
+}
+
+/// A dynamic graph's applied-batch trace as a response tree.  The
+/// series is empty when the `trace` feature is off.
+pub fn update_trace_content(trace: &xmt_trace::UpdateTrace) -> Content {
+    Obj::new()
+        .put("graph", str(&trace.graph))
+        .put(
+            "updates",
+            Content::Seq(
+                trace
+                    .updates
+                    .iter()
+                    .map(|u| {
+                        Obj::new()
+                            .put("epoch", u64v(u.epoch))
+                            .put("inserted", u64v(u.inserted))
+                            .put("deleted", u64v(u.deleted))
+                            .put("edges_after", u64v(u.edges_after))
+                            .put("bytes_after", u64v(u.bytes_after))
+                            .put("apply_ns", u64v(u.apply_ns))
+                            .done()
+                    })
+                    .collect(),
+            ),
+        )
         .done()
 }
 
@@ -308,6 +385,7 @@ pub fn job_content(snap: &JobSnapshot) -> Content {
         .put("queued_ms", u64v(snap.queued_ms))
         .put("running_ms", u64v(snap.running_ms))
         .put("supersteps", u64v(snap.supersteps))
+        .put("epoch", u64v(snap.epoch))
         .put("has_checkpoint", Content::Bool(snap.has_checkpoint));
     if let Some(err) = &snap.error {
         obj = obj.put("error", str(err));
@@ -341,6 +419,7 @@ pub fn output_content(output: &JobOutput) -> Content {
                 Content::Seq(ranks.iter().map(|&r| Content::F64(r)).collect()),
             )
             .done(),
+        JobOutput::Triangles(count) => Obj::new().put("triangles", u64v(*count)).done(),
     }
 }
 
@@ -427,9 +506,14 @@ pub fn stats_content(stats: &SchedulerStats, registry: &RegistryStats) -> Conten
             "registry",
             Obj::new()
                 .put("graphs", u64v(registry.graphs as u64))
+                .put("dynamic_graphs", u64v(registry.dynamic_graphs as u64))
                 .put("used_bytes", u64v(registry.used_bytes as u64))
                 .put("budget_bytes", u64v(registry.budget_bytes as u64))
                 .put("evictions", u64v(registry.evictions))
+                .put("batches_applied", u64v(registry.batches_applied))
+                .put("edges_inserted", u64v(registry.edges_inserted))
+                .put("edges_deleted", u64v(registry.edges_deleted))
+                .put("snapshot_epochs_live", u64v(registry.snapshot_epochs_live))
                 .done(),
         )
         .done()
@@ -466,6 +550,8 @@ mod tests {
             ("native", Engine::Native),
             ("graphct", Engine::GraphCt),
             ("shared", Engine::GraphCt),
+            ("incremental", Engine::Incremental),
+            ("inc", Engine::Incremental),
         ] {
             let line =
                 format!(r#"{{"op":"submit","algorithm":"cc","engine":"{name}","graph":"g"}}"#);
@@ -478,9 +564,92 @@ mod tests {
             parse(r#"{"op":"submit","algorithm":"cc","engine":"warp","graph":"g"}"#).unwrap_err();
         assert_eq!(err.code(), "bad_request");
         let msg = err.to_string();
-        for expected in ["warp", "bsp", "sim", "native", "graphct", "shared"] {
+        for expected in [
+            "warp",
+            "bsp",
+            "sim",
+            "native",
+            "graphct",
+            "shared",
+            "incremental",
+        ] {
             assert!(msg.contains(expected), "`{msg}` missing `{expected}`");
         }
+    }
+
+    #[test]
+    fn update_op_parses_pair_lists() {
+        let req = parse(r#"{"op":"update","graph":"g","insert":[[0,1],[1,2]],"delete":[[3,4]]}"#)
+            .unwrap();
+        let Request::Update {
+            graph,
+            insert,
+            delete,
+        } = req
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(graph, "g");
+        assert_eq!(insert, vec![(0, 1), (1, 2)]);
+        assert_eq!(delete, vec![(3, 4)]);
+
+        // One-sided batches are fine; empty ones are not.
+        assert!(parse(r#"{"op":"update","graph":"g","delete":[[0,1]]}"#).is_ok());
+        assert_eq!(
+            parse(r#"{"op":"update","graph":"g"}"#).unwrap_err().code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn register_graph_dynamic_flag_defaults_off() {
+        let Request::RegisterGraph { dynamic, .. } =
+            parse(r#"{"op":"register_graph","name":"g","kind":"path","n":8}"#).unwrap()
+        else {
+            panic!("wrong op");
+        };
+        assert!(!dynamic);
+        let Request::RegisterGraph { dynamic, .. } =
+            parse(r#"{"op":"register_graph","name":"g","kind":"path","n":8,"dynamic":true}"#)
+                .unwrap()
+        else {
+            panic!("wrong op");
+        };
+        assert!(dynamic);
+    }
+
+    #[test]
+    fn trace_targets_a_job_xor_a_graph() {
+        assert!(matches!(
+            parse(r#"{"op":"trace","job_id":3}"#).unwrap(),
+            Request::Trace {
+                job_id: Some(3),
+                graph: None,
+            }
+        ));
+        let Request::Trace { job_id, graph } = parse(r#"{"op":"trace","graph":"g"}"#).unwrap()
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(job_id, None);
+        assert_eq!(graph.as_deref(), Some("g"));
+        assert_eq!(
+            parse(r#"{"op":"trace"}"#).unwrap_err().code(),
+            "bad_request"
+        );
+        assert_eq!(
+            parse(r#"{"op":"trace","job_id":1,"graph":"g"}"#)
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn triangles_output_serializes_as_a_count() {
+        let tree = output_content(&JobOutput::Triangles(42));
+        let json = serde_json::to_string(&tree).unwrap();
+        assert_eq!(json, r#"{"triangles":42}"#);
     }
 
     #[test]

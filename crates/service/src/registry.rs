@@ -1,23 +1,42 @@
-//! The graph registry: load once, serve many queries.
+//! The graph registry: load once, serve many queries — and, for dynamic
+//! entries, absorb live updates.
 //!
 //! The surveyed distributed graph systems (Ammar & Özsu) are all
 //! long-lived services precisely because graph ingest dwarfs most single
-//! queries; the registry is the piece that amortizes it.  Graphs live as
-//! named [`Arc<Csr>`] entries under a byte budget with LRU eviction:
-//! registering past the budget evicts the least-recently-*used* entries
-//! (a `get` is a use) until the newcomer fits.  Eviction only drops the
-//! registry's reference — jobs already holding the `Arc` keep computing
-//! on the evicted graph safely; the memory is reclaimed when the last
-//! job finishes.
+//! queries; the registry is the piece that amortizes it.  Entries come
+//! in two kinds under one byte budget with LRU eviction:
+//!
+//! * **static** — a frozen [`Arc<Csr>`], the original shape;
+//! * **dynamic** — a [`DynamicGraph`]: stinger-backed adjacency with
+//!   incrementally maintained CC labels and triangle counts, mutated by
+//!   `update` batches and served to jobs as immutable epoch snapshots.
+//!
+//! Registering past the budget evicts the least-recently-*used* entries
+//! (a `get` is a use) until the newcomer fits; an update batch that
+//! grows a dynamic graph **re-costs** it at its new size under the same
+//! budget (evicting others if needed, rejecting the batch with a typed
+//! [`ServiceError::BudgetExceeded`] if the grown graph alone cannot
+//! fit).  Eviction only drops the registry's reference — jobs already
+//! holding a CSR keep computing on it safely; the memory is reclaimed
+//! when the last holder finishes.
+//!
+//! Lock ordering: the registry lock is never held while taking a
+//! per-graph lock (`get`/`admit` drop it before materializing a
+//! snapshot); `update` holds the per-graph lock while taking the
+//! registry lock to re-cost — one direction only, so the pair cannot
+//! deadlock.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use stinger_lite::{EdgeOp, StreamingAnalytics};
 use xmt_graph::Csr;
 
 use crate::error::ServiceError;
+use crate::job::{Algorithm, Engine, JobGraph};
+use crate::streaming::{batch_ops, dynamic_cost_bytes, DynamicGraph, UpdateOutcome};
 
 /// A registry snapshot row (what `list_graphs` reports).
 #[derive(Clone, Debug)]
@@ -26,36 +45,80 @@ pub struct GraphEntryInfo {
     pub name: String,
     /// Vertex count.
     pub vertices: u64,
-    /// Undirected edge count.
+    /// Undirected edge count (for dynamic graphs: as of the last batch).
     pub edges: u64,
-    /// CSR footprint in bytes (what the budget is charged).
+    /// Footprint in bytes (what the budget is charged).
     pub bytes: u64,
+    /// Whether the entry accepts `update` batches.
+    pub dynamic: bool,
+    /// Current snapshot epoch (always 0 for static entries).
+    pub epoch: u64,
 }
 
 /// A coherent registry-counter snapshot for the `stats` request.
 ///
 /// Taken under one lock acquisition: `used_bytes` can never exceed what
-/// `graphs` entries account for, and `evictions` can never lag an
-/// eviction whose freed bytes are already reflected in `used_bytes` —
-/// guarantees three separate getter calls cannot make.
+/// `graphs` entries account for, `evictions` can never lag an eviction
+/// whose freed bytes are already reflected in `used_bytes`, and the
+/// update counters can never show a batch whose bytes are not yet
+/// charged — guarantees separate getter calls cannot make.  The one
+/// exception is `snapshot_epochs_live`, a lock-free gauge summed from
+/// per-graph atomics (taking per-graph locks here would invert the
+/// registry→graph lock order); it is freshness-bounded, not torn.
 #[derive(Clone, Copy, Debug)]
 pub struct RegistryStats {
     /// Registered graph count.
     pub graphs: usize,
+    /// Dynamic (updatable) entries among them.
+    pub dynamic_graphs: usize,
     /// Bytes currently charged against the budget.
     pub used_bytes: usize,
     /// Configured budget in bytes (0 = unbounded).
     pub budget_bytes: usize,
     /// Entries evicted by the budget since startup.
     pub evictions: u64,
+    /// Update batches applied across all dynamic graphs since startup.
+    pub batches_applied: u64,
+    /// Edges inserted by those batches.
+    pub edges_inserted: u64,
+    /// Edges deleted by those batches.
+    pub edges_deleted: u64,
+    /// Snapshot epochs still referenced by at least one job, summed over
+    /// dynamic graphs (as of each graph's last snapshot/update).
+    pub snapshot_epochs_live: u64,
+}
+
+#[derive(Clone)]
+enum GraphKind {
+    Static(Arc<Csr>),
+    Dynamic(Arc<DynamicGraph>),
 }
 
 struct Entry {
-    graph: Arc<Csr>,
+    kind: GraphKind,
     bytes: usize,
+    /// Cached shape for lock-order-safe `list`/`stats` (a dynamic
+    /// graph's true counts live behind its own lock; these are updated
+    /// under the registry lock by every re-cost).
+    vertices: u64,
+    edges: u64,
+    epoch: u64,
     /// Logical access clock value at the last `get`/registration;
     /// smallest value = least recently used.
     last_used: u64,
+}
+
+impl Entry {
+    fn info(&self, name: &str) -> GraphEntryInfo {
+        GraphEntryInfo {
+            name: name.to_string(),
+            vertices: self.vertices,
+            edges: self.edges,
+            bytes: self.bytes as u64,
+            dynamic: matches!(self.kind, GraphKind::Dynamic(_)),
+            epoch: self.epoch,
+        }
+    }
 }
 
 struct Inner {
@@ -63,9 +126,37 @@ struct Inner {
     used: usize,
     clock: u64,
     evictions: u64,
+    batches_applied: u64,
+    edges_inserted: u64,
+    edges_deleted: u64,
 }
 
-/// Named `Arc<Csr>` entries under a memory budget with LRU eviction.
+impl Inner {
+    /// Evict LRU entries (excluding `keep`) until `needed` extra bytes
+    /// fit under `budget`.  Returns whether the space was found.
+    fn evict_to_fit(&mut self, budget: usize, needed: usize, keep: Option<&str>) -> bool {
+        while self.used + needed > budget {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .filter(|(k, _)| keep != Some(k.as_str()))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return false;
+            };
+            let Some(evicted) = self.entries.remove(&victim) else {
+                return false;
+            };
+            self.used -= evicted.bytes;
+            self.evictions += 1;
+        }
+        true
+    }
+}
+
+/// Named graph entries (static CSRs and dynamic streaming graphs) under
+/// a memory budget with LRU eviction.
 pub struct GraphRegistry {
     /// Budget in bytes; `0` means unbounded.
     budget: usize,
@@ -73,7 +164,7 @@ pub struct GraphRegistry {
 }
 
 impl GraphRegistry {
-    /// A registry holding at most `budget_bytes` of CSR data (0 =
+    /// A registry holding at most `budget_bytes` of graph data (0 =
     /// unbounded).
     pub fn new(budget_bytes: usize) -> Self {
         GraphRegistry {
@@ -83,6 +174,9 @@ impl GraphRegistry {
                 used: 0,
                 clock: 0,
                 evictions: 0,
+                batches_applied: 0,
+                edges_inserted: 0,
+                edges_deleted: 0,
             }),
         }
     }
@@ -92,12 +186,45 @@ impl GraphRegistry {
         self.budget
     }
 
-    /// Register `graph` under `name`, evicting LRU entries as needed.
-    /// Re-registering a name replaces the old graph.  Fails with
-    /// [`ServiceError::GraphTooLarge`] if the graph alone exceeds the
-    /// budget.
+    /// Register `graph` as a frozen (static) entry under `name`,
+    /// evicting LRU entries as needed.  Re-registering a name replaces
+    /// the old graph.  Fails with [`ServiceError::GraphTooLarge`] if the
+    /// graph alone exceeds the budget.
     pub fn register(&self, name: &str, graph: Csr) -> Result<GraphEntryInfo, ServiceError> {
         let bytes = graph.memory_bytes();
+        let vertices = graph.num_vertices();
+        let edges = graph.num_edges();
+        self.insert(
+            name,
+            GraphKind::Static(Arc::new(graph)),
+            bytes,
+            vertices,
+            edges,
+        )
+    }
+
+    /// Register `graph` as a dynamic (streaming) entry under `name`: the
+    /// CSR seeds a stinger-backed adjacency whose CC labels and triangle
+    /// counts are maintained incrementally by `update` batches.  The
+    /// budget charge covers the analytics state plus one epoch snapshot,
+    /// and is re-assessed by every batch.
+    pub fn register_dynamic(&self, name: &str, graph: Csr) -> Result<GraphEntryInfo, ServiceError> {
+        let vertices = graph.num_vertices();
+        let edges = graph.num_edges();
+        let bytes = dynamic_cost_bytes(vertices, edges);
+        let analytics = StreamingAnalytics::from_csr(&graph);
+        let kind = GraphKind::Dynamic(Arc::new(DynamicGraph::new(analytics)));
+        self.insert(name, kind, bytes, vertices, edges)
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        kind: GraphKind,
+        bytes: usize,
+        vertices: u64,
+        edges: u64,
+    ) -> Result<GraphEntryInfo, ServiceError> {
         if self.budget > 0 && bytes > self.budget {
             return Err(ServiceError::GraphTooLarge {
                 name: name.to_string(),
@@ -105,58 +232,231 @@ impl GraphRegistry {
                 budget: self.budget,
             });
         }
-        let info = GraphEntryInfo {
-            name: name.to_string(),
-            vertices: graph.num_vertices(),
-            edges: graph.num_edges(),
-            bytes: bytes as u64,
-        };
         let mut inner = self.inner.lock();
         if let Some(old) = inner.entries.remove(name) {
             inner.used -= old.bytes;
         }
         if self.budget > 0 {
-            while inner.used + bytes > self.budget {
-                let Some(victim) = inner
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                else {
-                    break;
-                };
-                let Some(evicted) = inner.entries.remove(&victim) else {
-                    break;
-                };
-                inner.used -= evicted.bytes;
-                inner.evictions += 1;
-            }
+            // Fits by the check above once everything else is evictable.
+            inner.evict_to_fit(self.budget, bytes, None);
         }
         inner.clock += 1;
         let stamp = inner.clock;
         inner.used += bytes;
-        inner.entries.insert(
-            name.to_string(),
-            Entry {
-                graph: Arc::new(graph),
-                bytes,
-                last_used: stamp,
-            },
-        );
+        let entry = Entry {
+            kind,
+            bytes,
+            vertices,
+            edges,
+            epoch: 0,
+            last_used: stamp,
+        };
+        let info = entry.info(name);
+        inner.entries.insert(name.to_string(), entry);
         Ok(info)
     }
 
-    /// Fetch a graph by name, marking it most-recently-used.
-    pub fn get(&self, name: &str) -> Result<Arc<Csr>, ServiceError> {
+    /// Look up an entry's kind by name, marking it most-recently-used.
+    /// Registry lock only — snapshot materialization happens after it is
+    /// released.
+    fn lookup(&self, name: &str) -> Result<GraphKind, ServiceError> {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let stamp = inner.clock;
         match inner.entries.get_mut(name) {
             Some(e) => {
                 e.last_used = stamp;
-                Ok(Arc::clone(&e.graph))
+                Ok(e.kind.clone())
             }
             None => Err(ServiceError::GraphNotFound {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Fetch a graph's current CSR by name, marking it most-recently-
+    /// used.  For dynamic graphs this is the current epoch's snapshot.
+    pub fn get(&self, name: &str) -> Result<Arc<Csr>, ServiceError> {
+        match self.lookup(name)? {
+            GraphKind::Static(csr) => Ok(csr),
+            GraphKind::Dynamic(d) => Ok(d.snapshot().0),
+        }
+    }
+
+    /// Resolve a job's graph handle at admission: the CSR it will
+    /// compute against, the epoch that CSR materializes, and — for the
+    /// incremental engine — the answer captured atomically with it.
+    pub fn admit(
+        &self,
+        name: &str,
+        algorithm: Algorithm,
+        engine: Engine,
+    ) -> Result<JobGraph, ServiceError> {
+        match self.lookup(name)? {
+            GraphKind::Static(csr) => {
+                if engine == Engine::Incremental {
+                    return Err(ServiceError::NotDynamic {
+                        name: name.to_string(),
+                    });
+                }
+                Ok(JobGraph {
+                    csr,
+                    epoch: 0,
+                    precomputed: None,
+                })
+            }
+            GraphKind::Dynamic(d) => {
+                if engine == Engine::Incremental {
+                    let (csr, epoch, output) = d.incremental(name, algorithm)?;
+                    Ok(JobGraph {
+                        csr,
+                        epoch,
+                        precomputed: Some(output),
+                    })
+                } else {
+                    let (csr, epoch) = d.snapshot();
+                    Ok(JobGraph {
+                        csr,
+                        epoch,
+                        precomputed: None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Apply an edge insert/delete batch to a dynamic graph.
+    ///
+    /// The batch is planned first (endpoint validation, exact accepted
+    /// counts) without mutating anything; the entry is then re-costed at
+    /// its post-batch size under the budget — evicting *other* LRU
+    /// entries if the growth needs room, rejecting with
+    /// [`ServiceError::BudgetExceeded`] if the grown graph alone cannot
+    /// fit — and only then is the batch applied.  A rejected batch
+    /// leaves the graph, its analytics and its byte charge untouched.
+    pub fn update(
+        &self,
+        name: &str,
+        insert: &[(u64, u64)],
+        delete: &[(u64, u64)],
+    ) -> Result<UpdateOutcome, ServiceError> {
+        let dynamic = match self.lookup(name)? {
+            GraphKind::Dynamic(d) => d,
+            GraphKind::Static(_) => {
+                return Err(ServiceError::NotDynamic {
+                    name: name.to_string(),
+                })
+            }
+        };
+        let ops = batch_ops(insert, delete);
+        // Per-graph lock held across plan → re-cost → apply, so the
+        // accepted counts the re-cost was based on are exactly the
+        // counts applied, and concurrent batches serialize per graph.
+        let mut st = dynamic.lock();
+        let plan = st
+            .analytics
+            .plan_batch(&ops)
+            .map_err(|e| ServiceError::BadRequest {
+                message: format!("update for graph `{name}`: {e}"),
+            })?;
+        let n = st.analytics.graph().num_vertices();
+        let edges_after = st.analytics.graph().num_edges() + plan.inserted - plan.deleted;
+        let new_bytes = dynamic_cost_bytes(n, edges_after);
+        let epoch_after = if plan.inserted + plan.deleted > 0 {
+            st.epoch + 1
+        } else {
+            st.epoch
+        };
+        self.recost(
+            name,
+            new_bytes,
+            plan.inserted,
+            plan.deleted,
+            edges_after,
+            epoch_after,
+        )?;
+        let sw = xmt_trace::Stopwatch::start();
+        let applied = st
+            .analytics
+            .apply_batch(&ops)
+            .map_err(|e| ServiceError::Internal {
+                message: format!("planned batch failed to apply on `{name}`: {e}"),
+            })?;
+        debug_assert_eq!(applied, plan, "plan/apply divergence on `{name}`");
+        let apply_ns = sw.elapsed_ns();
+        Ok(dynamic.commit_batch(&mut st, applied, new_bytes as u64, apply_ns))
+    }
+
+    /// Re-charge a dynamic entry at `new_bytes` (called with the
+    /// per-graph lock held; takes the registry lock — the permitted
+    /// nesting direction).  Updates the cached shape and the global
+    /// update counters in the same critical section, so a `stats` reader
+    /// can never observe a batch counted without its bytes charged.
+    fn recost(
+        &self,
+        name: &str,
+        new_bytes: usize,
+        inserted: u64,
+        deleted: u64,
+        edges_after: u64,
+        epoch_after: u64,
+    ) -> Result<(), ServiceError> {
+        let mut inner = self.inner.lock();
+        let old_bytes = match inner.entries.get(name) {
+            Some(e) => e.bytes,
+            // Concurrently unregistered/evicted: the graph object still
+            // works for whoever holds it, but there is no entry to
+            // charge, so the batch is refused.
+            None => {
+                return Err(ServiceError::GraphNotFound {
+                    name: name.to_string(),
+                })
+            }
+        };
+        if self.budget > 0 {
+            if new_bytes > self.budget {
+                return Err(ServiceError::BudgetExceeded {
+                    name: name.to_string(),
+                    bytes: new_bytes,
+                    budget: self.budget,
+                });
+            }
+            // Release our old charge for the fit check, then evict
+            // other entries until the new size fits.  `new_bytes <=
+            // budget` above guarantees termination once only `name`
+            // remains.
+            inner.used -= old_bytes;
+            let fits = inner.evict_to_fit(self.budget, new_bytes, Some(name));
+            if !fits {
+                // Cannot happen given the check above, but never leave
+                // the accounting half-moved.
+                inner.used += old_bytes;
+                return Err(ServiceError::BudgetExceeded {
+                    name: name.to_string(),
+                    bytes: new_bytes,
+                    budget: self.budget,
+                });
+            }
+            inner.used += new_bytes;
+        } else {
+            inner.used = inner.used - old_bytes + new_bytes;
+        }
+        if let Some(e) = inner.entries.get_mut(name) {
+            e.bytes = new_bytes;
+            e.edges = edges_after;
+            e.epoch = epoch_after;
+        }
+        inner.batches_applied += 1;
+        inner.edges_inserted += inserted;
+        inner.edges_deleted += deleted;
+        Ok(())
+    }
+
+    /// A dynamic graph's recent applied-batch trace records.
+    pub fn update_trace(&self, name: &str) -> Result<xmt_trace::UpdateTrace, ServiceError> {
+        match self.lookup(name)? {
+            GraphKind::Dynamic(d) => Ok(d.update_trace(name)),
+            GraphKind::Static(_) => Err(ServiceError::NotDynamic {
                 name: name.to_string(),
             }),
         }
@@ -178,16 +478,8 @@ impl GraphRegistry {
     /// All registered graphs, sorted by name.
     pub fn list(&self) -> Vec<GraphEntryInfo> {
         let inner = self.inner.lock();
-        let mut out: Vec<GraphEntryInfo> = inner
-            .entries
-            .iter()
-            .map(|(name, e)| GraphEntryInfo {
-                name: name.clone(),
-                vertices: e.graph.num_vertices(),
-                edges: e.graph.num_edges(),
-                bytes: e.bytes as u64,
-            })
-            .collect();
+        let mut out: Vec<GraphEntryInfo> =
+            inner.entries.iter().map(|(name, e)| e.info(name)).collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
     }
@@ -203,21 +495,43 @@ impl GraphRegistry {
     }
 
     /// All counters under a single lock acquisition, so a stats reader
-    /// racing a register/evict cannot observe a torn combination.
+    /// racing a register/update/evict cannot observe a torn combination.
     pub fn stats(&self) -> RegistryStats {
         let inner = self.inner.lock();
+        let mut dynamic_graphs = 0;
+        let mut snapshot_epochs_live = 0;
+        for e in inner.entries.values() {
+            if let GraphKind::Dynamic(d) = &e.kind {
+                dynamic_graphs += 1;
+                // Atomic gauge read; per-graph locks are off-limits here
+                // (registry→graph nesting is the forbidden direction).
+                snapshot_epochs_live += d.live_epochs();
+            }
+        }
         RegistryStats {
             graphs: inner.entries.len(),
+            dynamic_graphs,
             used_bytes: inner.used,
             budget_bytes: self.budget,
             evictions: inner.evictions,
+            batches_applied: inner.batches_applied,
+            edges_inserted: inner.edges_inserted,
+            edges_deleted: inner.edges_deleted,
+            snapshot_epochs_live,
         }
     }
+}
+
+/// Convenience for composing update batches in code (tests, benches):
+/// the wire shape is two pair lists, this is the typed equivalent.
+pub fn edge_ops(insert: &[(u64, u64)], delete: &[(u64, u64)]) -> Vec<EdgeOp> {
+    batch_ops(insert, delete)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobOutput;
     use xmt_graph::builder::build_undirected;
     use xmt_graph::gen::structured::{path, ring};
 
@@ -231,6 +545,7 @@ mod tests {
         let info = reg.register("p", graph(10)).unwrap();
         assert_eq!(info.vertices, 10);
         assert_eq!(info.edges, 9);
+        assert!(!info.dynamic);
         assert_eq!(reg.get("p").unwrap().num_vertices(), 10);
         assert_eq!(
             reg.get("q").unwrap_err(),
@@ -330,5 +645,190 @@ mod tests {
         // The held Arc still works.
         assert_eq!(held.num_vertices(), 50);
         assert_eq!(held.degree(0), 1);
+    }
+
+    #[test]
+    fn updates_flow_through_a_dynamic_entry() {
+        let reg = GraphRegistry::new(0);
+        let info = reg.register_dynamic("d", graph(6)).unwrap();
+        assert!(info.dynamic);
+        assert_eq!(info.epoch, 0);
+        assert_eq!(info.edges, 5);
+
+        let out = reg.update("d", &[(0, 2), (0, 3)], &[(4, 5)]).unwrap();
+        assert_eq!(out.inserted, 2);
+        assert_eq!(out.deleted, 1);
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.edges, 6);
+
+        // list() reflects the re-costed shape without touching the
+        // per-graph lock.
+        let row = &reg.list()[0];
+        assert_eq!(row.edges, 6);
+        assert_eq!(row.epoch, 1);
+        assert_eq!(row.bytes, out.bytes);
+        assert_eq!(reg.used_bytes() as u64, out.bytes);
+
+        let s = reg.stats();
+        assert_eq!(s.dynamic_graphs, 1);
+        assert_eq!(s.batches_applied, 1);
+        assert_eq!(s.edges_inserted, 2);
+        assert_eq!(s.edges_deleted, 1);
+    }
+
+    #[test]
+    fn update_on_static_entry_is_typed_not_dynamic() {
+        let reg = GraphRegistry::new(0);
+        reg.register("s", graph(4)).unwrap();
+        let err = reg.update("s", &[(0, 2)], &[]).unwrap_err();
+        assert_eq!(err.code(), "not_dynamic");
+        assert!(matches!(
+            reg.update_trace("s").unwrap_err(),
+            ServiceError::NotDynamic { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_batch_is_bad_request_and_applies_nothing() {
+        let reg = GraphRegistry::new(0);
+        reg.register_dynamic("d", graph(4)).unwrap();
+        let err = reg.update("d", &[(0, 2), (1, 99)], &[]).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        let row = &reg.list()[0];
+        assert_eq!(row.edges, 3, "rejected batch mutated the graph");
+        assert_eq!(reg.stats().batches_applied, 0);
+    }
+
+    #[test]
+    fn growth_past_budget_is_rejected_with_nothing_applied() {
+        // Budget sized so the seed graph fits but a densifying batch
+        // does not — even with nothing else to evict.
+        let n = 32u64;
+        let seed_bytes = dynamic_cost_bytes(n, n - 1);
+        let reg = GraphRegistry::new(seed_bytes + 64);
+        reg.register_dynamic("d", graph(n)).unwrap();
+
+        let batch: Vec<(u64, u64)> = (0..n)
+            .flat_map(|u| (u + 2..n).map(move |v| (u, v)))
+            .collect();
+        let err = reg.update("d", &batch, &[]).unwrap_err();
+        let ServiceError::BudgetExceeded {
+            name,
+            bytes,
+            budget,
+        } = err
+        else {
+            panic!("expected budget_exceeded, got {err:?}");
+        };
+        assert_eq!(name, "d");
+        assert!(bytes > budget);
+        // Nothing applied, nothing re-charged.
+        let row = &reg.list()[0];
+        assert_eq!(row.edges, n - 1);
+        assert_eq!(row.epoch, 0);
+        assert_eq!(reg.used_bytes(), seed_bytes);
+        assert_eq!(reg.stats().batches_applied, 0);
+
+        // A batch that fits still goes through afterwards.
+        let out = reg.update("d", &[(0, 2)], &[]).unwrap();
+        assert_eq!(out.inserted, 1);
+    }
+
+    #[test]
+    fn grown_graph_evicts_others_and_is_evictable_at_new_size() {
+        let n = 64u64;
+        let dyn_seed = dynamic_cost_bytes(n, n - 1);
+        let unit = graph(100).memory_bytes();
+        // Room for the dynamic seed plus one static unit, with slack
+        // smaller than the batch growth below.
+        let reg = GraphRegistry::new(dyn_seed + unit + 8);
+        reg.register_dynamic("d", graph(n)).unwrap();
+        reg.register("s", graph(100)).unwrap();
+
+        // Grow `d` by enough edges that `s` must be evicted to make
+        // room (each new edge costs 32 bytes under the dynamic model).
+        let batch: Vec<(u64, u64)> = (0..n - 2).map(|u| (u, u + 2)).collect();
+        let out = reg.update("d", &batch, &[]).unwrap();
+        assert_eq!(out.inserted, n - 2);
+        assert!(
+            reg.get("s").is_err(),
+            "growth did not evict the LRU static entry"
+        );
+        assert_eq!(reg.evictions(), 1);
+        assert_eq!(reg.used_bytes() as u64, out.bytes);
+
+        // The grown entry is now LRU-evictable at its *new* size: a
+        // static registration that needs the space pushes it out.
+        reg.register("big", graph(100)).unwrap();
+        assert!(
+            reg.get("d").is_err(),
+            "grown dynamic entry was not evictable at its new size"
+        );
+        assert_eq!(reg.used_bytes(), unit);
+    }
+
+    #[test]
+    fn admit_serves_incremental_from_the_maintained_state() {
+        let reg = GraphRegistry::new(0);
+        reg.register_dynamic("d", graph(5)).unwrap();
+        let jg = reg.admit("d", Algorithm::Cc, Engine::Incremental).unwrap();
+        assert_eq!(jg.epoch, 0);
+        assert_eq!(
+            jg.precomputed,
+            Some(JobOutput::Labels(vec![0; 5])),
+            "path graph is one component"
+        );
+
+        // Disconnect vertex 4; the incremental answer tracks it.
+        reg.update("d", &[], &[(3, 4)]).unwrap();
+        let jg = reg.admit("d", Algorithm::Cc, Engine::Incremental).unwrap();
+        assert_eq!(jg.epoch, 1);
+        assert_eq!(jg.precomputed, Some(JobOutput::Labels(vec![0, 0, 0, 0, 4])));
+
+        // Static entries refuse the incremental engine, typed.
+        reg.register("s", graph(5)).unwrap();
+        assert!(matches!(
+            reg.admit("s", Algorithm::Cc, Engine::Incremental),
+            Err(ServiceError::NotDynamic { .. })
+        ));
+        // Non-incremental engines on dynamic graphs get the snapshot.
+        let jg = reg.admit("d", Algorithm::Cc, Engine::Bsp).unwrap();
+        assert_eq!(jg.epoch, 1);
+        assert!(jg.precomputed.is_none());
+        assert_eq!(jg.csr.num_edges(), 3);
+    }
+
+    #[test]
+    fn snapshots_isolate_jobs_from_later_batches() {
+        let reg = GraphRegistry::new(0);
+        reg.register_dynamic("d", graph(8)).unwrap();
+        let before = reg.admit("d", Algorithm::Cc, Engine::Bsp).unwrap();
+        reg.update("d", &[(0, 7)], &[]).unwrap();
+        let after = reg.admit("d", Algorithm::Cc, Engine::Bsp).unwrap();
+        assert_eq!(before.epoch, 0);
+        assert_eq!(after.epoch, 1);
+        assert_eq!(before.csr.num_edges(), 7, "pre-batch snapshot mutated");
+        assert_eq!(after.csr.num_edges(), 8);
+        assert!(!Arc::ptr_eq(&before.csr, &after.csr));
+        assert!(reg.stats().snapshot_epochs_live >= 2);
+    }
+
+    #[test]
+    fn update_trace_records_batches_in_order() {
+        let reg = GraphRegistry::new(0);
+        reg.register_dynamic("d", graph(6)).unwrap();
+        reg.update("d", &[(0, 2)], &[]).unwrap();
+        reg.update("d", &[], &[(0, 2)]).unwrap();
+        let trace = reg.update_trace("d").unwrap();
+        assert_eq!(trace.graph, "d");
+        if xmt_trace::ENABLED {
+            assert_eq!(trace.updates.len(), 2);
+            assert_eq!(trace.updates[0].epoch, 1);
+            assert_eq!(trace.updates[0].inserted, 1);
+            assert_eq!(trace.updates[1].epoch, 2);
+            assert_eq!(trace.updates[1].deleted, 1);
+        } else {
+            assert!(trace.updates.is_empty());
+        }
     }
 }

@@ -25,11 +25,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use xmt_graph::Csr;
-
 use crate::engine::{execute, ExecVerdict};
 use crate::error::ServiceError;
-use crate::job::{JobId, JobOutput, JobSpec, JobState, StoredCheckpoint, StoredFrame};
+use crate::job::{JobGraph, JobId, JobOutput, JobSpec, JobState, StoredCheckpoint, StoredFrame};
 use crate::stats::{LatencyBook, LatencySummary};
 
 /// Scheduler sizing.
@@ -71,6 +69,9 @@ pub struct JobSnapshot {
     pub running_ms: u64,
     /// Supersteps executed (meaningful once terminal).
     pub supersteps: u64,
+    /// The snapshot epoch the job computes against (0 for static
+    /// graphs); constant across deadline cuts and resumes.
+    pub epoch: u64,
     /// Whether a resumable checkpoint is attached.
     pub has_checkpoint: bool,
     /// Failure message, if the job failed.
@@ -79,7 +80,7 @@ pub struct JobSnapshot {
 
 struct JobRecord {
     spec: JobSpec,
-    graph: Arc<Csr>,
+    graph: JobGraph,
     state: JobState,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
@@ -124,6 +125,7 @@ impl JobRecord {
             queued_ms,
             running_ms,
             supersteps: self.supersteps,
+            epoch: self.graph.epoch,
             has_checkpoint: self.checkpoint.is_some(),
             error: self.error.clone(),
         }
@@ -254,17 +256,21 @@ impl Scheduler {
     }
 
     /// Admit a job: bounded-queue admission control, then enqueue.
-    /// `resume_from` continues an interrupted run from its checkpoint;
-    /// `resume_frame` optionally rides along with the interrupted run's
-    /// warmed superstep frame (skipping the continuation's warm-up
-    /// allocations — results are identical with or without it).
+    /// `graph` is the handle resolved at admission (a plain `Arc<Csr>`
+    /// converts to an epoch-0 static handle); for dynamic graphs it pins
+    /// the epoch snapshot the job computes against.  `resume_from`
+    /// continues an interrupted run from its checkpoint; `resume_frame`
+    /// optionally rides along with the interrupted run's warmed
+    /// superstep frame (skipping the continuation's warm-up allocations
+    /// — results are identical with or without it).
     pub fn submit(
         &self,
         spec: JobSpec,
-        graph: Arc<Csr>,
+        graph: impl Into<JobGraph>,
         resume_from: Option<StoredCheckpoint>,
         resume_frame: Option<StoredFrame>,
     ) -> Result<JobId, ServiceError> {
+        let graph = graph.into();
         let id = {
             let mut queue = self.shared.queue.lock();
             if queue.shutdown {
@@ -407,26 +413,22 @@ impl Scheduler {
     /// Take an interrupted job's checkpoint (and warmed frame, when the
     /// run left one) for resumption.  Move semantics: both transfer to
     /// the new job, so a stale double-resume gets `no_checkpoint`
-    /// instead of forking the run.
+    /// instead of forking the run.  The returned [`JobGraph`] is the
+    /// *original* epoch handle — a resume continues against the exact
+    /// snapshot the interrupted run saw, regardless of update batches
+    /// that landed in between.
     #[allow(clippy::type_complexity)]
     pub fn take_checkpoint(
         &self,
         id: JobId,
-    ) -> Result<(JobSpec, Arc<Csr>, StoredCheckpoint, Option<StoredFrame>), ServiceError> {
+    ) -> Result<(JobSpec, JobGraph, StoredCheckpoint, Option<StoredFrame>), ServiceError> {
         let mut jobs = self.shared.jobs.lock();
         let rec = jobs.get_mut(&id).ok_or(ServiceError::JobNotFound { id })?;
         match rec.state {
             JobState::Cancelled | JobState::TimedOut | JobState::Interrupted => rec
                 .checkpoint
                 .take()
-                .map(|cp| {
-                    (
-                        rec.spec.clone(),
-                        Arc::clone(&rec.graph),
-                        cp,
-                        rec.frame.take(),
-                    )
-                })
+                .map(|cp| (rec.spec.clone(), rec.graph.clone(), cp, rec.frame.take()))
                 .ok_or(ServiceError::NoCheckpoint { id }),
             other => Err(ServiceError::WrongState {
                 id,
@@ -588,7 +590,7 @@ fn worker_loop(shared: &Shared) {
 /// stale-entry count.
 fn run_one(shared: &Shared, id: JobId) -> bool {
     // Claim the job; skip entries whose job was cancelled while queued.
-    let (spec, graph, cancel, resume_from, resume_frame, deadline) = {
+    let (spec, graph, precomputed, cancel, resume_from, resume_frame, deadline) = {
         let mut jobs = shared.jobs.lock();
         let rec = match jobs.get_mut(&id) {
             Some(rec) => rec,
@@ -605,7 +607,8 @@ fn run_one(shared: &Shared, id: JobId) -> bool {
             .map(|ms| rec.submitted + Duration::from_millis(ms));
         (
             rec.spec.clone(),
-            Arc::clone(&rec.graph),
+            Arc::clone(&rec.graph.csr),
+            rec.graph.precomputed.take(),
             Arc::clone(&rec.cancel),
             rec.resume_from.take(),
             rec.frame.take(),
@@ -624,9 +627,17 @@ fn run_one(shared: &Shared, id: JobId) -> bool {
     // One sink per run: resumed jobs get a fresh sink whose records
     // continue the checkpoint's absolute superstep numbering.
     let mut sink = xmt_trace::TraceSink::new();
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        execute(&spec, &graph, resume_from, resume_frame, &stop, &mut sink)
-    }));
+    let outcome = match precomputed {
+        // Incremental-engine jobs carry their answer from admission
+        // (captured atomically with the epoch snapshot); nothing to run.
+        Some(output) => Ok(Ok(ExecVerdict::Completed {
+            output,
+            supersteps: 0,
+        })),
+        None => catch_unwind(AssertUnwindSafe(|| {
+            execute(&spec, &graph, resume_from, resume_frame, &stop, &mut sink)
+        })),
+    };
 
     let mut jobs = shared.jobs.lock();
     let rec = match jobs.get_mut(&id) {
@@ -702,6 +713,7 @@ mod tests {
     use xmt_bsp::{ActiveSetStrategy, BspConfig};
     use xmt_graph::builder::build_undirected;
     use xmt_graph::gen::structured::path;
+    use xmt_graph::Csr;
 
     fn spec(graph: &str) -> JobSpec {
         // Worklist active sets keep each of the path's many supersteps
@@ -905,6 +917,35 @@ mod tests {
         let (snap, timed_out) = sched.wait_terminal(id, Duration::from_secs(60)).unwrap();
         assert!(!timed_out, "job {id} never finished");
         snap
+    }
+
+    #[test]
+    fn precomputed_jobs_complete_without_executing() {
+        // Incremental-engine jobs arrive with their answer attached; the
+        // worker must return it verbatim, run zero supersteps, and keep
+        // the admission epoch visible in the snapshot.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let mut s = spec("dyn");
+        s.algorithm = Algorithm::Triangles;
+        s.engine = Engine::Incremental;
+        let jg = JobGraph {
+            csr: Arc::new(build_undirected(&path(8))),
+            epoch: 3,
+            precomputed: Some(JobOutput::Triangles(7)),
+        };
+        let id = sched.submit(s, jg, None, None).unwrap();
+        let snap = wait_terminal(&sched, id);
+        assert_eq!(snap.state, JobState::Completed, "err={:?}", snap.error);
+        assert_eq!(snap.supersteps, 0);
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.engine, "incremental");
+        let (output, supersteps) = sched.output(id).unwrap();
+        assert_eq!(output, JobOutput::Triangles(7));
+        assert_eq!(supersteps, 0);
+        sched.shutdown();
     }
 
     #[test]

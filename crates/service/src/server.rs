@@ -22,7 +22,7 @@ use crate::error::ServiceError;
 use crate::job::JobState;
 use crate::protocol::{
     build_graph, error_response, graph_content, job_content, ok, output_content, parse_request,
-    stats_content, trace_content, Request,
+    stats_content, trace_content, update_content, update_trace_content, Request,
 };
 use crate::registry::GraphRegistry;
 use crate::scheduler::{Scheduler, SchedulerConfig};
@@ -80,10 +80,26 @@ impl Service {
     pub fn handle(&self, request: &Request) -> Result<Content, ServiceError> {
         match request {
             Request::Ping => Ok(ok().done()),
-            Request::RegisterGraph { name, spec } => {
+            Request::RegisterGraph {
+                name,
+                spec,
+                dynamic,
+            } => {
                 let graph = build_graph(spec)?;
-                let info = self.registry.register(name, graph)?;
+                let info = if *dynamic {
+                    self.registry.register_dynamic(name, graph)?
+                } else {
+                    self.registry.register(name, graph)?
+                };
                 Ok(ok().put("graph", graph_content(&info)).done())
+            }
+            Request::Update {
+                graph,
+                insert,
+                delete,
+            } => {
+                let outcome = self.registry.update(graph, insert, delete)?;
+                Ok(ok().put("update", update_content(graph, &outcome)).done())
             }
             Request::UnregisterGraph { name } => {
                 let removed = self.registry.unregister(name);
@@ -96,7 +112,13 @@ impl Service {
                 )
                 .done()),
             Request::Submit { spec } => {
-                let graph = self.registry.get(&spec.graph)?;
+                // `admit` resolves the graph to an epoch snapshot (and,
+                // for the incremental engine, the answer itself) under
+                // the graph lock — the job is isolated from every batch
+                // that lands after this point.
+                let graph = self
+                    .registry
+                    .admit(&spec.graph, spec.algorithm, spec.engine)?;
                 let id = self.scheduler.submit(spec.clone(), graph, None, None)?;
                 Ok(ok().put("job_id", Content::U64(id)).done())
             }
@@ -155,10 +177,20 @@ impl Service {
                     }),
                 }
             }
-            Request::Trace { job_id } => {
-                let trace = self.scheduler.trace(*job_id)?;
-                Ok(ok().put("trace", trace_content(&trace)).done())
-            }
+            Request::Trace { job_id, graph } => match (job_id, graph) {
+                (Some(id), _) => {
+                    let trace = self.scheduler.trace(*id)?;
+                    Ok(ok().put("trace", trace_content(&trace)).done())
+                }
+                (None, Some(name)) => {
+                    let trace = self.registry.update_trace(name)?;
+                    Ok(ok().put("trace", update_trace_content(&trace)).done())
+                }
+                // parse_request rejects the neither-target shape.
+                (None, None) => Err(ServiceError::BadRequest {
+                    message: "trace needs a `job_id` or a `graph`".to_string(),
+                }),
+            },
             Request::Cancel { job_id } => {
                 let state = self.scheduler.cancel(*job_id)?;
                 Ok(ok()
@@ -274,6 +306,10 @@ fn serve_connection(
     // Short read timeouts let the thread poll the stop flag instead of
     // parking forever on an idle client.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // One-line responses must not sit in the Nagle buffer waiting for a
+    // delayed ACK; without this every request/response pair costs ~40ms
+    // on loopback regardless of the work done.
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,

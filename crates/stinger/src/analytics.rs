@@ -1,0 +1,488 @@
+//! Combined incremental analytics over one dynamic graph.
+//!
+//! [`StreamingComponents`](crate::StreamingComponents) and
+//! [`StreamingClustering`](crate::StreamingClustering) each own their own
+//! [`DynGraph`], which is the right shape for studying one algorithm in
+//! isolation but wrong for a *service*: a registered streaming graph has
+//! one topology and every maintained quantity must move in lockstep with
+//! it.  [`StreamingAnalytics`] owns a single graph and maintains both
+//! connected-component labels (union-find, recompute fallback for
+//! splitting deletions — \[13\]) and per-vertex triangle counts (the
+//! \[12\] delta rule: ±|N(u) ∩ N(v)| per edge flip) under the same
+//! update stream.
+//!
+//! Updates arrive as **batches** of [`EdgeOp`]s.  A batch is first
+//! [planned](StreamingAnalytics::plan_batch) — endpoints validated,
+//! duplicates resolved, exact accepted insert/delete counts computed
+//! without mutating anything — and then
+//! [applied](StreamingAnalytics::apply_batch).  The two traversals share
+//! one rule (the first op naming an unordered pair wins; later ops on
+//! the same pair in the batch are ignored), so a caller that plans,
+//! makes an admission decision (e.g. a memory-budget check), and then
+//! applies under one lock sees exactly the planned counts.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use xmt_graph::{Csr, VertexId};
+
+use crate::DynGraph;
+
+/// One edge mutation in an update batch (unordered endpoints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Insert the undirected edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Delete the undirected edge `{u, v}`.
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeOp {
+    fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeOp::Insert(u, v) | EdgeOp::Delete(u, v) => (u, v),
+        }
+    }
+}
+
+/// What a batch will do (from [`StreamingAnalytics::plan_batch`]) or did
+/// (from [`StreamingAnalytics::apply_batch`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Edges actually inserted (self loops, duplicates within the batch,
+    /// and edges already present don't count).
+    pub inserted: u64,
+    /// Edges actually deleted (absent edges and pairs already touched by
+    /// an earlier op in the batch don't count).
+    pub deleted: u64,
+}
+
+/// A batch named a vertex outside the graph's fixed vertex set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfRange {
+    /// The offending endpoint.
+    pub vertex: VertexId,
+    /// The graph's vertex count.
+    pub vertices: u64,
+}
+
+impl fmt::Display for OutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vertex {} out of range (graph has {} vertices)",
+            self.vertex, self.vertices
+        )
+    }
+}
+
+impl std::error::Error for OutOfRange {}
+
+/// A dynamic graph with connected components and triangle counts
+/// maintained incrementally under one update stream.
+pub struct StreamingAnalytics {
+    graph: DynGraph,
+    /// Union-find parent array (path halving, union by smaller root id,
+    /// so every root is the minimum vertex id of its component — the
+    /// same label convention as the static algorithms).
+    parent: Vec<VertexId>,
+    /// Deletions since the last recompute whose endpoints shared a
+    /// component (the only ones that can split it).
+    pending_deletions: u64,
+    /// Per-vertex triangle counts.
+    tri: Vec<u64>,
+    /// Global triangle count.
+    total_triangles: u64,
+}
+
+impl StreamingAnalytics {
+    /// Start from an edgeless graph on `n` vertices.
+    pub fn new(n: u64) -> Self {
+        StreamingAnalytics {
+            graph: DynGraph::new(n),
+            parent: (0..n).collect(),
+            pending_deletions: 0,
+            tri: vec![0; n as usize],
+            total_triangles: 0,
+        }
+    }
+
+    /// Import a static CSR (must be undirected); labels and triangle
+    /// counts are computed once, then maintained incrementally.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let graph = DynGraph::from_csr(csr);
+        let n = graph.num_vertices();
+        let mut this = StreamingAnalytics {
+            graph,
+            parent: (0..n).collect(),
+            pending_deletions: 0,
+            tri: vec![0; n as usize],
+            total_triangles: 0,
+        };
+        // reference_components yields min-id labels: a valid depth-1
+        // union-find forest under the min-root convention.
+        this.parent = xmt_graph::validate::reference_components(csr);
+        this.total_triangles = recount_triangles(csr, &mut this.tri);
+        this
+    }
+
+    /// The underlying graph (read-only).
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Global triangle count (always exact — deletions maintain it
+    /// incrementally too).
+    pub fn triangles(&self) -> u64 {
+        self.total_triangles
+    }
+
+    /// Triangles through vertex `v`.
+    pub fn triangles_of(&self, v: VertexId) -> u64 {
+        self.tri[v as usize]
+    }
+
+    /// Deletions awaiting a component recompute to be reflected exactly.
+    pub fn pending_deletions(&self) -> u64 {
+        self.pending_deletions
+    }
+
+    /// Approximate resident bytes of the maintained state: the dynamic
+    /// adjacency plus the two per-vertex arrays.  Length-based (not
+    /// capacity-based), so re-costing after a batch is deterministic.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.parent.len() * 8 + self.tri.len() * 8
+    }
+
+    /// Dry-run a batch: validate endpoints and compute the exact
+    /// accepted insert/delete counts without mutating anything.
+    /// [`apply_batch`](Self::apply_batch) on the unchanged graph then
+    /// performs exactly these counts.
+    pub fn plan_batch(&self, ops: &[EdgeOp]) -> Result<BatchOutcome, OutOfRange> {
+        let n = self.graph.num_vertices();
+        let mut seen: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut outcome = BatchOutcome::default();
+        for op in ops {
+            let (u, v) = op.endpoints();
+            if u >= n || v >= n {
+                return Err(OutOfRange {
+                    vertex: u.max(v),
+                    vertices: n,
+                });
+            }
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                continue; // an earlier op in this batch owns the pair
+            }
+            match op {
+                EdgeOp::Insert(..) if !self.graph.has_edge(u, v) => outcome.inserted += 1,
+                EdgeOp::Delete(..) if self.graph.has_edge(u, v) => outcome.deleted += 1,
+                _ => {}
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Apply a batch, maintaining labels and triangle counts per
+    /// accepted edge.  Same acceptance rule as
+    /// [`plan_batch`](Self::plan_batch); returns what actually happened.
+    pub fn apply_batch(&mut self, ops: &[EdgeOp]) -> Result<BatchOutcome, OutOfRange> {
+        let n = self.graph.num_vertices();
+        let mut seen: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut outcome = BatchOutcome::default();
+        for op in ops {
+            let (u, v) = op.endpoints();
+            if u >= n || v >= n {
+                return Err(OutOfRange {
+                    vertex: u.max(v),
+                    vertices: n,
+                });
+            }
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                continue;
+            }
+            match op {
+                EdgeOp::Insert(..) => {
+                    if self.insert_edge(u, v) {
+                        outcome.inserted += 1;
+                    }
+                }
+                EdgeOp::Delete(..) => {
+                    if self.delete_edge(u, v) {
+                        outcome.deleted += 1;
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Insert `{u, v}` with incremental maintenance; `true` if the edge
+    /// was new.
+    fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if !self.graph.insert_edge(u, v) {
+            return false;
+        }
+        // Triangle delta: one new triangle per common neighbor (the
+        // post-insert intersection equals the pre-insert one, since
+        // u ∉ N(u) and v ∉ N(v)).
+        let common = self.graph.common_neighbors(u, v);
+        let delta = common.len() as u64;
+        self.tri[u as usize] += delta;
+        self.tri[v as usize] += delta;
+        for w in common {
+            self.tri[w as usize] += 1;
+        }
+        self.total_triangles += delta;
+        // Component merge: union by smaller root keeps min-id labels.
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru != rv {
+            let (lo, hi) = (ru.min(rv), ru.max(rv));
+            self.parent[hi as usize] = lo;
+        }
+        true
+    }
+
+    /// Delete `{u, v}` with incremental maintenance; `true` if the edge
+    /// existed.  Triangle counts stay exact; component labels may go
+    /// stale until the next [`labels`](Self::labels) call recomputes.
+    fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if !self.graph.remove_edge(u, v) {
+            return false;
+        }
+        let common = self.graph.common_neighbors(u, v);
+        let delta = common.len() as u64;
+        self.tri[u as usize] -= delta;
+        self.tri[v as usize] -= delta;
+        for w in common {
+            self.tri[w as usize] -= 1;
+        }
+        self.total_triangles -= delta;
+        // Union-find cannot un-merge; defer the (rare) split question.
+        if self.find(u) == self.find(v) {
+            self.pending_deletions += 1;
+        }
+        true
+    }
+
+    fn find(&mut self, mut v: VertexId) -> VertexId {
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand; // path halving
+            v = grand;
+        }
+        v
+    }
+
+    /// Component label of every vertex (minimum vertex id per
+    /// component).  Runs the deletion-fallback recompute first if any
+    /// potentially-splitting deletions are pending — the incremental
+    /// fast path covers insert-only windows and deletions inside cycles.
+    pub fn labels(&mut self) -> Vec<VertexId> {
+        if self.pending_deletions > 0 {
+            self.recompute_components();
+        }
+        (0..self.graph.num_vertices())
+            .map(|v| self.find(v))
+            .collect()
+    }
+
+    /// Number of connected components (exact; recomputes if needed).
+    pub fn components(&mut self) -> u64 {
+        self.labels()
+            .iter()
+            .enumerate()
+            .filter(|&(v, &l)| v as u64 == l)
+            .count() as u64
+    }
+
+    /// Recompute labels exactly from the current graph — the deletion
+    /// fallback, O(V + E).
+    pub fn recompute_components(&mut self) {
+        let csr = self.graph.to_csr();
+        self.parent = xmt_graph::validate::reference_components(&csr);
+        self.pending_deletions = 0;
+    }
+}
+
+/// Static per-vertex triangle recount over a CSR; fills `tri` (each
+/// triangle credited at all three corners) and returns the total.
+fn recount_triangles(g: &Csr, tri: &mut [u64]) -> u64 {
+    tri.iter_mut().for_each(|t| *t = 0);
+    let mut total = 0u64;
+    for v in 0..g.num_vertices() {
+        let nv = g.neighbors(v);
+        for &u in nv {
+            if u <= v {
+                continue;
+            }
+            let nu = g.neighbors(u);
+            let (mut i, mut j) = (0, 0);
+            while i < nv.len() && j < nu.len() {
+                match nv[i].cmp(&nu[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        // Count each triangle once (v < u < w), credit
+                        // all three corners.
+                        let w = nv[i];
+                        if w > u {
+                            total += 1;
+                            tri[v as usize] += 1;
+                            tri[u as usize] += 1;
+                            tri[w as usize] += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use xmt_graph::builder::build_undirected;
+    use xmt_graph::gen::structured::clique;
+
+    fn reference(analytics: &StreamingAnalytics) -> (Vec<VertexId>, u64) {
+        let csr = analytics.graph().to_csr();
+        let labels = xmt_graph::validate::reference_components(&csr);
+        let triangles = graphct::count_triangles(&csr);
+        (labels, triangles)
+    }
+
+    #[test]
+    fn plan_matches_apply_on_messy_batches() {
+        let mut s = StreamingAnalytics::new(6);
+        s.apply_batch(&[EdgeOp::Insert(0, 1), EdgeOp::Insert(1, 2)])
+            .unwrap();
+        let batch = vec![
+            EdgeOp::Insert(0, 1), // already present
+            EdgeOp::Insert(2, 0), // new
+            EdgeOp::Insert(0, 2), // dup within batch
+            EdgeOp::Delete(1, 2), // present
+            EdgeOp::Insert(1, 2), // pair already touched: ignored
+            EdgeOp::Delete(4, 5), // absent
+            EdgeOp::Insert(3, 3), // self loop
+            EdgeOp::Insert(4, 5), // pair already touched by the delete: ignored
+            EdgeOp::Insert(3, 4), // new
+        ];
+        let plan = s.plan_batch(&batch).unwrap();
+        let applied = s.apply_batch(&batch).unwrap();
+        assert_eq!(plan, applied);
+        assert_eq!(
+            applied,
+            BatchOutcome {
+                inserted: 2,
+                deleted: 1
+            }
+        );
+        assert_eq!(s.graph().num_edges(), 3);
+        assert!(!s.graph().has_edge(4, 5), "first op on the pair wins");
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error_and_mutates_nothing() {
+        let mut s = StreamingAnalytics::new(4);
+        s.apply_batch(&[EdgeOp::Insert(0, 1)]).unwrap();
+        let bad = vec![EdgeOp::Insert(1, 2), EdgeOp::Insert(2, 9)];
+        let err = s.plan_batch(&bad).unwrap_err();
+        assert_eq!(err.vertex, 9);
+        assert_eq!(err.vertices, 4);
+        // plan_batch never mutates; callers gate apply on the plan.
+        assert_eq!(s.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn triangle_lifecycle_through_batches() {
+        let mut s = StreamingAnalytics::new(4);
+        let r = s
+            .apply_batch(&[
+                EdgeOp::Insert(0, 1),
+                EdgeOp::Insert(1, 2),
+                EdgeOp::Insert(0, 2),
+                EdgeOp::Insert(2, 3),
+            ])
+            .unwrap();
+        assert_eq!(r.inserted, 4);
+        assert_eq!(s.triangles(), 1);
+        assert_eq!(s.triangles_of(0), 1);
+        assert_eq!(s.triangles_of(3), 0);
+        s.apply_batch(&[EdgeOp::Delete(0, 2)]).unwrap();
+        assert_eq!(s.triangles(), 0);
+    }
+
+    #[test]
+    fn from_csr_seeds_labels_and_triangles() {
+        let csr = build_undirected(&clique(5));
+        let mut s = StreamingAnalytics::from_csr(&csr);
+        assert_eq!(s.triangles(), 10); // C(5,3)
+        assert_eq!(s.labels(), vec![0; 5]);
+        assert_eq!(s.components(), 1);
+        // Incremental continues correctly from the imported state.
+        s.apply_batch(&[EdgeOp::Delete(0, 1)]).unwrap();
+        assert_eq!(s.triangles(), 7);
+    }
+
+    #[test]
+    fn matches_reference_under_random_batch_churn() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 32u64;
+        let mut s = StreamingAnalytics::new(n);
+        let mut present: Vec<(u64, u64)> = Vec::new();
+        for round in 0..40 {
+            let mut batch = Vec::new();
+            for _ in 0..20 {
+                if present.is_empty() || rng.gen_bool(0.7) {
+                    let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    batch.push(EdgeOp::Insert(u, v));
+                } else {
+                    let idx = rng.gen_range(0..present.len());
+                    let (u, v) = present[idx];
+                    batch.push(EdgeOp::Delete(u, v));
+                }
+            }
+            let plan = s.plan_batch(&batch).unwrap();
+            let applied = s.apply_batch(&batch).unwrap();
+            assert_eq!(plan, applied, "round {round}");
+            // Track what's actually present for future delete candidates.
+            present.clear();
+            for v in 0..n {
+                for &u in s.graph().neighbors(v) {
+                    if v < u {
+                        present.push((v, u));
+                    }
+                }
+            }
+            let (labels, triangles) = reference(&s);
+            assert_eq!(s.labels(), labels, "round {round}");
+            assert_eq!(s.triangles(), triangles, "round {round}");
+            assert!(s.graph().check_consistency(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn memory_bytes_tracks_edge_count() {
+        let mut s = StreamingAnalytics::new(10);
+        let before = s.memory_bytes();
+        s.apply_batch(&[EdgeOp::Insert(0, 1), EdgeOp::Insert(2, 3)])
+            .unwrap();
+        let grown = s.memory_bytes();
+        assert_eq!(grown, before + 2 * 2 * 8, "two arcs per undirected edge");
+        s.apply_batch(&[EdgeOp::Delete(0, 1)]).unwrap();
+        assert_eq!(s.memory_bytes(), before + 2 * 8);
+    }
+}

@@ -179,6 +179,16 @@ impl DynGraph {
         accepted.len() as u64
     }
 
+    /// Approximate resident bytes of the adjacency structure: one Vec
+    /// header per vertex plus two 8-byte arcs per undirected edge.
+    /// Deliberately length-based (not capacity-based) so the same
+    /// topology always costs the same — byte-budget re-accounting in a
+    /// registry must be deterministic across insert orders.
+    pub fn memory_bytes(&self) -> usize {
+        self.adj.len() * std::mem::size_of::<Vec<VertexId>>()
+            + 2 * self.num_edges as usize * std::mem::size_of::<VertexId>()
+    }
+
     /// Check internal invariants (sortedness, symmetry, edge count).
     pub fn check_consistency(&self) -> bool {
         let mut arcs = 0u64;

@@ -14,12 +14,17 @@
 //!   algorithm: the delta for edge `{u,v}` is `|N(u) ∩ N(v)|`);
 //! * [`StreamingComponents`] — connected-component labels maintained
 //!   under insertions by union-find, with a recompute fallback for
-//!   deletions (as in \[13\], deletions are the hard case).
+//!   deletions (as in \[13\], deletions are the hard case);
+//! * [`StreamingAnalytics`] — one graph, both quantities: the service
+//!   layer's view, where a registered streaming graph carries its CC
+//!   labels and triangle counts in lockstep under batched updates.
 
+pub mod analytics;
 pub mod components;
 pub mod dyngraph;
 pub mod triangles;
 
+pub use analytics::{BatchOutcome, EdgeOp, OutOfRange, StreamingAnalytics};
 pub use components::StreamingComponents;
 pub use dyngraph::DynGraph;
 pub use triangles::StreamingClustering;

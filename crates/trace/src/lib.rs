@@ -136,6 +136,67 @@ impl JobTrace {
     }
 }
 
+/// One applied update batch on a streaming (dynamic) graph.
+///
+/// The streaming counterpart of [`SuperstepTrace`]: where a BSP run's
+/// series is one record per superstep, a dynamic graph's series is one
+/// record per *batch* — how many edges landed, what epoch the batch
+/// created, and what the apply cost.  Always compiled (like the other
+/// record types) so the wire shape is configuration-independent;
+/// feature-off builds simply never accumulate any.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// The snapshot epoch this batch created (monotonic per graph; a
+    /// no-op batch keeps the previous epoch).
+    pub epoch: u64,
+    /// Edges actually inserted by the batch.
+    pub inserted: u64,
+    /// Edges actually deleted by the batch.
+    pub deleted: u64,
+    /// Undirected edge count after the batch.
+    pub edges_after: u64,
+    /// Registry bytes charged for the graph after the batch.
+    pub bytes_after: u64,
+    /// Wall-clock nanoseconds spent applying the batch (incremental
+    /// label/triangle maintenance included).
+    pub apply_ns: u64,
+}
+
+/// A dynamic graph's applied-batch series plus its registry name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateTrace {
+    /// The graph's registry name.
+    pub graph: String,
+    /// Per-batch records in application order (bounded: the producer
+    /// keeps a recent window, not the full history).
+    pub updates: Vec<UpdateRecord>,
+}
+
+impl UpdateTrace {
+    /// Header row matching [`UpdateTrace::csv_rows`].
+    pub const CSV_HEADER: &'static str =
+        "graph,epoch,inserted,deleted,edges_after,bytes_after,seconds";
+
+    /// One CSV row per applied batch (no header).
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.updates
+            .iter()
+            .map(|u| {
+                format!(
+                    "{},{},{},{},{},{},{:.9}",
+                    self.graph,
+                    u.epoch,
+                    u.inserted,
+                    u.deleted,
+                    u.edges_after,
+                    u.bytes_after,
+                    u.apply_ns as f64 / 1e9,
+                )
+            })
+            .collect()
+    }
+}
+
 /// Collects [`SuperstepTrace`] records for one job run.
 ///
 /// With the `enabled` feature off this is a zero-sized type and
@@ -275,6 +336,28 @@ mod tests {
         assert_eq!(JobTrace::CSV_HEADER.split(',').count(), 9);
         assert_eq!(rows[0].split(',').count(), 9);
         assert!((trace.total_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_csv_rows_match_header() {
+        let trace = UpdateTrace {
+            graph: "g".to_string(),
+            updates: vec![UpdateRecord {
+                epoch: 3,
+                inserted: 10,
+                deleted: 2,
+                edges_after: 108,
+                bytes_after: 4096,
+                apply_ns: 1_500_000_000,
+            }],
+        };
+        let rows = trace.csv_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].starts_with("g,3,10,2,108,4096,1.5"));
+        assert_eq!(
+            UpdateTrace::CSV_HEADER.split(',').count(),
+            rows[0].split(',').count()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ OUT=${OUT:-results}
 
 cargo build --workspace --release
 
-for bin in table1 fig1 fig2 fig3 fig4 fig_service \
+for bin in table1 fig1 fig2 fig3 fig4 fig_service service_stream \
            ablation_queue ablation_labelprop ablation_combiner \
            ablation_activeset ablation_intersect \
            micro_native graph500 related_work calibrate; do

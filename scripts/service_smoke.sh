@@ -51,6 +51,29 @@ grep -q '"label":"cc/native"' "$out/client.log" || { cat "$out/client.log"; echo
 grep -q '"total_ns":' "$out/client.log" || { cat "$out/client.log"; echo "trace has no timings"; exit 1; }
 echo "superstep traces received (sim + native)"
 
+# Streaming path: register a dynamic graph, land an update batch, then
+# check that a post-update full recompute (native) and the incrementally
+# maintained answer both see the batch, and that the update trace and
+# registry counters recorded it.
+target/release/client --addr "$addr" \
+    '{"op":"register_graph","name":"dyn","kind":"path","n":16,"dynamic":true}' \
+    '{"op":"update","graph":"dyn","insert":[[0,8]],"delete":[[3,4]]}' \
+    '{"op":"submit","algorithm":"cc","graph":"dyn","engine":"native"}' \
+    '{"op":"result","job_id":3,"wait_ms":60000}' \
+    '{"op":"submit","algorithm":"cc","graph":"dyn","engine":"incremental"}' \
+    '{"op":"result","job_id":4,"wait_ms":60000}' \
+    '{"op":"trace","graph":"dyn"}' \
+    '{"op":"stats"}' \
+    >"$out/stream.log"
+
+grep -q '"inserted":1' "$out/stream.log" || { cat "$out/stream.log"; echo "update batch did not land"; exit 1; }
+# Path 0-..-15 minus (3,4) plus (0,8) stays one component: every label 0.
+grep -q '"labels":\[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\]' "$out/stream.log" \
+    || { cat "$out/stream.log"; echo "post-update CC wrong"; exit 1; }
+grep -q '"updates":\[' "$out/stream.log" || { cat "$out/stream.log"; echo "no update trace"; exit 1; }
+grep -q '"batches_applied":1' "$out/stream.log" || { cat "$out/stream.log"; echo "stats missed the batch"; exit 1; }
+echo "streaming update + post-update CC verified (native + incremental)"
+
 target/release/client --addr "$addr" '{"op":"shutdown"}' >/dev/null
 
 # Clean shutdown: the server process must exit on its own.

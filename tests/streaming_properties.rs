@@ -5,12 +5,31 @@
 use proptest::prelude::*;
 
 use xmt_bsp_repro::graphct;
-use xmt_bsp_repro::stinger::{DynGraph, StreamingClustering, StreamingComponents};
+use xmt_bsp_repro::stinger::{
+    DynGraph, EdgeOp, StreamingAnalytics, StreamingClustering, StreamingComponents,
+};
 
 /// An operation stream: insert (true) or delete (false) the i-th
 /// candidate edge of a fixed pseudo-random pool.
 fn arb_ops(n: u64, len: usize) -> impl Strategy<Value = Vec<(bool, u64, u64)>> {
     proptest::collection::vec((any::<bool>(), 0..n, 0..n), 1..len)
+}
+
+/// A stream of batches, each a mix of inserts and deletes.
+fn arb_batches(n: u64, batches: usize, ops: usize) -> impl Strategy<Value = Vec<Vec<EdgeOp>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (any::<bool>(), 0..n, 0..n).prop_map(|(ins, u, v)| {
+                if ins {
+                    EdgeOp::Insert(u, v)
+                } else {
+                    EdgeOp::Delete(u, v)
+                }
+            }),
+            1..ops,
+        ),
+        1..batches,
+    )
 }
 
 proptest! {
@@ -60,6 +79,32 @@ proptest! {
         batched.insert_batch(&edges);
         prop_assert_eq!(&batched, &serial);
         prop_assert!(batched.check_consistency());
+    }
+
+    /// The streaming subsystem's equivalence gate: after EVERY applied
+    /// batch, the incrementally maintained CC labels and triangle count
+    /// must equal a full recompute on the materialized CSR — and the
+    /// dry-run `plan_batch` must predict exactly what `apply_batch`
+    /// does, since the service admits batches against its budget on the
+    /// strength of that prediction.
+    #[test]
+    fn analytics_batches_match_full_recompute_after_every_batch(
+        batches in arb_batches(20, 24, 40),
+    ) {
+        let mut s = StreamingAnalytics::new(20);
+        for batch in &batches {
+            let planned = s.plan_batch(batch).expect("in-range ops");
+            let applied = s.apply_batch(batch).expect("in-range ops");
+            prop_assert_eq!(planned, applied, "plan/apply divergence");
+            prop_assert!(s.graph().check_consistency());
+
+            let csr = s.graph().to_csr();
+            prop_assert_eq!(
+                s.labels(),
+                xmt_bsp_repro::graph::validate::reference_components(&csr)
+            );
+            prop_assert_eq!(s.triangles(), graphct::count_triangles(&csr));
+        }
     }
 
     #[test]
