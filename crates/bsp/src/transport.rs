@@ -191,7 +191,9 @@ pub struct MessageCollector<M> {
     combining: bool,
     /// One private slot per worker (outbox mode).
     slots: WorkerScratch<Vec<(VertexId, M)>>,
-    /// The one shared queue (single-queue mode).
+    /// The one shared queue (single-queue mode).  A leaf lock in the
+    /// workspace lock-order graph: held only for a push/drain, never
+    /// across another acquisition or a foreign call.
     queue: Mutex<Vec<(VertexId, M)>>,
     /// `buckets[w][b]` = worker `w`'s sends into destination range `b`
     /// (bucketed mode).

@@ -1,0 +1,816 @@
+//! Cross-crate call graph and the global lock-order analysis.
+//!
+//! Takes the [`WorkspaceModel`] fact base and:
+//!
+//! 1. resolves call sites to workspace functions by name + arity (with
+//!    a deny-list of std/collection method names that would otherwise
+//!    collide),
+//! 2. propagates transitively-acquired lock sets and condvar waits
+//!    through the call graph to a fixpoint, keeping one representative
+//!    witness path per (function, lock),
+//! 3. builds the global lock-order graph — observed `held -> acquired`
+//!    edges plus declared `lint:order` edges — and reports:
+//!    `lock-order-cycle` (error), `wait-while-holding` (error),
+//!    `guard-across-call` (advisory), and `lock-order-undeclared`
+//!    (advisory coverage: every observed nesting should be covered by a
+//!    declared ordering).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::workspace::{LockId, WorkspaceModel};
+
+/// Method names never resolved to workspace functions: they are
+/// overwhelmingly std/collection/iterator calls, and a same-named
+/// workspace function linking into them would fabricate edges.
+/// (Losing a real link here costs coverage only, never a false report.)
+const NO_RESOLVE: &[&str] = &[
+    "new", "default", "clone", "get", "get_mut", "insert", "remove", "take", "replace", "push",
+    "pop", "push_back", "pop_front", "append", "extend", "drain", "clear", "len", "is_empty",
+    "contains", "contains_key", "entry", "or_insert", "or_insert_with", "or_default", "keys",
+    "values", "values_mut", "iter", "iter_mut", "into_iter", "next", "map", "and_then", "then",
+    "filter", "filter_map", "flat_map", "fold", "find", "position", "collect", "sort", "sort_by",
+    "sort_by_key", "sort_unstable", "retain", "split", "join", "send", "recv", "store", "load",
+    "fetch_add", "fetch_sub", "fetch_or", "swap", "compare_exchange", "min", "max", "abs", "from",
+    "into", "as_str", "to_string", "to_vec", "to_owned", "eq", "cmp", "fmt", "write_all",
+    "write_fmt", "flush", "read_line", "read_to_string", "parse", "expect", "unwrap", "unwrap_or",
+    "unwrap_or_else", "unwrap_or_default", "ok", "ok_or", "ok_or_else", "map_err", "err",
+    "is_some", "is_none", "is_ok", "is_err", "as_ref", "as_mut", "as_bytes", "as_slice", "name",
+    "get_or_insert", "strip_prefix", "starts_with", "ends_with", "trim", "rev", "count", "sum",
+    "any", "all", "zip", "chain", "enumerate", "skip", "cloned", "copied",
+];
+
+/// How one observed order edge was witnessed.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Function the edge was observed in.
+    pub func: String,
+    /// Its file.
+    pub path: PathBuf,
+    /// 1-based line of the acquisition or call.
+    pub line: usize,
+    /// Call chain from `func` down to the function that actually
+    /// acquires the inner lock (empty for a direct acquisition).
+    pub via: Vec<String>,
+}
+
+impl Witness {
+    fn render(&self) -> String {
+        let via = if self.via.is_empty() {
+            String::new()
+        } else {
+            format!(" via {}", self.via.join(" -> "))
+        };
+        format!(
+            "in `{}`{} at {}:{}",
+            self.func,
+            via,
+            self.path.display(),
+            self.line
+        )
+    }
+}
+
+/// One edge of the lock-order graph.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Outer (held) lock.
+    pub from: LockId,
+    /// Inner (acquired-while-held) lock.
+    pub to: LockId,
+    /// Observation witnesses (empty for purely declared edges).
+    pub witnesses: Vec<Witness>,
+    /// Where a `lint:order` chain declares this edge, if any.
+    pub declared_at: Option<(PathBuf, usize)>,
+    /// Is the edge implied by the declared orderings (its own
+    /// declaration or the transitive closure of the chains)?
+    pub covered: bool,
+}
+
+/// The machine- and human-readable result of the lock analysis,
+/// rendered by `--locks` and `--dot`.
+#[derive(Debug, Default)]
+pub struct LockReport {
+    /// Every declared lock that participates in the analysis.
+    pub locks: Vec<LockId>,
+    /// Declared chains as `(rendered chain, path, line)`.
+    pub orders: Vec<(String, PathBuf, usize)>,
+    /// All edges (observed and declared), sorted.
+    pub edges: Vec<Edge>,
+    /// Functions analyzed.
+    pub functions: usize,
+    /// Observed edges not covered by any declared ordering.
+    pub uncovered: usize,
+    /// Cycles found (each a lock list in traversal order).
+    pub cycles: Vec<Vec<LockId>>,
+}
+
+impl LockReport {
+    /// Render the `--locks` text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lock-order analysis: {} lock(s), {} function(s), {} edge(s), {} cycle(s)\n",
+            self.locks.len(),
+            self.functions,
+            self.edges.len(),
+            self.cycles.len()
+        ));
+        out.push_str("declared orderings:\n");
+        if self.orders.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (chain, path, line) in &self.orders {
+            out.push_str(&format!("  {chain}  ({}:{line})\n", path.display()));
+        }
+        out.push_str("observed nesting edges:\n");
+        let observed: Vec<&Edge> = self.edges.iter().filter(|e| !e.witnesses.is_empty()).collect();
+        if observed.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for e in observed {
+            let mark = if e.covered { "covered" } else { "UNDECLARED" };
+            let w = e
+                .witnesses
+                .first()
+                .map(|w| w.render())
+                .unwrap_or_default();
+            out.push_str(&format!("  {} -> {}  [{mark}]  {w}\n", e.from, e.to));
+        }
+        out.push_str(&format!("uncovered nestings: {}\n", self.uncovered));
+        for cycle in &self.cycles {
+            out.push_str(&format!("CYCLE: {}\n", cycle.join(" -> ")));
+        }
+        out
+    }
+
+    /// Render the lock-order graph in Graphviz dot form (`--dot`).
+    pub fn render_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph lock_order {\n");
+        out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for l in &self.locks {
+            out.push_str(&format!("  \"{l}\";\n"));
+        }
+        for e in &self.edges {
+            let style = if e.witnesses.is_empty() {
+                // Declared but never observed.
+                "style=dashed, color=gray"
+            } else if e.covered {
+                "color=black"
+            } else {
+                "color=red, penwidth=2"
+            };
+            let label = e
+                .witnesses
+                .first()
+                .map(|w| format!(", label=\"{}\"", w.func))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [{style}{label}];\n",
+                e.from, e.to
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The full analysis output.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Findings, unsuppressed (the engine applies `lint:allow`).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The lock-order graph report.
+    pub report: LockReport,
+}
+
+/// A lock a function (transitively) acquires, with a witness chain.
+#[derive(Debug, Clone)]
+struct TransLock {
+    via: Vec<String>,
+}
+
+/// A condvar wait a function (transitively) performs.
+#[derive(Debug, Clone)]
+struct TransWait {
+    cond: String,
+    via: Vec<String>,
+}
+
+/// Run the inter-procedural lock analysis over the fact base.
+pub fn analyze(ws: &WorkspaceModel) -> Analysis {
+    let mut analysis = Analysis::default();
+    let n = ws.functions.len();
+
+    // Malformed lint:order annotations are findings in their own right.
+    for o in &ws.orders {
+        if let Some(why) = &o.malformed {
+            analysis.diagnostics.push(Diagnostic {
+                rule: "lint-order-syntax",
+                severity: Severity::Error,
+                path: o.path.clone(),
+                line: o.line,
+                message: format!("malformed lint:order: {why}"),
+            });
+        }
+    }
+
+    // Call resolution index: name -> function indices.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, f) in ws.functions.iter().enumerate() {
+        if !NO_RESOLVE.contains(&f.name.as_str()) {
+            by_name.entry(&f.name).or_default().push(idx);
+        }
+    }
+    let resolve = |callee: &str, args: usize| -> Vec<usize> {
+        let Some(cands) = by_name.get(callee) else {
+            return Vec::new();
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&t| ws.functions[t].params.is_none_or(|p| p == args))
+            .collect()
+    };
+
+    // Fixpoint: transitively-acquired locks and transitive waits.
+    let mut trans: Vec<BTreeMap<LockId, TransLock>> = vec![BTreeMap::new(); n];
+    let mut twait: Vec<Option<TransWait>> = vec![None; n];
+    for (idx, f) in ws.functions.iter().enumerate() {
+        for a in f.acquires.iter().filter(|a| a.blocking) {
+            trans[idx]
+                .entry(a.lock.clone())
+                .or_insert(TransLock { via: Vec::new() });
+        }
+        if let Some(w) = f.waits.first() {
+            twait[idx] = Some(TransWait {
+                cond: w.cond.clone(),
+                via: Vec::new(),
+            });
+        }
+    }
+    for _round in 0..n.max(1) {
+        let mut changed = false;
+        for idx in 0..n {
+            let calls = ws.functions[idx].calls.clone();
+            for c in &calls {
+                for t in resolve(&c.callee, c.args) {
+                    if t == idx {
+                        continue;
+                    }
+                    let adds: Vec<(LockId, TransLock)> = trans[t]
+                        .iter()
+                        .filter(|(lock, _)| !trans[idx].contains_key(*lock))
+                        .map(|(lock, tl)| {
+                            let mut via = vec![ws.functions[t].name.clone()];
+                            via.extend(tl.via.iter().cloned());
+                            (lock.clone(), TransLock { via })
+                        })
+                        .collect();
+                    if !adds.is_empty() {
+                        changed = true;
+                        trans[idx].extend(adds);
+                    }
+                    if twait[idx].is_none() {
+                        if let Some(w) = &twait[t] {
+                            let mut via = vec![ws.functions[t].name.clone()];
+                            via.extend(w.via.iter().cloned());
+                            twait[idx] = Some(TransWait {
+                                cond: w.cond.clone(),
+                                via,
+                            });
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Observed order edges: held -> acquired, directly and via calls.
+    let mut edges: BTreeMap<(LockId, LockId), Edge> = BTreeMap::new();
+    let mut add_edge = |from: &LockId, to: &LockId, w: Witness| {
+        let e = edges
+            .entry((from.clone(), to.clone()))
+            .or_insert_with(|| Edge {
+                from: from.clone(),
+                to: to.clone(),
+                witnesses: Vec::new(),
+                declared_at: None,
+                covered: false,
+            });
+        if e.witnesses.len() < 3 {
+            e.witnesses.push(w);
+        }
+    };
+    for f in &ws.functions {
+        for a in f.acquires.iter().filter(|a| a.blocking) {
+            for h in &a.held {
+                add_edge(
+                    h,
+                    &a.lock,
+                    Witness {
+                        func: f.name.clone(),
+                        path: f.path.clone(),
+                        line: a.line,
+                        via: Vec::new(),
+                    },
+                );
+            }
+        }
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            for t in resolve(&c.callee, c.args) {
+                for (lock, tl) in &trans[t] {
+                    for h in &c.held {
+                        // A call-site self edge is almost always a
+                        // name-collision artifact; direct re-acquisition
+                        // is still caught above.
+                        if h == lock {
+                            continue;
+                        }
+                        let mut via = vec![ws.functions[t].name.clone()];
+                        via.extend(tl.via.iter().cloned());
+                        add_edge(
+                            h,
+                            lock,
+                            Witness {
+                                func: f.name.clone(),
+                                path: f.path.clone(),
+                                line: c.line,
+                                via,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Declared edges (adjacent pairs of each chain) and coverage
+    // closure (transitive over all declared chains).
+    let well_formed: Vec<_> = ws.orders.iter().filter(|o| o.malformed.is_none()).collect();
+    let mut declared_pairs: BTreeSet<(LockId, LockId)> = BTreeSet::new();
+    for o in &well_formed {
+        for pair in o.chain.windows(2) {
+            declared_pairs.insert((pair[0].clone(), pair[1].clone()));
+            let e = edges
+                .entry((pair[0].clone(), pair[1].clone()))
+                .or_insert_with(|| Edge {
+                    from: pair[0].clone(),
+                    to: pair[1].clone(),
+                    witnesses: Vec::new(),
+                    declared_at: None,
+                    covered: true,
+                });
+            e.declared_at.get_or_insert((o.path.clone(), o.line));
+        }
+    }
+    let covered_closure = transitive_closure(&declared_pairs);
+    for e in edges.values_mut() {
+        e.covered = covered_closure.contains(&(e.from.clone(), e.to.clone()));
+    }
+
+    // Cycle detection over the union graph.
+    let cycles = find_cycles(&edges);
+    for cycle in &cycles {
+        let mut steps = Vec::new();
+        let mut diag_site: Option<(PathBuf, usize)> = None;
+        for k in 0..cycle.len() {
+            let from = &cycle[k];
+            let to = &cycle[(k + 1) % cycle.len()];
+            let Some(e) = edges.get(&(from.clone(), to.clone())) else {
+                continue;
+            };
+            let how = match e.witnesses.first() {
+                Some(w) => {
+                    if diag_site.is_none() {
+                        diag_site = Some((w.path.clone(), w.line));
+                    }
+                    w.render()
+                }
+                None => match &e.declared_at {
+                    Some((p, l)) => format!("declared at {}:{l}", p.display()),
+                    None => "unwitnessed".to_string(),
+                },
+            };
+            steps.push(format!("`{from}` -> `{to}` ({how})"));
+        }
+        let (path, line) = diag_site
+            .or_else(|| {
+                cycle
+                    .first()
+                    .and_then(|a| cycle.get(1).map(|b| (a, b)))
+                    .and_then(|(a, b)| edges.get(&(a.clone(), b.clone())))
+                    .and_then(|e| e.declared_at.clone())
+            })
+            .unwrap_or_else(|| (PathBuf::from("workspace"), 1));
+        analysis.diagnostics.push(Diagnostic {
+            rule: "lock-order-cycle",
+            severity: Severity::Error,
+            path,
+            line,
+            message: format!(
+                "lock acquisition order cycle (potential deadlock): {}",
+                steps.join(", ")
+            ),
+        });
+    }
+
+    // wait-while-holding: a condvar wait releases exactly one guard;
+    // any other live guard stays locked for the wait's whole duration.
+    for f in &ws.functions {
+        for w in &f.waits {
+            if w.held.len() >= 2 {
+                analysis.diagnostics.push(Diagnostic {
+                    rule: "wait-while-holding",
+                    severity: Severity::Error,
+                    path: f.path.clone(),
+                    line: w.line,
+                    message: format!(
+                        "`{}` waits on condvar `{}` while holding {} guards ({}); every \
+                         guard except the one handed to the wait stays locked for the \
+                         wait's whole duration",
+                        f.name,
+                        w.cond,
+                        w.held.len(),
+                        w.held.join(", ")
+                    ),
+                });
+            }
+        }
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            for t in resolve(&c.callee, c.args) {
+                let callee = &ws.functions[t];
+                if let Some(tw) = &twait[t] {
+                    analysis.diagnostics.push(Diagnostic {
+                        rule: "wait-while-holding",
+                        severity: Severity::Error,
+                        path: f.path.clone(),
+                        line: c.line,
+                        message: format!(
+                            "`{}` calls `{}` (which waits on condvar `{}`{}) while \
+                             holding {}; the held guard stays locked across the wait",
+                            f.name,
+                            callee.name,
+                            tw.cond,
+                            if tw.via.is_empty() {
+                                String::new()
+                            } else {
+                                format!(" via {}", tw.via.join(" -> "))
+                            },
+                            c.held.join(", ")
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // guard-across-call (advisory): a guard held across a call into
+    // another crate's plain-pub API couples this crate's critical
+    // section to code it does not control.  One finding per
+    // (function, held set) keeps the audit reviewable.
+    let mut flagged: BTreeSet<(usize, String)> = BTreeSet::new();
+    for (idx, f) in ws.functions.iter().enumerate() {
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            let foreign = resolve(&c.callee, c.args)
+                .into_iter()
+                .map(|t| &ws.functions[t])
+                .find(|t| t.is_pub && t.crate_name != f.crate_name);
+            let Some(target) = foreign else {
+                continue;
+            };
+            let key = (idx, c.held.join(","));
+            if !flagged.insert(key) {
+                continue;
+            }
+            analysis.diagnostics.push(Diagnostic {
+                rule: "guard-across-call",
+                severity: Severity::Warning,
+                path: f.path.clone(),
+                line: c.line,
+                message: format!(
+                    "`{}` holds {} across a call into `{}` (public API of crate \
+                     `{}`); keep foreign calls outside the critical section or \
+                     justify the bounded work with lint:allow",
+                    f.name,
+                    c.held.join(", "),
+                    target.name,
+                    target.crate_name
+                ),
+            });
+        }
+    }
+
+    // lock-order-undeclared (advisory coverage): every observed
+    // nesting should be covered by a declared lint:order chain.
+    let mut uncovered = 0usize;
+    for e in edges.values() {
+        if e.covered || e.witnesses.is_empty() || e.from == e.to {
+            continue;
+        }
+        uncovered += 1;
+        let Some(w) = e.witnesses.first() else {
+            continue;
+        };
+        analysis.diagnostics.push(Diagnostic {
+            rule: "lock-order-undeclared",
+            severity: Severity::Warning,
+            path: w.path.clone(),
+            line: w.line,
+            message: format!(
+                "observed lock nesting `{}` -> `{}` ({}) is not covered by any \
+                 declared lint:order chain; declare the intended order near the locks",
+                e.from,
+                e.to,
+                w.render()
+            ),
+        });
+    }
+
+    // Assemble the report.
+    let mut lock_set: BTreeSet<LockId> = ws.locks.iter().map(|l| l.id.clone()).collect();
+    for (from, to) in edges.keys() {
+        lock_set.insert(from.clone());
+        lock_set.insert(to.clone());
+    }
+    analysis.report = LockReport {
+        locks: lock_set.into_iter().collect(),
+        orders: well_formed
+            .iter()
+            .map(|o| (o.chain.join(" < "), o.path.clone(), o.line))
+            .collect(),
+        edges: edges.into_values().collect(),
+        functions: ws.functions.len(),
+        uncovered,
+        cycles,
+    };
+    analysis
+}
+
+/// Transitive closure of a pair set (Floyd-Warshall over its nodes).
+fn transitive_closure(pairs: &BTreeSet<(LockId, LockId)>) -> BTreeSet<(LockId, LockId)> {
+    let mut nodes: BTreeSet<&LockId> = BTreeSet::new();
+    for (a, b) in pairs {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let nodes: Vec<&LockId> = nodes.into_iter().collect();
+    let mut closure: BTreeSet<(LockId, LockId)> = pairs.clone();
+    for &k in &nodes {
+        for &i in &nodes {
+            for &j in &nodes {
+                if closure.contains(&(i.clone(), k.clone()))
+                    && closure.contains(&(k.clone(), j.clone()))
+                {
+                    closure.insert((i.clone(), j.clone()));
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// Find elementary cycles in the edge set: one representative cycle per
+/// strongly connected component with a cycle (plus self-loops).
+fn find_cycles(edges: &BTreeMap<(LockId, LockId), Edge>) -> Vec<Vec<LockId>> {
+    let mut adj: BTreeMap<&LockId, Vec<&LockId>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut cycles: Vec<Vec<LockId>> = Vec::new();
+
+    // Self-loops first (direct re-acquisition).
+    for (from, to) in edges.keys() {
+        if from == to {
+            cycles.push(vec![from.clone()]);
+        }
+    }
+
+    // BFS from each node looking for a path back to itself; keep one
+    // representative (shortest) cycle per node set.
+    let mut seen_sets: BTreeSet<Vec<LockId>> = BTreeSet::new();
+    let starts: Vec<&LockId> = adj.keys().copied().collect();
+    for start in starts {
+        let mut parent: BTreeMap<&LockId, &LockId> = BTreeMap::new();
+        let mut queue: Vec<&LockId> = vec![start];
+        let mut found: Option<Vec<LockId>> = None;
+        let mut qi = 0usize;
+        while qi < queue.len() && found.is_none() {
+            let u = queue[qi];
+            qi += 1;
+            for &v in adj.get(u).map(Vec::as_slice).unwrap_or(&[]) {
+                if v == start && u != start {
+                    // Reconstruct start -> .. -> u -> start.
+                    let mut path = vec![u.clone()];
+                    let mut cur = u;
+                    while let Some(&p) = parent.get(cur) {
+                        path.push(p.clone());
+                        cur = p;
+                    }
+                    path.reverse();
+                    found = Some(path);
+                    break;
+                }
+                if v != start && !parent.contains_key(v) {
+                    parent.insert(v, u);
+                    queue.push(v);
+                }
+            }
+        }
+        if let Some(cycle) = found {
+            let mut key = cycle.clone();
+            key.sort();
+            if seen_sets.insert(key) {
+                cycles.push(cycle);
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use std::path::PathBuf;
+
+    fn analyze_files(files: &[(&str, &str)]) -> Analysis {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(p, text)| FileModel::parse(&PathBuf::from(p), text))
+            .collect();
+        analyze(&WorkspaceModel::build(&models))
+    }
+
+    const INVERTED: &str = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn first(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+    }
+    fn second(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+    }
+}
+";
+
+    #[test]
+    fn inverted_order_is_a_cycle_with_both_witnesses() {
+        let a = analyze_files(&[("crates/x/src/lib.rs", INVERTED)]);
+        let cycles: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "lock-order-cycle")
+            .collect();
+        assert_eq!(cycles.len(), 1, "{:?}", a.diagnostics);
+        let msg = &cycles[0].message;
+        assert!(msg.contains("`first`") && msg.contains("`second`"), "{msg}");
+        assert!(msg.contains("x/a") && msg.contains("x/b"), "{msg}");
+    }
+
+    #[test]
+    fn declared_inversion_is_a_cycle() {
+        let a = analyze_files(&[(
+            "crates/x/src/lib.rs",
+            "// lint:order: b < a\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock();\n        let gb = self.b.lock();\n    }\n}\n",
+        )]);
+        assert!(
+            a.diagnostics.iter().any(|d| d.rule == "lock-order-cycle"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn interprocedural_nesting_builds_the_edge() {
+        let a = analyze_files(&[(
+            "crates/x/src/lib.rs",
+            "// lint:order: a < b\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn outer(&self) {\n        let ga = self.a.lock();\n        self.inner_take(1);\n    }\n    fn inner_take(&self, n: u32) {\n        let gb = self.b.lock();\n    }\n}\n",
+        )]);
+        let e = a
+            .report
+            .edges
+            .iter()
+            .find(|e| e.from == "x/a" && e.to == "x/b")
+            .expect("edge via call");
+        assert!(e.covered);
+        assert!(!e.witnesses.is_empty());
+        assert_eq!(e.witnesses[0].via, vec!["inner_take".to_string()]);
+        assert!(a.diagnostics.iter().all(|d| d.rule != "lock-order-cycle"));
+    }
+
+    #[test]
+    fn wait_with_two_guards_is_an_error() {
+        let a = analyze_files(&[(
+            "crates/x/src/lib.rs",
+            "struct S { m: Mutex<u32>, aux: Mutex<u32>, cv: Condvar }\nimpl S {\n    fn f(&self) {\n        let extra = self.aux.lock();\n        let g = self.m.lock();\n        self.cv.wait(&mut g);\n    }\n}\n",
+        )]);
+        assert!(
+            a.diagnostics.iter().any(|d| d.rule == "wait-while-holding"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn transitive_wait_while_holding_is_flagged() {
+        let a = analyze_files(&[(
+            "crates/x/src/lib.rs",
+            "struct S { m: Mutex<u32>, aux: Mutex<u32>, cv: Condvar }\nimpl S {\n    fn waiter(&self) {\n        let g = self.m.lock();\n        self.cv.wait(&mut g);\n    }\n    fn outer(&self) {\n        let extra = self.aux.lock();\n        self.waiter();\n    }\n}\n",
+        )]);
+        let hits: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "wait-while-holding")
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", a.diagnostics);
+        assert!(hits[0].message.contains("`waiter`"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn cross_crate_pub_call_under_guard_is_advisory() {
+        let a = analyze_files(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "// lint:order: m < beta/unused\nstruct S { m: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let g = self.m.lock();\n        beta_api(1);\n    }\n}\n",
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "pub fn beta_api(x: u32) -> u32 { x }\n",
+            ),
+        ]);
+        let hits: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "guard-across-call")
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(hits[0].message.contains("beta_api"));
+    }
+
+    #[test]
+    fn observed_nesting_without_declaration_is_flagged_as_uncovered() {
+        let a = analyze_files(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock();\n        let gb = self.b.lock();\n    }\n}\n",
+        )]);
+        assert!(
+            a.diagnostics
+                .iter()
+                .any(|d| d.rule == "lock-order-undeclared"),
+            "{:?}",
+            a.diagnostics
+        );
+        assert_eq!(a.report.uncovered, 1);
+    }
+
+    #[test]
+    fn declared_chain_covers_transitively() {
+        let a = analyze_files(&[(
+            "crates/x/src/lib.rs",
+            "// lint:order: a < b < c\nstruct S { a: Mutex<u32>, c: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock();\n        let gc = self.c.lock();\n    }\n}\n",
+        )]);
+        assert!(
+            a.diagnostics
+                .iter()
+                .all(|d| d.rule != "lock-order-undeclared"),
+            "{:?}",
+            a.diagnostics
+        );
+        assert_eq!(a.report.uncovered, 0);
+    }
+
+    #[test]
+    fn malformed_order_is_reported() {
+        let a = analyze_files(&[("crates/x/src/lib.rs", "// lint:order: a\nfn f() {}\n")]);
+        assert!(a.diagnostics.iter().any(|d| d.rule == "lint-order-syntax"));
+    }
+
+    #[test]
+    fn dot_output_names_nodes_and_edges() {
+        let a = analyze_files(&[("crates/x/src/lib.rs", INVERTED)]);
+        let dot = a.report.render_dot();
+        assert!(dot.contains("digraph lock_order"));
+        assert!(dot.contains("\"x/a\" -> \"x/b\""));
+        assert!(dot.contains("\"x/b\" -> \"x/a\""));
+    }
+}

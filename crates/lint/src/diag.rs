@@ -105,4 +105,23 @@ mod tests {
     fn json_escapes_quotes_and_newlines() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
+
+    #[test]
+    fn json_escapes_every_control_char() {
+        // Named short escapes for the common controls…
+        assert_eq!(json_escape("\t\r"), "\\t\\r");
+        // …and \u00XX for the rest of 0x00..0x20, so the output is
+        // always valid JSON no matter what a source line contains.
+        for b in 0u8..0x20 {
+            let c = char::from(b);
+            let escaped = json_escape(&c.to_string());
+            assert!(
+                escaped.starts_with('\\'),
+                "control 0x{b:02x} must be escaped, got {escaped:?}"
+            );
+            assert!(!escaped.contains(c), "raw control 0x{b:02x} leaked");
+        }
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("\u{1f}"), "\\u001f");
+    }
 }

@@ -3,9 +3,11 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{self, LockReport};
 use crate::diag::{json_escape, Diagnostic, Severity};
 use crate::model::{Allow, FileModel};
-use crate::rules::{all_rules, Rule};
+use crate::rules::{all_rules, workspace_rules, Rule};
+use crate::workspace::WorkspaceModel;
 
 /// The outcome of one lint run.
 #[derive(Debug, Default)]
@@ -18,6 +20,8 @@ pub struct RunSummary {
     pub allowed: usize,
     /// Per-rule counts of surviving findings (rule order).
     pub by_rule: Vec<(&'static str, usize)>,
+    /// The inter-procedural lock-order report (`--locks`/`--dot`).
+    pub lock_report: LockReport,
 }
 
 impl RunSummary {
@@ -35,6 +39,68 @@ impl RunSummary {
             .iter()
             .filter(|d| d.severity == Severity::Warning)
             .count()
+    }
+
+    /// Render the run as a SARIF 2.1.0 log (the `--sarif` flag), so CI
+    /// can upload findings as inline PR annotations.  Hand-rolled like
+    /// the rest of the JSON output; only the subset GitHub code
+    /// scanning consumes is emitted.
+    pub fn render_sarif(&self) -> String {
+        let mut rules_meta: Vec<(&'static str, Severity, &'static str)> = all_rules()
+            .iter()
+            .map(|r| (r.name, r.severity, r.summary))
+            .collect();
+        rules_meta.extend(
+            workspace_rules()
+                .iter()
+                .map(|r| (r.name, r.severity, r.summary)),
+        );
+        rules_meta.push((
+            "lint-allow-syntax",
+            Severity::Error,
+            "malformed lint:allow annotation or unknown rule name",
+        ));
+        rules_meta.push((
+            "lint-order-syntax",
+            Severity::Error,
+            "malformed lint:order annotation",
+        ));
+        let rules_json: Vec<String> = rules_meta
+            .iter()
+            .map(|(name, _, summary)| {
+                format!(
+                    "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                    json_escape(name),
+                    json_escape(summary)
+                )
+            })
+            .collect();
+        let results: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let level = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                };
+                format!(
+                    "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+                     \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                     \"region\":{{\"startLine\":{}}}}}}}]}}",
+                    json_escape(d.rule),
+                    json_escape(&d.message),
+                    json_escape(&d.path.display().to_string().replace('\\', "/")),
+                    d.line.max(1)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"xmt-lint\",\
+             \"rules\":[{}]}}}},\"results\":[{}]}}]}}",
+            rules_json.join(","),
+            results.join(",")
+        )
     }
 
     /// The machine-readable one-line summary the CLI prints last.
@@ -101,9 +167,19 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
+    let dir_name = dir.file_name().and_then(|n| n.to_str());
     for entry in entries.flatten() {
         let p = entry.path();
         if p.is_dir() {
+            // Build artifacts and lint fixture corpora are not
+            // workspace sources, wherever a scan root picks them up.
+            let name = p.file_name().and_then(|n| n.to_str());
+            if name == Some("target") {
+                continue;
+            }
+            if name == Some("fixtures") && dir_name == Some("tests") {
+                continue;
+            }
             collect_rs(&p, out);
         } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
             out.push(p);
@@ -114,7 +190,10 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 /// Lint one already-parsed file with the given rules, applying
 /// `lint:allow` suppression.  Returns `(surviving, allowed_count)`.
 pub fn lint_file(model: &FileModel, rules: &[Rule]) -> (Vec<Diagnostic>, usize) {
-    let known: Vec<&str> = rules.iter().map(|r| r.name).collect();
+    let mut known: Vec<&str> = rules.iter().map(|r| r.name).collect();
+    // Workspace-level rules are valid lint:allow targets in any file
+    // even though no per-file checker carries their name.
+    known.extend(workspace_rules().iter().map(|r| r.name));
     let mut out = Vec::new();
     let mut allowed = 0usize;
 
@@ -173,8 +252,13 @@ pub fn run(root: &Path) -> Result<RunSummary, String> {
         by_rule: rules.iter().map(|r| (r.name, 0usize)).collect(),
         ..RunSummary::default()
     };
+    summary
+        .by_rule
+        .extend(workspace_rules().iter().map(|r| (r.name, 0usize)));
     summary.by_rule.push(("lint-allow-syntax", 0));
+    summary.by_rule.push(("lint-order-syntax", 0));
 
+    let mut models = Vec::with_capacity(files.len());
     for path in &files {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -189,11 +273,53 @@ pub fn run(root: &Path) -> Result<RunSummary, String> {
             summary.diagnostics.push(d);
         }
         summary.files += 1;
+        models.push(model);
     }
+
+    // The inter-procedural pass runs over the same parsed files and is
+    // gated (suppression, severity, exit code) exactly like the
+    // per-file rules.
+    let (ws_diags, ws_allowed, report) = lint_workspace(&models);
+    summary.allowed += ws_allowed;
+    for d in ws_diags {
+        if let Some(slot) = summary.by_rule.iter_mut().find(|(n, _)| *n == d.rule) {
+            slot.1 += 1;
+        }
+        summary.diagnostics.push(d);
+    }
+    summary.lock_report = report;
+
     summary
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(summary)
+}
+
+/// Run the inter-procedural lock analysis over already-parsed files,
+/// applying `lint:allow` suppression at each finding's site.  Returns
+/// `(surviving, allowed_count, report)`.
+pub fn lint_workspace(models: &[FileModel]) -> (Vec<Diagnostic>, usize, LockReport) {
+    let ws = WorkspaceModel::build(models);
+    let analysis = callgraph::analyze(&ws);
+    let mut out = Vec::new();
+    let mut allowed = 0usize;
+    for diag in analysis.diagnostics {
+        let suppressed = models
+            .iter()
+            .find(|m| m.path == diag.path)
+            .map(|m| {
+                m.allows_for(diag.line.saturating_sub(1))
+                    .iter()
+                    .any(|a| matches!(a, Allow::Ok { rule } if rule == diag.rule))
+            })
+            .unwrap_or(false);
+        if suppressed {
+            allowed += 1;
+        } else {
+            out.push(diag);
+        }
+    }
+    (out, allowed, analysis.report)
 }
 
 #[cfg(test)]
@@ -253,6 +379,7 @@ mod tests {
             diagnostics: vec![],
             allowed: 2,
             by_rule: vec![("no-panic-in-lib", 0)],
+            ..RunSummary::default()
         };
         assert_eq!(
             s.render_json(),

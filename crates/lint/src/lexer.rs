@@ -99,14 +99,24 @@ pub fn lex(src: &str) -> Source {
                     i += 1;
                 } else if c == '\'' {
                     // Lifetime (`'a`), loop label (`'outer:`), or char
-                    // literal (`'x'`, `'\n'`).  A char literal closes
-                    // with a `'` within a couple of characters; a
-                    // lifetime never does.
+                    // literal (`'x'`, `'\n'`, `'\u{1F600}'`).  An
+                    // unescaped char literal closes with a `'` on the
+                    // next-but-one character; an escaped one closes at
+                    // the first `'` after the escaped character itself
+                    // (which may be a quote: `'\''`); a lifetime never
+                    // closes.
                     i += 1;
                     code.push('\'');
                     if bytes.get(i) == Some(&'\\') {
-                        // Escaped char literal: skip to the closing quote.
                         i += 1; // the backslash
+                        if i < bytes.len() && bytes[i] != '\n' {
+                            // The escaped character itself.  Consuming it
+                            // unconditionally handles `'\''` (the escaped
+                            // quote must not terminate the literal) and
+                            // positions the scan inside multi-character
+                            // escapes like `'\u{...}'` and `'\x41'`.
+                            i += 1;
+                        }
                         while i < bytes.len() && bytes[i] != '\'' && bytes[i] != '\n' {
                             i += 1;
                         }
@@ -315,6 +325,31 @@ mod tests {
         // string (which would swallow `let d` as string contents).
         let s = lex("let c = '\"'; let d = '\\n'; real();");
         assert_eq!(s.lines[0].code, "let c = ' '; let d = ' '; real();");
+    }
+
+    #[test]
+    fn unicode_escapes_in_char_literals_are_blanked() {
+        // `'\u{1F600}'` contains a brace pair; the scan must stop at the
+        // closing quote, not inside the escape.
+        let s = lex("let c = '\\u{1F600}'; real();");
+        assert_eq!(s.lines[0].code, "let c = ' '; real();");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_open_a_string() {
+        // `'\''` — the escaped quote must be consumed, or the literal
+        // terminates early and the trailing quote opens a phantom string.
+        let s = lex("let q = '\\''; let r = '\\\\'; tail();");
+        assert!(s.lines[0].code.contains("tail()"));
+        assert!(!s.lines[0].code.contains('\\'));
+    }
+
+    #[test]
+    fn double_fence_raw_strings_respect_their_fence() {
+        // `r##"…"#…"##` — a single `"#` inside must not close the string.
+        let s = lex("let s = r##\"inner \"# unwrap()\"##; done();");
+        assert!(!s.lines[0].code.contains("unwrap"));
+        assert!(s.lines[0].code.contains("done()"));
     }
 
     #[test]

@@ -12,16 +12,25 @@
 //!   strings, raw strings, char literals/lifetimes);
 //! * [`model`] — per-file structure: test spans, function spans, and
 //!   the `lint:allow(<rule>): <reason>` escape hatch;
-//! * [`rules`] — the five shipped rules;
+//! * [`rules`] — the per-file rules plus workspace-rule metadata;
+//! * [`workspace`] — whole-workspace lock facts: declared locks and
+//!   condvars, `lint:order` chains, and per-function events (locks
+//!   acquired, guards held, condvar waits, calls);
+//! * [`callgraph`] — the cross-crate call graph, transitive held-lock
+//!   propagation, the global lock-order graph, and its rules
+//!   (`lock-order-cycle`, `wait-while-holding`, `guard-across-call`,
+//!   `lock-order-undeclared`);
 //! * [`engine`] — the workspace walker and summary.
 //!
-//! Run it as `cargo run -p lint --release`; it exits nonzero when any
-//! error-severity finding survives suppression.  See DESIGN.md
-//! ("Static analysis & concurrency discipline") for each rule's
-//! rationale.
+//! Run it as `cargo run -p xmt-lint --release`; it exits nonzero when
+//! any error-severity finding survives suppression.  See DESIGN.md
+//! ("Static analysis & concurrency discipline" and "Inter-procedural
+//! lock-order analysis") for each rule's rationale.
 
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
 pub mod model;
 pub mod rules;
+pub mod workspace;

@@ -1,19 +1,26 @@
 //! CLI for the workspace linter.
 //!
 //! ```text
-//! cargo run -p lint --release [-- --root <dir>] [--json] [--list-rules]
+//! cargo run -p xmt-lint --release [-- --root <dir>] [--json] [--locks]
+//!     [--dot] [--sarif <file>] [--list-rules]
 //! ```
 //!
 //! Prints one `path:line: severity[rule]: message` line per finding
 //! (or JSON objects with `--json`), then a machine-readable
 //! `LINT-SUMMARY {...}` line, and exits nonzero when any
 //! error-severity finding survives `lint:allow` suppression.
+//!
+//! `--locks` prepends the inter-procedural lock-order report (declared
+//! orderings, observed nesting edges with witnesses, coverage);
+//! `--dot` prints the lock-order graph in Graphviz form instead of
+//! diagnostics; `--sarif <file>` additionally writes the findings as a
+//! SARIF 2.1.0 log for CI annotation upload.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lint::engine;
-use lint::rules::all_rules;
+use lint::rules::{all_rules, workspace_rules};
 
 fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
     if let Some(root) = explicit {
@@ -43,6 +50,9 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut locks = false;
+    let mut dot = false;
+    let mut sarif: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,10 +64,29 @@ fn main() -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--locks" => locks = true,
+            "--dot" => dot = true,
+            "--sarif" => match args.next() {
+                Some(file) => sarif = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("lint: --sarif needs an output file");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
+                println!("per-file rules:");
                 for rule in all_rules() {
                     println!(
-                        "{:<28} {:<8} {}",
+                        "  {:<26} {:<8} {}",
+                        rule.name,
+                        format!("{}", rule.severity),
+                        rule.summary
+                    );
+                }
+                println!("workspace (inter-procedural) rules:");
+                for rule in workspace_rules() {
+                    println!(
+                        "  {:<26} {:<8} {}",
                         rule.name,
                         format!("{}", rule.severity),
                         rule.summary
@@ -66,7 +95,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: lint [--root <dir>] [--json] [--list-rules]");
+                println!(
+                    "usage: lint [--root <dir>] [--json] [--locks] [--dot] \
+                     [--sarif <file>] [--list-rules]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -85,14 +117,30 @@ fn main() -> ExitCode {
         }
     };
 
-    for d in &summary.diagnostics {
-        if json {
-            println!("{}", d.render_json());
-        } else {
-            println!("{}", d.render());
+    if let Some(path) = &sarif {
+        if let Err(e) = std::fs::write(path, summary.render_sarif()) {
+            eprintln!("lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
-    println!("{}", summary.render_json());
+
+    if dot {
+        // Graph-only output for piping into graphviz; the exit code
+        // still reflects surviving errors.
+        print!("{}", summary.lock_report.render_dot());
+    } else {
+        if locks {
+            print!("{}", summary.lock_report.render_text());
+        }
+        for d in &summary.diagnostics {
+            if json {
+                println!("{}", d.render_json());
+            } else {
+                println!("{}", d.render());
+            }
+        }
+        println!("{}", summary.render_json());
+    }
     if summary.errors() > 0 {
         ExitCode::FAILURE
     } else {

@@ -67,6 +67,48 @@ pub fn all_rules() -> Vec<Rule> {
     ]
 }
 
+/// A workspace-level rule: checked by the inter-procedural pass in
+/// [`crate::workspace`]/[`crate::callgraph`] rather than per file, but
+/// named, listed, gated, and `lint:allow`-suppressible exactly like the
+/// per-file rules.
+pub struct WorkspaceRule {
+    /// Kebab-case rule name (the `lint:allow` key).
+    pub name: &'static str,
+    /// Severity of the rule's findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+}
+
+/// Every shipped workspace-level rule.
+pub fn workspace_rules() -> Vec<WorkspaceRule> {
+    vec![
+        WorkspaceRule {
+            name: "lock-order-cycle",
+            severity: Severity::Error,
+            summary:
+                "cycle in the global lock acquisition-order graph (potential deadlock), \
+                 reported with the witness path of functions and locks",
+        },
+        WorkspaceRule {
+            name: "wait-while-holding",
+            severity: Severity::Error,
+            summary: "condvar wait (direct or via a call) while a second guard is live",
+        },
+        WorkspaceRule {
+            name: "guard-across-call",
+            severity: Severity::Warning,
+            summary: "guard held across a call into another crate's public API (advisory)",
+        },
+        WorkspaceRule {
+            name: "lock-order-undeclared",
+            severity: Severity::Warning,
+            summary:
+                "observed lock nesting not covered by a declared lint:order chain (advisory)",
+        },
+    ]
+}
+
 /// Is this file a binary root (`src/bin/**` or `src/main.rs`)?
 fn is_bin_path(path: &Path) -> bool {
     let bin_dir = path

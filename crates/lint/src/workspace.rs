@@ -1,0 +1,1031 @@
+//! Workspace-level lock facts: the inter-procedural half of the linter.
+//!
+//! Where [`crate::rules`] sees one [`FileModel`] at a time, this module
+//! reads *every* file into a [`WorkspaceModel`]: declared lock and
+//! condvar fields, declared `lint:order` orderings, and one [`FnFact`]
+//! per function recording which locks it acquires, which guards are
+//! live at each acquisition/wait/call, and which functions it calls.
+//! [`crate::callgraph`] links the facts into a cross-crate call graph,
+//! propagates transitively-held lock sets, and checks the global
+//! lock-order graph.
+//!
+//! Everything here is a heuristic over the lexed line model, tuned to
+//! this workspace's idiom (guards bound by `let`, scoped by braces,
+//! released early with `drop(guard)`); it is deliberately conservative
+//! about resolving calls (see the deny-list in `callgraph`) so that a
+//! missed fact costs coverage, not a false deadlock report.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{idents, next_nonspace, prev_nonspace};
+use crate::model::FileModel;
+
+/// A lock identity: `<crate>/<field-or-binding-name>`.  Field names
+/// collide across crates (`queue` is both the bsp transport inbox and
+/// the service scheduler queue), so the crate is part of the identity.
+pub type LockId = String;
+
+/// Mutex-family methods that produce a guard from a declared lock.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Condvar-family methods that block on a declared condvar.
+const WAIT_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_while",
+    "wait_timeout",
+    "wait_timeout_while",
+    "wait_until",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "mut", "move", "ref",
+    "else", "impl", "struct", "enum", "pub", "use", "mod", "crate", "self", "Self", "super",
+    "where", "unsafe", "dyn", "break", "continue", "fn", "true", "false",
+];
+
+/// A declared `Mutex<..>`/`RwLock<..>` field, static, or binding.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Crate-qualified identity.
+    pub id: LockId,
+    /// File the declaration is in.
+    pub path: PathBuf,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// A declared `lint:order` chain (`// lint:order <a> < <b> < ...`,
+/// written with a colon after `order` in real annotations).
+#[derive(Debug, Clone)]
+pub struct OrderDecl {
+    /// The chain, outermost-first, crate-qualified.
+    pub chain: Vec<LockId>,
+    /// File the declaration is in.
+    pub path: PathBuf,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Set when the annotation did not parse; reported as a finding.
+    pub malformed: Option<String>,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct AcquireEvent {
+    /// The acquired lock.
+    pub lock: LockId,
+    /// 1-based source line.
+    pub line: usize,
+    /// Locks whose guards are live at this point (acquisition order
+    /// edges `held -> lock` follow from these).
+    pub held: Vec<LockId>,
+    /// False for `try_*` acquisitions, which cannot block and therefore
+    /// do not create order edges on their own.
+    pub blocking: bool,
+}
+
+/// One condvar wait inside a function body.
+#[derive(Debug, Clone)]
+pub struct WaitEvent {
+    /// The condvar field waited on.
+    pub cond: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Locks whose guards are live at the wait (includes the guard
+    /// handed to the wait itself).
+    pub held: Vec<LockId>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallEvent {
+    /// Callee identifier (last path segment / method name).
+    pub callee: String,
+    /// Number of call-site arguments (receiver excluded).
+    pub args: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Locks whose guards are live across the call.
+    pub held: Vec<LockId>,
+}
+
+/// Everything the analysis knows about one function.
+#[derive(Debug, Clone)]
+pub struct FnFact {
+    /// Function name (no path; resolution is name+arity based).
+    pub name: String,
+    /// Crate the function lives in (`root` for the top-level package).
+    pub crate_name: String,
+    /// File the function is in.
+    pub path: PathBuf,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Plain `pub` visibility (`pub(crate)` etc. is not cross-crate
+    /// visible and does not count for `guard-across-call`).
+    pub is_pub: bool,
+    /// Non-self parameter count, used to disambiguate same-named
+    /// functions at call sites.  `None` when the signature did not
+    /// parse; such functions match any call arity.
+    pub params: Option<usize>,
+    /// For `fn .. -> ..Guard..` accessors: the lock whose guard the
+    /// function returns (callers binding the result hold that lock).
+    pub returns_guard: Option<LockId>,
+    /// Lock acquisitions, in source order.
+    pub acquires: Vec<AcquireEvent>,
+    /// Condvar waits, in source order.
+    pub waits: Vec<WaitEvent>,
+    /// Call sites, in source order.
+    pub calls: Vec<CallEvent>,
+}
+
+/// The whole-workspace fact base.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    /// Declared locks, in scan order.
+    pub locks: Vec<LockDecl>,
+    /// Declared condvar fields as `(crate, field)` pairs.
+    pub condvars: Vec<(String, String)>,
+    /// Declared `lint:order` chains (including malformed ones).
+    pub orders: Vec<OrderDecl>,
+    /// One fact per function body in library code.
+    pub functions: Vec<FnFact>,
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/..`),
+/// or `root` for the top-level package's own sources.
+pub fn crate_of(path: &Path) -> String {
+    let comps: Vec<&str> = path
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    comps
+        .windows(2)
+        .find(|w| w[0] == "crates")
+        .map(|w| w[1].to_string())
+        .unwrap_or_else(|| "root".to_string())
+}
+
+/// Is this file a binary root (`src/bin/**` or `src/main.rs`)?  Binary
+/// mains are out of scope for the lock analysis: they are single-purpose
+/// drivers whose locks never interleave with library paths.
+fn is_bin_path(path: &Path) -> bool {
+    let bin_dir = path
+        .components()
+        .any(|c| c.as_os_str().to_str() == Some("bin"));
+    let main = path.file_name().and_then(|f| f.to_str()) == Some("main.rs");
+    bin_dir || main
+}
+
+impl WorkspaceModel {
+    /// Extract the fact base from the parsed files.
+    pub fn build(models: &[FileModel]) -> WorkspaceModel {
+        let mut ws = WorkspaceModel::default();
+
+        // Pass 1: declared locks, condvars, and lint:order chains.
+        for m in models {
+            if is_bin_path(&m.path) {
+                continue;
+            }
+            let krate = crate_of(&m.path);
+            for (i, line) in m.src.lines.iter().enumerate() {
+                if !m.in_test_code(i) {
+                    for name in declared_fields(&line.code, &["Mutex<", "RwLock<"]) {
+                        ws.locks.push(LockDecl {
+                            id: format!("{krate}/{name}"),
+                            path: m.path.clone(),
+                            line: i + 1,
+                        });
+                    }
+                    for name in declared_fields(&line.code, &["Condvar"]) {
+                        ws.condvars.push((krate.clone(), name));
+                    }
+                }
+                if let Some(order) = parse_order(&line.comment, &krate, &m.path, i + 1) {
+                    ws.orders.push(order);
+                }
+            }
+        }
+        ws.locks.sort_by(|a, b| a.id.cmp(&b.id));
+        ws.locks.dedup_by(|a, b| a.id == b.id);
+
+        let lock_index = LockIndex::new(&ws.locks, &ws.condvars);
+
+        // Pass 2: function facts without guard-returning-call knowledge.
+        let mut functions = extract_functions(models, &lock_index, &BTreeMap::new());
+
+        // Pass 3: functions whose signature returns a `..Guard..` and
+        // whose body acquires a declared lock give their callers a live
+        // guard (`let st = graph.lock();` holds `service/state`).  Redo
+        // the walk with that map so held sets include bound guard calls.
+        let guard_fns = guard_returning(&functions);
+        if !guard_fns.is_empty() {
+            functions = extract_functions(models, &lock_index, &guard_fns);
+        }
+        ws.functions = functions;
+        ws
+    }
+}
+
+/// Map of function name -> lock id for unambiguous guard-returning
+/// accessors (every same-named accessor must agree on the lock).
+fn guard_returning(functions: &[FnFact]) -> BTreeMap<String, LockId> {
+    let mut map: BTreeMap<String, Option<LockId>> = BTreeMap::new();
+    for f in functions {
+        if let Some(lock) = &f.returns_guard {
+            match map.get(&f.name) {
+                None => {
+                    map.insert(f.name.clone(), Some(lock.clone()));
+                }
+                Some(Some(prev)) if prev == lock => {}
+                // Ambiguous: two accessors with the same name return
+                // guards of different locks; drop the name entirely.
+                _ => {
+                    map.insert(f.name.clone(), None);
+                }
+            }
+        }
+    }
+    map.into_iter()
+        .filter_map(|(k, v)| v.map(|lock| (k, lock)))
+        .collect()
+}
+
+/// Fast receiver-name -> lock-id lookup.
+struct LockIndex {
+    /// `(crate, field)` -> id for exact matches.
+    exact: BTreeMap<(String, String), LockId>,
+    /// field -> ids across crates, for unique-name fallback.
+    by_name: BTreeMap<String, Vec<LockId>>,
+    /// Declared condvar fields.
+    conds: Vec<(String, String)>,
+}
+
+impl LockIndex {
+    fn new(locks: &[LockDecl], condvars: &[(String, String)]) -> LockIndex {
+        let mut exact = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<LockId>> = BTreeMap::new();
+        for l in locks {
+            if let Some((krate, name)) = l.id.split_once('/') {
+                exact.insert((krate.to_string(), name.to_string()), l.id.clone());
+                by_name.entry(name.to_string()).or_default().push(l.id.clone());
+            }
+        }
+        LockIndex {
+            exact,
+            by_name,
+            conds: condvars.to_vec(),
+        }
+    }
+
+    /// Resolve a receiver identifier to a declared lock, preferring the
+    /// current crate, then a globally unique field name.
+    fn lock_for(&self, krate: &str, recv: &str) -> Option<LockId> {
+        if let Some(id) = self.exact.get(&(krate.to_string(), recv.to_string())) {
+            return Some(id.clone());
+        }
+        match self.by_name.get(recv).map(Vec::as_slice) {
+            Some([only]) => Some(only.clone()),
+            _ => None,
+        }
+    }
+
+    /// Is `recv` a declared condvar field (same-crate, or a globally
+    /// unique field name)?
+    fn is_condvar(&self, krate: &str, recv: &str) -> bool {
+        let mut same_crate = false;
+        let mut count = 0usize;
+        for (c, n) in &self.conds {
+            if n == recv {
+                count += 1;
+                if c == krate {
+                    same_crate = true;
+                }
+            }
+        }
+        same_crate || count == 1
+    }
+}
+
+/// Every field/binding name declared as one of `types` on this line:
+/// `queue: Mutex<Queue>`, `static FOO: Mutex<..>`, `cond: Condvar,` or
+/// `let jobs = Mutex::new(..)`.  A struct can declare several lock
+/// fields on one line, so all occurrences are collected.
+fn declared_fields(code: &str, types: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for ty in types {
+        let bare = ty.trim_end_matches('<');
+        for at in token_positions(code, bare) {
+            // `Mutex<` needs the generic bracket; `Condvar` stands alone.
+            if ty.ends_with('<') && code[at + bare.len()..].chars().next() != Some('<') {
+                continue;
+            }
+            // Form 1: `name: Type<..>` — identifier before the last
+            // single colon preceding the type.
+            if let Some(name) = ident_before_colon(code, at) {
+                out.push(name);
+                continue;
+            }
+            // Form 2: `let name = Type::new(..)`.
+            let toks = idents(code);
+            if toks.first().map(|&(_, id)| id) == Some("let")
+                && code[at + bare.len()..].trim_start().starts_with("::")
+            {
+                let mut it = toks.iter().map(|&(_, id)| id);
+                it.next(); // let
+                let cand = match it.next() {
+                    Some("mut") => it.next(),
+                    other => other,
+                };
+                if let Some(name) = cand {
+                    if name != bare {
+                        out.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Byte offsets of every whole-token occurrence of `word` in `code`.
+fn token_positions(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(word) {
+        let at = from + rel;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// Byte offset of the first whole-token occurrence of `word`.
+fn find_token(code: &str, word: &str) -> Option<usize> {
+    token_positions(code, word).into_iter().next()
+}
+
+/// The identifier immediately before the last single `:` (not `::`)
+/// preceding byte `at`.
+fn ident_before_colon(code: &str, at: usize) -> Option<String> {
+    let head = &code[..at];
+    let colon = head.rfind(':')?;
+    // Reject the path separator `::` on either side.
+    if head[..colon].ends_with(':') || code[colon + 1..].starts_with(':') {
+        return None;
+    }
+    let toks = idents(head);
+    let &(tat, name) = toks
+        .iter()
+        .rev()
+        .find(|&&(tat, name)| tat + name.len() <= colon)?;
+    // Nothing but whitespace between the identifier and the colon.
+    if head[tat + name.len()..colon].trim().is_empty() {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// Parse a `lint:order` chain out of a comment, if one is declared.
+fn parse_order(comment: &str, krate: &str, path: &Path, line: usize) -> Option<OrderDecl> {
+    let at = comment.find("lint:order:")?;
+    let rest = comment[at + "lint:order:".len()..].trim();
+    let mut chain = Vec::new();
+    let mut malformed = None;
+    for part in rest.split('<') {
+        let name = part.trim();
+        let ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '/');
+        if !ok {
+            malformed = Some(format!("`{name}` is not a lock name (ident or crate/ident)"));
+            break;
+        }
+        if name.contains('/') {
+            chain.push(name.to_string());
+        } else {
+            chain.push(format!("{krate}/{name}"));
+        }
+    }
+    if malformed.is_none() && chain.len() < 2 {
+        malformed = Some("a lint:order chain needs at least two locks (a < b)".to_string());
+    }
+    Some(OrderDecl {
+        chain,
+        path: path.to_path_buf(),
+        line,
+        malformed,
+    })
+}
+
+/// Extract one [`FnFact`] per library function body.
+fn extract_functions(
+    models: &[FileModel],
+    locks: &LockIndex,
+    guard_fns: &BTreeMap<String, LockId>,
+) -> Vec<FnFact> {
+    let mut out = Vec::new();
+    for m in models {
+        if is_bin_path(&m.path) {
+            continue;
+        }
+        let krate = crate_of(&m.path);
+        for span in &m.fn_spans {
+            if m.in_test_code(span.start) {
+                continue;
+            }
+            let sig = signature_text(m, span.start, span.end);
+            let Some(name) = fn_name(&m.src.lines[span.start].code) else {
+                continue;
+            };
+            let mut fact = FnFact {
+                name,
+                crate_name: krate.clone(),
+                path: m.path.clone(),
+                line: span.start + 1,
+                is_pub: is_plain_pub(&m.src.lines[span.start].code),
+                params: count_params(&sig),
+                returns_guard: None,
+                acquires: Vec::new(),
+                waits: Vec::new(),
+                calls: Vec::new(),
+            };
+            walk_body(m, *span, &krate, locks, guard_fns, &mut fact);
+            if returns_guard_type(&sig) {
+                fact.returns_guard = fact
+                    .acquires
+                    .first()
+                    .map(|a| a.lock.clone());
+            }
+            out.push(fact);
+        }
+    }
+    out
+}
+
+/// The signature text: code from the `fn` line to its opening brace.
+fn signature_text(m: &FileModel, start: usize, end: usize) -> String {
+    let mut sig = String::new();
+    for i in start..=end.min(start + 8) {
+        let code = &m.src.lines[i].code;
+        match code.find('{') {
+            Some(brace) => {
+                sig.push_str(&code[..brace]);
+                break;
+            }
+            None => {
+                sig.push_str(code);
+                sig.push(' ');
+            }
+        }
+    }
+    sig
+}
+
+/// The identifier following the `fn` keyword.
+fn fn_name(code: &str) -> Option<String> {
+    let toks = idents(code);
+    let fn_at = toks.iter().position(|&(_, id)| id == "fn")?;
+    toks.get(fn_at + 1).map(|&(_, id)| id.to_string())
+}
+
+/// Plain `pub fn` (not `pub(crate) fn`, which is not cross-crate API).
+fn is_plain_pub(code: &str) -> bool {
+    let toks = idents(code);
+    let Some(fn_at) = toks.iter().position(|&(_, id)| id == "fn") else {
+        return false;
+    };
+    fn_at > 0 && toks[fn_at - 1].1 == "pub"
+}
+
+/// Does the signature return a guard type (`-> MutexGuard<..>` etc.)?
+fn returns_guard_type(sig: &str) -> bool {
+    sig.find("->")
+        .map(|at| sig[at..].contains("Guard"))
+        .unwrap_or(false)
+}
+
+/// Count the non-self parameters of a `fn` signature, or `None` when
+/// it does not parse.  Comma counting is parenthesis- and angle-depth
+/// aware so `HashMap<K, V>` parameters count once.
+fn count_params(sig: &str) -> Option<usize> {
+    let fn_at = find_token(sig, "fn")?;
+    let open = sig[fn_at..].find('(')? + fn_at;
+    let bytes: Vec<char> = sig[open..].chars().collect();
+    let mut pdepth = 0i64;
+    let mut adepth = 0i64;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    let mut first_param = String::new();
+    let mut prev = ' ';
+    for &c in &bytes {
+        match c {
+            '(' | '[' => pdepth += 1,
+            ')' | ']' => {
+                pdepth -= 1;
+                if pdepth == 0 {
+                    if !any {
+                        return Some(0);
+                    }
+                    // A multi-line list may end `epoch_after: u64,)`;
+                    // the trailing comma does not start a parameter.
+                    let params = if trailing_comma { commas } else { commas + 1 };
+                    let has_self = idents(&first_param).iter().any(|&(_, id)| id == "self");
+                    return Some(params - usize::from(has_self));
+                }
+            }
+            '<' => adepth += 1,
+            // `->` inside an `impl Fn(..) -> T` parameter is an arrow,
+            // not a closing angle bracket.
+            '>' if prev != '-' => adepth -= 1,
+            ',' if pdepth == 1 && adepth == 0 => {
+                commas += 1;
+                any = true;
+                trailing_comma = true;
+            }
+            c if !c.is_whitespace() && pdepth >= 1 => {
+                any = true;
+                trailing_comma = false;
+                if commas == 0 && !(pdepth == 1 && c == '(') {
+                    first_param.push(c);
+                }
+            }
+            _ => {}
+        }
+        prev = c;
+    }
+    None
+}
+
+/// A live guard inside a body walk.
+struct HeldGuard {
+    /// Binding name, when the guard was `let`-bound (None for guards
+    /// that cannot be `drop`-released by name).
+    var: Option<String>,
+    /// The lock it holds.
+    lock: LockId,
+    /// Brace depth the binding lives at; popped when the enclosing
+    /// block closes.
+    depth: i64,
+}
+
+/// Walk one function body, simulating guard lifetimes line by line.
+fn walk_body(
+    m: &FileModel,
+    span: crate::model::Span,
+    krate: &str,
+    locks: &LockIndex,
+    guard_fns: &BTreeMap<String, LockId>,
+    fact: &mut FnFact,
+) {
+    let mut guards: Vec<HeldGuard> = Vec::new();
+    let mut depth = 0i64;
+    // Trailing identifier of the previous code line, carried into a
+    // line-leading `.method()` so multi-line chains keep their
+    // receiver: `self.series` / `    .lock()`.
+    let mut carry: Option<String> = None;
+
+    for i in span.start..=span.end.min(m.src.lines.len().saturating_sub(1)) {
+        // Lines owned by a nested fn are that fn's facts; its braces
+        // are balanced inside its own span, so skipping whole lines
+        // keeps the outer depth consistent.
+        if let Some(inner) = m.enclosing_fn(i) {
+            if inner != span {
+                continue;
+            }
+        }
+        let code = &m.src.lines[i].code;
+        let toks = idents(code);
+        let let_var = let_binding_var(&toks, code);
+        let carried: Option<String> = if code.trim_start().starts_with('.') {
+            carry.clone()
+        } else {
+            None
+        };
+        let mut prev_ident: Option<&str> = carried.as_deref();
+        // Comment-only lines (blanked code) leave the carry intact, so
+        // an annotation inside a chain does not break the receiver.
+        if !code.trim().is_empty() {
+            carry = toks.last().and_then(|&(tat, tid)| {
+                code[tat + tid.len()..]
+                    .trim()
+                    .is_empty()
+                    .then(|| tid.to_string())
+            });
+        }
+        let mut ti = 0usize;
+        let chars: Vec<(usize, char)> = code.char_indices().collect();
+        let mut ci = 0usize;
+        while ci < chars.len() {
+            let (off, c) = chars[ci];
+            if ti < toks.len() && toks[ti].0 == off {
+                let (at, id) = toks[ti];
+                ti += 1;
+                // Advance past the token.
+                while ci < chars.len() && chars[ci].0 < at + id.len() {
+                    ci += 1;
+                }
+                handle_token(
+                    m, i, code, at, id, prev_ident, &let_var, krate, locks, guard_fns, &mut guards,
+                    depth, fact,
+                );
+                prev_ident = Some(id);
+                continue;
+            }
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+    }
+}
+
+/// The variable bound by a `let` statement starting on this line.
+fn let_binding_var(toks: &[(usize, &str)], code: &str) -> Option<String> {
+    if code.trim_start().starts_with("let ") || code.trim_start().starts_with("let(") {
+        let mut it = toks.iter().map(|&(_, id)| id);
+        it.next(); // let
+        match it.next() {
+            Some("mut") => it.next().map(str::to_string),
+            other => other.map(str::to_string),
+        }
+    } else {
+        None
+    }
+}
+
+/// Current held lock set (deduped, in acquisition order).
+fn held_locks(guards: &[HeldGuard]) -> Vec<LockId> {
+    let mut held = Vec::new();
+    for g in guards {
+        if !held.contains(&g.lock) {
+            held.push(g.lock.clone());
+        }
+    }
+    held
+}
+
+/// Is the call/method token at `at..at+len` in statement-tail position
+/// of a `let` (so its result is bound): `let g = recv.lock();`?
+fn binds_let(code: &str, at: usize, len: usize, let_var: &Option<String>) -> bool {
+    if let_var.is_none() {
+        return false;
+    }
+    let Some(open_rel) = code[at + len..].find('(') else {
+        return false;
+    };
+    let open = at + len + open_rel;
+    let mut d = 0i64;
+    for (ci, ch) in code[open..].char_indices() {
+        match ch {
+            '(' => d += 1,
+            ')' => {
+                d -= 1;
+                if d == 0 {
+                    let rest = code[open + ci + 1..].trim();
+                    return rest == ";";
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Count the arguments of a call whose identifier ends at
+/// `(line, after)`; the list may span lines.
+fn count_args(m: &FileModel, line: usize, after: usize) -> Option<usize> {
+    let code = &m.src.lines[line].code;
+    let open_rel = code[after..].find('(')?;
+    // Only whitespace may separate the identifier from its paren.
+    if !code[after..after + open_rel].trim().is_empty() {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut args = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for li in line..m.src.lines.len().min(line + 64) {
+        let lcode = &m.src.lines[li].code;
+        let from = if li == line { after + open_rel } else { 0 };
+        for (_, ch) in lcode.char_indices().filter(|&(ci, _)| ci >= from) {
+            match ch {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !any {
+                            return Some(0);
+                        }
+                        return Some(if trailing_comma { args } else { args + 1 });
+                    }
+                }
+                ',' if depth == 1 => {
+                    args += 1;
+                    any = true;
+                    trailing_comma = true;
+                }
+                c if !c.is_whitespace() => {
+                    any = true;
+                    trailing_comma = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Process one identifier token during a body walk.
+#[allow(clippy::too_many_arguments)]
+fn handle_token(
+    m: &FileModel,
+    i: usize,
+    code: &str,
+    at: usize,
+    id: &str,
+    prev_ident: Option<&str>,
+    let_var: &Option<String>,
+    krate: &str,
+    locks: &LockIndex,
+    guard_fns: &BTreeMap<String, LockId>,
+    guards: &mut Vec<HeldGuard>,
+    depth: i64,
+    fact: &mut FnFact,
+) {
+    let end = at + id.len();
+    let is_called = next_nonspace(code, end) == Some('(');
+    if !is_called {
+        return;
+    }
+    // A definition (`fn lock(..)`) is not a call site.
+    if prev_ident == Some("fn") {
+        return;
+    }
+    let is_method = prev_nonspace(code, at) == Some('.');
+
+    // Lock acquisition on a declared lock field.
+    if ACQUIRE_METHODS.contains(&id) && is_method {
+        if let Some(recv) = prev_ident {
+            if let Some(lock) = locks.lock_for(krate, recv) {
+                let held = held_locks(guards);
+                let blocking = !id.starts_with("try_");
+                fact.acquires.push(AcquireEvent {
+                    lock: lock.clone(),
+                    line: i + 1,
+                    held,
+                    blocking,
+                });
+                if binds_let(code, at, id.len(), let_var) {
+                    guards.push(HeldGuard {
+                        var: let_var.clone(),
+                        lock,
+                        depth,
+                    });
+                }
+                return;
+            }
+        }
+        // `.read()`/`.write()` on an undeclared receiver is I/O, not a
+        // lock; `.lock()` on an undeclared receiver may be a
+        // guard-returning accessor and falls through to the call path.
+        if id != "lock" {
+            return;
+        }
+    }
+
+    // Condvar wait on a declared condvar field.
+    if WAIT_METHODS.contains(&id) && is_method {
+        if let Some(recv) = prev_ident {
+            if locks.is_condvar(krate, recv) {
+                fact.waits.push(WaitEvent {
+                    cond: recv.to_string(),
+                    line: i + 1,
+                    held: held_locks(guards),
+                });
+                return;
+            }
+        }
+    }
+
+    // `drop(guard)` releases a named guard early.
+    if id == "drop" && !is_method {
+        let toks = idents(code);
+        if let Some(pos) = toks.iter().position(|&(tat, _)| tat == at) {
+            if let Some(&(_, var)) = toks.get(pos + 1) {
+                guards.retain(|g| g.var.as_deref() != Some(var));
+            }
+        }
+        return;
+    }
+
+    if KEYWORDS.contains(&id) {
+        return;
+    }
+
+    // A bound call into a guard-returning accessor holds its lock:
+    // `let st = graph.lock();` acquires and holds `service/state`.
+    if binds_let(code, at, id.len(), let_var) {
+        if let Some(lock) = guard_fns.get(id) {
+            fact.acquires.push(AcquireEvent {
+                lock: lock.clone(),
+                line: i + 1,
+                held: held_locks(guards),
+                blocking: true,
+            });
+            guards.push(HeldGuard {
+                var: let_var.clone(),
+                lock: lock.clone(),
+                depth,
+            });
+        }
+    }
+
+    // Every remaining `ident(` is a call site for the graph.
+    if let Some(args) = count_args(m, i, end) {
+        fact.calls.push(CallEvent {
+            callee: id.to_string(),
+            args,
+            line: i + 1,
+            held: held_locks(guards),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceModel {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(p, text)| FileModel::parse(&PathBuf::from(p), text))
+            .collect();
+        WorkspaceModel::build(&models)
+    }
+
+    fn find<'a>(w: &'a WorkspaceModel, name: &str) -> &'a FnFact {
+        w.functions
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}`"))
+    }
+
+    const NESTED: &str = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+";
+
+    #[test]
+    fn held_sets_follow_binding_order() {
+        let w = ws(&[("crates/x/src/lib.rs", NESTED)]);
+        let f = find(&w, "ab");
+        assert_eq!(f.acquires.len(), 2);
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.acquires[1].held, vec!["x/a".to_string()]);
+    }
+
+    #[test]
+    fn temporaries_acquire_but_do_not_hold() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        self.a.lock().checked_add(1);\n        let gb = self.b.lock();\n    }\n}\n",
+        )]);
+        let f = find(&w, "f");
+        assert_eq!(f.acquires.len(), 2);
+        assert!(f.acquires[1].held.is_empty(), "temp guard must not be held");
+    }
+
+    #[test]
+    fn drop_releases_and_blocks_scope_guards() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        {\n            let ga = self.a.lock();\n        }\n        let gb = self.b.lock();\n    }\n}\n",
+        )]);
+        let f = find(&w, "f");
+        assert!(f.acquires[1].held.is_empty(), "scope closed the guard");
+    }
+
+    #[test]
+    fn waits_record_held_guards() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "struct S { m: Mutex<u32>, cv: Condvar }\nimpl S {\n    fn f(&self) {\n        let g = self.m.lock();\n        self.cv.wait(&mut g);\n    }\n}\n",
+        )]);
+        let f = find(&w, "f");
+        assert_eq!(f.waits.len(), 1);
+        assert_eq!(f.waits[0].held, vec!["x/m".to_string()]);
+    }
+
+    #[test]
+    fn guard_returning_accessors_propagate_to_callers() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "struct S { state: Mutex<u32> }\nimpl S {\n    fn lock(&self) -> MutexGuard<'_, u32> {\n        self.state.lock()\n    }\n    fn user(&self) {\n        let st = self.lock();\n        helper(1);\n    }\n}\n",
+        )]);
+        let f = find(&w, "lock");
+        assert_eq!(f.returns_guard.as_deref(), Some("x/state"));
+        let u = find(&w, "user");
+        let call = u.calls.iter().find(|c| c.callee == "helper").expect("call");
+        assert_eq!(call.held, vec!["x/state".to_string()]);
+    }
+
+    #[test]
+    fn orders_parse_and_qualify() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "// lint:order: a < b < y/c\nstruct S { a: Mutex<u32> }\n",
+        )]);
+        assert_eq!(w.orders.len(), 1);
+        assert!(w.orders[0].malformed.is_none());
+        assert_eq!(w.orders[0].chain, vec!["x/a", "x/b", "y/c"]);
+    }
+
+    #[test]
+    fn malformed_orders_are_kept_for_reporting() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "// lint:order: a\nfn f() {}\n",
+        )]);
+        assert!(w.orders[0].malformed.is_some());
+    }
+
+    #[test]
+    fn arity_is_extracted_from_signatures_and_calls() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "fn two(a: u32, b: HashMap<u32, u32>) {}\nfn caller() {\n    two(1, make());\n}\n",
+        )]);
+        assert_eq!(find(&w, "two").params, Some(2));
+        let c = find(&w, "caller");
+        let call = c.calls.iter().find(|c| c.callee == "two").expect("call");
+        assert_eq!(call.args, 2);
+    }
+
+    #[test]
+    fn multiline_chains_keep_their_receiver() {
+        // `self.series` / `.lock()` split across lines must resolve the
+        // declared lock, not fall through to the call path.
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "struct S { series: Mutex<u32> }\nimpl S {\n    fn record(&self) {\n        self.series\n            .lock()\n            .checked_add(1);\n    }\n}\n",
+        )]);
+        let f = find(&w, "record");
+        assert_eq!(f.acquires.len(), 1);
+        assert_eq!(f.acquires[0].lock, "x/series");
+        assert!(f.calls.iter().all(|c| c.callee != "lock"));
+    }
+
+    #[test]
+    fn multiline_params_with_trailing_comma_count_correctly() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "impl S {\n    fn recost(\n        &self,\n        name: &str,\n        bytes: usize,\n        epoch: u64,\n    ) -> u64 {\n        0\n    }\n    fn caller(&self) {\n        self.recost(\n            \"g\",\n            1,\n            2,\n        );\n    }\n}\n",
+        )]);
+        assert_eq!(find(&w, "recost").params, Some(3));
+        let c = find(&w, "caller");
+        let call = c.calls.iter().find(|c| c.callee == "recost").expect("call");
+        assert_eq!(call.args, 3);
+    }
+
+    #[test]
+    fn bins_and_tests_are_out_of_scope() {
+        let w = ws(&[
+            (
+                "crates/x/src/bin/tool.rs",
+                "struct S { a: Mutex<u32> }\nfn main() {}\n",
+            ),
+            (
+                "crates/y/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() {\n        let g = m.lock();\n    }\n}\n",
+            ),
+        ]);
+        assert!(w.locks.is_empty());
+        assert!(w.functions.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! The guard is dropped before the cross-crate call: the critical
+//! section stays local and bounded.
+
+struct S {
+    m: Mutex<u32>,
+}
+
+impl S {
+    fn tidy(&self) {
+        let g = self.m.lock();
+        drop(g);
+        crate_b_entry(7);
+    }
+}

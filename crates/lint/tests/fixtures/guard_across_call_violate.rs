@@ -1,0 +1,14 @@
+//! A guard held across a call into another crate's public API: the
+//! lock's hold time now depends on foreign code.
+
+struct S {
+    m: Mutex<u32>,
+}
+
+impl S {
+    fn leaky(&self) {
+        let g = self.m.lock();
+        crate_b_entry(7);
+        drop(g);
+    }
+}

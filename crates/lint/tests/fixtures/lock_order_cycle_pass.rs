@@ -1,0 +1,16 @@
+//! Two locks, always nested in the declared order: no cycle.
+
+// lint:order: alpha < beta
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn both(&self) {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        drop(gb);
+        drop(ga);
+    }
+}

@@ -1,0 +1,25 @@
+//! Two functions nest the same pair of locks in opposite orders: a
+//! classic ABBA deadlock, reported as a lock-order cycle whose witness
+//! names both functions and both locks.
+
+// lint:order: alpha < beta
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn forward(&self) {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn backward(&self) {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        drop(ga);
+        drop(gb);
+    }
+}

@@ -1,0 +1,16 @@
+//! The observed nesting is covered by a declared `lint:order` chain.
+
+// lint:order: outer < nested
+struct S {
+    outer: Mutex<u32>,
+    nested: Mutex<u32>,
+}
+
+impl S {
+    fn both(&self) {
+        let go = self.outer.lock();
+        let gn = self.nested.lock();
+        drop(gn);
+        drop(go);
+    }
+}

@@ -1,0 +1,16 @@
+//! A real nesting with no declared ordering: advisory, asking the
+//! author to document the intended hierarchy next to the locks.
+
+struct S {
+    outer: Mutex<u32>,
+    nested: Mutex<u32>,
+}
+
+impl S {
+    fn both(&self) {
+        let go = self.outer.lock();
+        let gn = self.nested.lock();
+        drop(gn);
+        drop(go);
+    }
+}

@@ -1,0 +1,15 @@
+//! Waiting on a condvar with only its own mutex guard held is the
+//! intended pattern.
+
+struct S {
+    m: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl S {
+    fn wait_one(&self) {
+        let g = self.m.lock();
+        self.cv.wait(&mut g);
+        drop(g);
+    }
+}

@@ -1,0 +1,19 @@
+//! Blocking on a condvar while a second, unrelated lock is held: every
+//! other thread needing `extra` now waits for an unbounded sleep.
+
+// lint:order: extra < m
+struct S {
+    extra: Mutex<u32>,
+    m: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl S {
+    fn wait_two(&self) {
+        let ge = self.extra.lock();
+        let g = self.m.lock();
+        self.cv.wait(&mut g);
+        drop(g);
+        drop(ge);
+    }
+}

@@ -355,6 +355,9 @@ impl GraphRegistry {
         let mut st = dynamic.lock();
         let plan = st
             .analytics
+            // lint:allow(guard-across-call): planning is bounded CPU work
+            // on the guarded state itself; the per-graph lock must cover
+            // plan -> re-cost -> apply (see the comment above).
             .plan_batch(&ops)
             .map_err(|e| ServiceError::BadRequest {
                 message: format!("update for graph `{name}`: {e}"),

@@ -72,6 +72,10 @@ pub(crate) struct DynState {
 }
 
 /// A dynamic graph: streaming analytics state plus epoch bookkeeping.
+// A per-graph state holder may take the registry's inner lock (batch
+// re-costing), never the reverse — the ordering described in the module
+// docs, machine-checked by the workspace lock-order analysis.
+// lint:order: state < inner
 pub(crate) struct DynamicGraph {
     state: Mutex<DynState>,
     /// Gauge of snapshot epochs still referenced by at least one holder,
@@ -144,6 +148,9 @@ impl DynamicGraph {
         let mut st = self.state.lock();
         let output = match algorithm {
             Algorithm::Cc => JobOutput::Labels(st.analytics.labels()),
+            // lint:allow(guard-across-call): reading the incrementally
+            // maintained labels/counts is O(V) copying, no graph work;
+            // the lock keeps the read consistent with the epoch.
             Algorithm::Triangles => JobOutput::Triangles(st.analytics.triangles()),
             other => {
                 return Err(ServiceError::BadRequest {

@@ -158,6 +158,10 @@ impl StreamingAnalytics {
     /// accepted insert/delete counts without mutating anything.
     /// [`apply_batch`](Self::apply_batch) on the unchanged graph then
     /// performs exactly these counts.
+    ///
+    /// Callers hold their per-graph lock across plan → re-cost → apply
+    /// (the service's `state < inner` ordering), so this method must
+    /// stay bounded CPU work and must never block or take locks.
     pub fn plan_batch(&self, ops: &[EdgeOp]) -> Result<BatchOutcome, OutOfRange> {
         let n = self.graph.num_vertices();
         let mut seen: HashSet<(VertexId, VertexId)> = HashSet::new();
