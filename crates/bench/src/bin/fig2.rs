@@ -3,7 +3,10 @@
 //!
 //! The paper's reading: BSP generates one message per edge incident on
 //! the frontier; after the frontier apex that is an order of magnitude
-//! more than the true frontier, declining exponentially.
+//! more than the true frontier, declining exponentially.  A second BSP
+//! series under Beamer `Delivery::Auto` shows what direction
+//! optimization removes: the apex supersteps flip bottom-up and ship
+//! nothing.
 //!
 //! ```text
 //! cargo run --release -p xmt-bench --bin fig2 [-- --scale N]
@@ -13,7 +16,7 @@ use serde::Serialize;
 
 use xmt_bench::run::run_bfs;
 use xmt_bench::{build_paper_graph, pick_bfs_source, write_json, HarnessConfig, Table};
-use xmt_bsp::runtime::BspConfig;
+use xmt_bsp::runtime::{BspConfig, Delivery};
 
 #[derive(Serialize)]
 struct Fig2Row {
@@ -21,6 +24,8 @@ struct Fig2Row {
     graphct_frontier: u64,
     bsp_messages: u64,
     ratio: f64,
+    beamer_messages: u64,
+    beamer_pulled: bool,
 }
 
 fn main() {
@@ -31,6 +36,15 @@ fn main() {
     let source = pick_bfs_source(&g);
     eprintln!("running BFS from vertex {source} (both models) ...");
     let bfs = run_bfs(&g, source, BspConfig::default());
+    eprintln!("running BFS again under Beamer Delivery::Auto ...");
+    let beamer = run_bfs(
+        &g,
+        source,
+        BspConfig {
+            delivery: Delivery::Auto,
+            ..Default::default()
+        },
+    );
 
     let mut rows = Vec::new();
     let levels = bfs.ct.frontier_sizes.len();
@@ -42,11 +56,14 @@ fn main() {
             .get(level)
             .map(|s| s.messages_sent)
             .unwrap_or(0);
+        let beamer_stats = beamer.bsp.superstep_stats.get(level);
         rows.push(Fig2Row {
             level: level as u64,
             graphct_frontier: frontier,
             bsp_messages: messages,
             ratio: messages as f64 / frontier.max(1) as f64,
+            beamer_messages: beamer_stats.map(|s| s.messages_sent).unwrap_or(0),
+            beamer_pulled: beamer_stats.map(|s| s.pulled).unwrap_or(false),
         });
     }
 
@@ -56,13 +73,24 @@ fn main() {
         "(RMAT scale {}, source {}; messages = edges incident on the frontier)",
         cfg.scale, source
     );
-    let mut t = Table::new(&["level", "GraphCT frontier", "BSP messages", "msg/frontier"]);
+    let mut t = Table::new(&[
+        "level",
+        "GraphCT frontier",
+        "BSP messages",
+        "msg/frontier",
+        "beamer-auto",
+    ]);
     for r in &rows {
         t.row(&[
             r.level.to_string(),
             r.graphct_frontier.to_string(),
             r.bsp_messages.to_string(),
             format!("{:.1}", r.ratio),
+            if r.beamer_pulled {
+                "pull".into()
+            } else {
+                format!("{} msgs", r.beamer_messages)
+            },
         ]);
     }
     t.print();
@@ -89,6 +117,13 @@ fn main() {
     println!(
         "messages decline monotonically after the apex: {}",
         if tail_declines { "yes" } else { "no" }
+    );
+    let beamer_total: u64 = rows.iter().map(|r| r.beamer_messages).sum();
+    let push_total: u64 = rows.iter().map(|r| r.bsp_messages).sum();
+    println!(
+        "beamer-auto ships {beamer_total} messages total vs {push_total} under static push \
+({:.0}x less): the apex supersteps run bottom-up and ship nothing",
+        push_total as f64 / beamer_total.max(1) as f64
     );
 
     if let Some(dir) = &cfg.out_dir {

@@ -5,7 +5,9 @@
 //! The paper's reading: mid-traversal levels (the frontier apex) scale
 //! linearly in both models; early and late levels are flat because the
 //! frontier is too small to occupy the machine; the BSP message queue's
-//! extra contention trims its scaling at high processor counts.
+//! extra contention trims its scaling at high processor counts.  A
+//! third panel runs BSP under Beamer `Delivery::Auto`, where the apex
+//! levels are gathered bottom-up instead of shipped.
 //!
 //! ```text
 //! cargo run --release -p xmt-bench --bin fig3 [-- --scale N --procs A,B,..]
@@ -16,7 +18,7 @@ use serde::Serialize;
 use xmt_bench::output::fmt_secs;
 use xmt_bench::run::{bsp_step_seconds, ct_step_seconds, run_bfs, total_seconds};
 use xmt_bench::{build_paper_graph, paper, pick_bfs_source, write_json, HarnessConfig, Table};
-use xmt_bsp::runtime::BspConfig;
+use xmt_bsp::runtime::{BspConfig, Delivery};
 
 #[derive(Serialize)]
 struct Fig3Point {
@@ -35,6 +37,15 @@ fn main() {
     let source = pick_bfs_source(&g);
     eprintln!("running BFS from vertex {source} (both models) ...");
     let bfs = run_bfs(&g, source, BspConfig::default());
+    eprintln!("running BFS again under Beamer Delivery::Auto ...");
+    let beamer = run_bfs(
+        &g,
+        source,
+        BspConfig {
+            delivery: Delivery::Auto,
+            ..Default::default()
+        },
+    );
 
     let nlevels = bfs.ct.frontier_sizes.len() as u64;
     // The paper plots levels 3..=8; keep whatever of that range exists,
@@ -51,6 +62,16 @@ fn main() {
             if levels.contains(&step) {
                 points.push(Fig3Point {
                     panel: "BSP".into(),
+                    level: step,
+                    procs: p,
+                    seconds: secs,
+                });
+            }
+        }
+        for (step, secs) in bsp_step_seconds(&beamer.bsp_rec, &model, p) {
+            if levels.contains(&step) {
+                points.push(Fig3Point {
+                    panel: "BSP-beamer".into(),
                     level: step,
                     procs: p,
                     seconds: secs,
@@ -75,7 +96,7 @@ fn main() {
         "(RMAT scale {}, source {}, levels {:?}; paper: levels 3-8 of a scale-24 graph)",
         cfg.scale, source, levels
     );
-    for panel in ["BSP", "GraphCT"] {
+    for panel in ["BSP", "BSP-beamer", "GraphCT"] {
         println!("\n[{panel}]");
         let mut header: Vec<String> = vec!["level".into()];
         header.extend(cfg.procs.iter().map(|p| format!("P={p}")));
@@ -114,8 +135,9 @@ fn main() {
     let pmax = cfg.max_procs();
     println!();
     println!(
-        "totals at P={pmax}: BSP {}, GraphCT {} (paper at 128P: {} vs {})",
+        "totals at P={pmax}: BSP {}, BSP-beamer {}, GraphCT {} (paper at 128P: {} vs {})",
         fmt_secs(total_seconds(&bfs.bsp_rec, &model, pmax)),
+        fmt_secs(total_seconds(&beamer.bsp_rec, &model, pmax)),
         fmt_secs(total_seconds(&bfs.ct_rec, &model, pmax)),
         fmt_secs(paper::BFS_BSP_SECONDS),
         fmt_secs(paper::BFS_GRAPHCT_SECONDS),

@@ -15,7 +15,10 @@
 //!   retained snapshot buffer replaces the old `states.clone()`);
 //! - the same CC and BFS push configurations on the **native** executor
 //!   (guided scheduling): the guided claim loop must be as
-//!   allocation-free as the fixed one.
+//!   allocation-free as the fixed one;
+//! - BFS under Beamer `Delivery::Auto` on both executors: the direction
+//!   decision (claim pass, frontier-edge estimate, dense visited
+//!   bitmap) must ride the frame's retained buffers.
 //!
 //! Built `harness = false` (plain `main`): libtest allocates between
 //! callbacks, which would pollute the measurement windows.  Without
@@ -43,6 +46,11 @@ static COUNTING: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
 /// once, so there two snapshots suffice.
 const SKIP_PUSH: usize = 4;
 const SKIP_PULL: usize = 2;
+/// Beamer Auto: superstep 0 always pushes (the estimator needs a shipped
+/// superstep), so boundary 0 polls twice; boundary 1 polls once or
+/// twice.  Skipping three snapshots therefore starts the window at
+/// boundary 1's last poll at the earliest, covering superstep >= 2 only.
+const SKIP_AUTO: usize = 3;
 
 fn main() {
     // Pin the pool to one worker (unless the caller overrides) before
@@ -113,6 +121,28 @@ fn main() {
         push,
         SKIP_PUSH,
         "bfs/bucketed/push/native",
+        &native,
+    );
+    // Beamer Auto mixes push supersteps (two polls) with pull
+    // supersteps (one poll).
+    let auto = BspConfig {
+        delivery: Delivery::Auto,
+        ..push
+    };
+    gate(
+        &g,
+        &BfsProgram { source },
+        auto,
+        SKIP_AUTO,
+        "bfs/bucketed/beamer-auto",
+        &sim,
+    );
+    gate(
+        &g,
+        &BfsProgram { source },
+        auto,
+        SKIP_AUTO,
+        "bfs/bucketed/beamer-auto/native",
         &native,
     );
 

@@ -93,6 +93,19 @@ impl VertexProgram for BfsProgram {
     fn supports_pull(&self) -> bool {
         true
     }
+
+    /// A discovered vertex is settled: BFS distances only ever tighten
+    /// at discovery time, and level-synchrony means every settled
+    /// neighbor of an undiscovered vertex offers the same (current)
+    /// depth — so the first offer is as good as the combined fold, and
+    /// the bottom-up probe may early-exit.
+    fn is_settled(&self, state: &BfsState) -> bool {
+        state.dist != u64::MAX
+    }
+
+    fn supports_bottom_up(&self) -> bool {
+        true
+    }
 }
 
 /// Distances, parents and superstep statistics from a BSP BFS.
@@ -210,6 +223,119 @@ mod tests {
         for s in 0..9u64 {
             let out = bsp_bfs(&g, s, None);
             validate_bfs(&g, s, &out.dist(), &out.parent()).unwrap();
+        }
+    }
+
+    #[test]
+    fn beamer_auto_switches_bottom_up_and_back() {
+        use crate::runtime::Delivery;
+        // A dense-enough random graph: the BFS apex frontier touches
+        // most edges, so Beamer's alpha rule must flip to bottom-up at
+        // the apex and beta must flip back as the frontier drains.
+        let el = xmt_graph::gen::er::gnm(4000, 40_000, 7);
+        let g = build_undirected(&el);
+        let cfg = BspConfig {
+            delivery: Delivery::Auto,
+            ..Default::default()
+        };
+        let beamer = bsp_bfs_with_config(&g, 0, cfg, None);
+        let push = bsp_bfs(&g, 0, None);
+        let (ref_dist, _) = reference_bfs(&g, 0);
+
+        // Distances exact under every direction schedule; parents form a
+        // valid tree (bottom-up picks the first settled neighbor, not
+        // necessarily the min-id one).
+        assert_eq!(beamer.dist(), ref_dist);
+        assert_eq!(push.dist(), ref_dist);
+        validate_bfs(&g, 0, &beamer.dist(), &beamer.parent()).unwrap();
+
+        let stats = &beamer.result.superstep_stats;
+        assert!(stats.iter().any(|s| s.pulled), "apex never went bottom-up");
+        assert!(!stats[0].pulled, "superstep 0 has nothing to gather");
+        // Hysteresis, not flapping: the bottom-up supersteps form one
+        // contiguous block around the apex (push → pull → push, with the
+        // trailing push block possibly empty when discovery completes
+        // while still dense — the bottom-up active set then drains to
+        // nothing and the run quiesces without a wind-down superstep).
+        let pulled: Vec<bool> = stats.iter().map(|s| s.pulled).collect();
+        let flips = pulled.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(flips <= 2, "direction flapping: {pulled:?}");
+        // The direction switch is the whole point: boundary traffic at
+        // the apex collapses versus static push.
+        let push_apex = push
+            .result
+            .superstep_stats
+            .iter()
+            .map(|s| s.messages_sent)
+            .max()
+            .unwrap();
+        let beamer_apex = stats.iter().map(|s| s.messages_sent).max().unwrap();
+        assert!(
+            beamer_apex * 2 < push_apex,
+            "beamer apex {beamer_apex} not below static-push apex {push_apex}"
+        );
+        // Bottom-up early exit: probes on pulled supersteps stay below
+        // the full gather bound (sum of all degrees).
+        let total_arcs = g.degree_sum();
+        for s in stats.iter().filter(|s| s.pulled) {
+            assert!(s.pull_probes < total_arcs);
+        }
+    }
+
+    #[test]
+    fn beamer_alpha_zero_falls_back_to_the_density_rule() {
+        use crate::runtime::Delivery;
+        // alpha = 0 is the documented escape hatch to the plain
+        // pull_threshold rule; with an unreachable threshold the run
+        // stays pure push and matches the static-push schedule exactly.
+        let el = xmt_graph::gen::er::gnm(1000, 8000, 3);
+        let g = build_undirected(&el);
+        let out = bsp_bfs_with_config(
+            &g,
+            0,
+            BspConfig {
+                delivery: Delivery::Auto,
+                beamer_alpha: 0.0,
+                pull_threshold: 1.1,
+                ..Default::default()
+            },
+            None,
+        );
+        let push = bsp_bfs(&g, 0, None);
+        assert!(out.result.superstep_stats.iter().all(|s| !s.pulled));
+        assert_eq!(out.dist(), push.dist());
+        assert_eq!(out.result.supersteps, push.result.supersteps);
+    }
+
+    #[test]
+    fn static_pull_uses_the_bottom_up_probe_path() {
+        use crate::runtime::Delivery;
+        // BFS now advertises a settled predicate, so static Pull
+        // supersteps probe unvisited vertices with early exit instead of
+        // the full fold.  Distances must stay exact and probes must stay
+        // below the full-gather bound.
+        let el = xmt_graph::gen::er::gnm(1500, 12_000, 11);
+        let g = build_undirected(&el);
+        let out = bsp_bfs_with_config(
+            &g,
+            2,
+            BspConfig {
+                delivery: Delivery::Pull,
+                ..Default::default()
+            },
+            None,
+        );
+        let (ref_dist, _) = reference_bfs(&g, 2);
+        assert_eq!(out.dist(), ref_dist);
+        validate_bfs(&g, 2, &out.dist(), &out.parent()).unwrap();
+        let total_arcs = g.degree_sum();
+        assert!(out.result.superstep_stats.iter().any(|s| s.pulled));
+        for s in out.result.superstep_stats.iter().filter(|s| s.pulled) {
+            assert!(
+                s.pull_probes < total_arcs,
+                "no early exit: {}",
+                s.pull_probes
+            );
         }
     }
 }

@@ -108,6 +108,32 @@ pub trait VertexProgram: Sync {
     fn supports_pull(&self) -> bool {
         false
     }
+
+    /// Whether `state` is *settled*: the vertex has reached its final
+    /// value, [`pull_from`](Self::pull_from) will offer a message from
+    /// now on, and no future message can improve it.  Drives the
+    /// bottom-up (Beamer) gather: settled vertices skip the gather, and
+    /// unsettled ones may stop probing at the first settled neighbor
+    /// that offers a message.
+    ///
+    /// Contract (for [`supports_bottom_up`](Self::supports_bottom_up)
+    /// programs): once settled, always settled; and for an unsettled
+    /// vertex, any single neighbor offer folded alone must drive
+    /// `compute` to the same state as the full combined fold would.
+    /// BFS satisfies this because the frontier is level-synchronous:
+    /// every settled neighbor of an undiscovered vertex sits at the
+    /// current depth, so all offers produce the same distance.
+    fn is_settled(&self, state: &Self::State) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// Whether [`is_settled`](Self::is_settled) is implemented and the
+    /// first-offer contract above holds, enabling bottom-up gathering
+    /// (and Beamer alpha/beta switching under `Delivery::Auto`).
+    fn supports_bottom_up(&self) -> bool {
+        false
+    }
 }
 
 /// Everything a vertex may do during `compute`.

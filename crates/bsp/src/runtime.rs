@@ -48,11 +48,18 @@ pub enum Delivery {
     /// [`VertexProgram::pull_from`] and to have a combiner; otherwise the
     /// runtime silently stays in push mode.
     Pull,
-    /// Per-superstep choice: pull on dense supersteps (estimated active
-    /// fraction at least `BspConfig::pull_threshold`), push on sparse
-    /// ones — push wins on small frontiers where an O(V) gather would
-    /// dwarf the few real messages, pull wins when traffic approaches
-    /// O(E) and shipping it costs more than re-reading neighbor state.
+    /// Per-superstep choice.  For programs that expose a settled
+    /// predicate ([`VertexProgram::supports_bottom_up`]) the decision is
+    /// Beamer-style direction optimization: switch to bottom-up
+    /// gathering when the frontier's edges outgrow the unexplored edges
+    /// by `BspConfig::beamer_alpha`, and back to push when the frontier
+    /// thins below `1/beamer_beta` of the vertices.  Other pull-capable
+    /// programs use the plain density rule: pull when the estimated
+    /// active fraction of the next superstep is at least
+    /// `BspConfig::pull_threshold`.  Either way push wins on small
+    /// frontiers where an O(V) gather would dwarf the few real messages,
+    /// pull wins when traffic approaches O(E) and shipping it costs more
+    /// than re-reading neighbor state.
     Auto,
 }
 
@@ -66,8 +73,21 @@ pub struct BspConfig {
     /// Message delivery mode (push, pull, or per-superstep auto).
     pub delivery: Delivery,
     /// `Delivery::Auto` pulls when the estimated active fraction of the
-    /// next superstep is at least this (0.0 ‥ 1.0).
+    /// next superstep is at least this (0.0 ‥ 1.0).  Only used for
+    /// pull-capable programs without a settled predicate; bottom-up
+    /// capable programs use `beamer_alpha`/`beamer_beta` instead.
     pub pull_threshold: f64,
+    /// Beamer top-down→bottom-up ratio: under `Delivery::Auto` a
+    /// bottom-up capable program switches to pull when
+    /// `frontier_edges * beamer_alpha > unexplored_edges` (GAP default
+    /// 15).  `0.0` disables the Beamer rule and falls back to the
+    /// `pull_threshold` density rule — the pre-direction-optimization
+    /// `Auto`, kept as an ablation escape hatch.
+    pub beamer_alpha: f64,
+    /// Beamer bottom-up→top-down ratio: switch back to push when the
+    /// estimated next frontier holds fewer than `n / beamer_beta`
+    /// vertices (GAP default 18).
+    pub beamer_beta: f64,
     /// Hard stop after this many supersteps (guards non-converging
     /// programs).
     pub max_supersteps: u64,
@@ -80,6 +100,8 @@ impl Default for BspConfig {
             active_set: ActiveSetStrategy::DenseScan,
             delivery: Delivery::Push,
             pull_threshold: 0.5,
+            beamer_alpha: 15.0,
+            beamer_beta: 18.0,
             max_supersteps: 10_000,
         }
     }
@@ -361,6 +383,10 @@ pub struct SuperstepFrame<S, M> {
     spare: Inbox<M>,
     /// Retained pull-snapshot target (`clone_from` instead of `clone`).
     snapshot: Vec<S>,
+    /// Settled-vertex bitmap for bottom-up pull supersteps (one bit per
+    /// vertex), rebuilt from the states at the start of each bottom-up
+    /// superstep; capacity retained across supersteps and runs.
+    dense_visited: Vec<u64>,
     /// The current superstep's active list.
     active: Vec<VertexId>,
     /// The next superstep's active list (worklist strategy); swaps with
@@ -393,6 +419,7 @@ impl<S, M: Copy + Send + Sync> SuperstepFrame<S, M> {
             inbox: Inbox::new(),
             spare: Inbox::new(),
             snapshot: Vec::new(),
+            dense_visited: Vec::new(),
             active: Vec::new(),
             next_active: Vec::new(),
             agg_parts: Vec::new(),
@@ -598,6 +625,7 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         inbox,
         spare,
         snapshot: snapshot_buf,
+        dense_visited,
         active,
         next_active,
         agg_parts: agg_parts_buf,
@@ -607,18 +635,46 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         ..
     } = frame;
     let recycle = *recycle;
-    // Worklist state: the compacted next-superstep active list, built in
-    // O(messages + non-halted) during the previous superstep, and a
-    // generation tag per vertex for exactly-once insertion.
-    let gen: Vec<AtomicU64> = if worklist {
-        (0..n).map(|_| AtomicU64::new(u64::MAX)).collect()
-    } else {
-        Vec::new()
-    };
     // Pull-mode delivery requires a gather rule and a combiner to fold
     // the gathered messages with; otherwise Delivery::Pull/Auto silently
     // degrade to push.
     let supports_pull = program.supports_pull() && program.combiner().is_some();
+    // Bottom-up gathering additionally requires a settled predicate (the
+    // visited-set the probe loop early-exits against).
+    let bottom_up = supports_pull && program.supports_bottom_up();
+    let auto_delivery = config.delivery == Delivery::Auto;
+    // Beamer direction optimization: bottom-up capable program under
+    // Auto with a positive alpha; everything else on the Auto path uses
+    // the plain `pull_threshold` density rule.
+    let beamer = auto_delivery && bottom_up && config.beamer_alpha > 0.0;
+    // The generation-tag claim machinery serves two consumers: the
+    // worklist active set, and Auto's next-frontier estimate (distinct
+    // claimed destinations — NOT the shipped message count, which
+    // overcounts hubs that receive many combined messages).
+    let track_next = worklist || (auto_delivery && supports_pull);
+    // Worklist state: the compacted next-superstep active list, built in
+    // O(messages + non-halted) during the previous superstep, and a
+    // generation tag per vertex for exactly-once insertion.
+    let gen: Vec<AtomicU64> = if track_next {
+        (0..n).map(|_| AtomicU64::new(u64::MAX)).collect()
+    } else {
+        Vec::new()
+    };
+    // Beamer's alpha rule compares the frontier's edges against the
+    // still-unexplored edges; settled transitions observed in compute
+    // keep the explored total exact, seeded here so a resumed run (or a
+    // program whose `init` settles vertices) starts from truth.
+    let total_arcs = graph.degree_sum();
+    let mut explored_edges: u64 = if beamer {
+        states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| program.is_settled(st))
+            .map(|(v, _)| graph.degree(v as u64))
+            .sum()
+    } else {
+        0
+    };
     // Set at the end of superstep s when s + 1 will gather instead of
     // receiving shipped messages.
     let mut pulling = false;
@@ -649,13 +705,37 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
             *bucket_cursors = WorkerScratch::new(workers.max(1));
             snapshot_buf.clear();
             snapshot_buf.shrink_to_fit();
+            dense_visited.clear();
+            dense_visited.shrink_to_fit();
             agg_parts_buf.shrink_to_fit();
             active.shrink_to_fit();
             next_active.shrink_to_fit();
         }
 
         // ---- Phase A: find active vertices -------------------------------
-        if pulling {
+        if pulling && bottom_up {
+            // Bottom-up superstep: rebuild the settled bitmap from the
+            // states as of the previous boundary, then activate only the
+            // *unsettled* non-isolated vertices (the ones a probe could
+            // still improve) plus the already-awake.  Settled awake
+            // vertices run compute with no gather (see Phase B).
+            let words = n.div_ceil(64);
+            dense_visited.clear();
+            dense_visited.resize(words, 0);
+            for (v, st) in states.iter().enumerate() {
+                if program.is_settled(st) {
+                    dense_visited[v >> 6] |= 1u64 << (v & 63);
+                }
+            }
+            let visited: &[u64] = dense_visited;
+            active.clear();
+            active.extend((0..n as u64).filter(|&v| {
+                let settled = visited[(v >> 6) as usize] >> (v & 63) & 1 == 1;
+                // Relaxed: halt flags were stored before the previous
+                // superstep's pool join, which happens-before this scan.
+                (!settled && graph.degree(v) > 0) || halted[v as usize].load(Ordering::Relaxed) == 0
+            }));
+        } else if pulling {
             // Pull superstep: any vertex with a neighbor may gather a
             // message, so the active set is every non-isolated vertex
             // plus the already-awake (a superset of push's receivers —
@@ -688,9 +768,15 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         if let Some(r) = rec.as_deref_mut() {
             let mut c = if pulling {
                 // Pull supersteps scan degrees + halt flags densely no
-                // matter the strategy.
+                // matter the strategy; bottom-up ones additionally read
+                // every state for the settled bitmap and write its words.
                 let mut c = PhaseCounts::with_items(n as u64);
-                c.reads = 2 * n as u64;
+                c.reads = if bottom_up {
+                    3 * n as u64
+                } else {
+                    2 * n as u64
+                };
+                c.writes = if bottom_up { n.div_ceil(64) as u64 } else { 0 };
                 c.alu_ops = n as u64;
                 c
             } else {
@@ -745,6 +831,7 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         let delivered = AtomicU64::new(0);
         let pull_probes = AtomicU64::new(0);
         let pull_hits = AtomicU64::new(0);
+        let settled_deg = AtomicU64::new(0);
         let extra_reads = AtomicU64::new(0);
         let extra_alu = AtomicU64::new(0);
         let halt_votes = AtomicU64::new(0);
@@ -762,6 +849,7 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         let states_base = states.as_mut_ptr() as usize;
         {
             let active_ref: &[VertexId] = active;
+            let visited_ref: &[u64] = dense_visited;
             let inbox_ref = &*inbox;
             let halted_ref = &halted;
             let snapshot_ref = &snapshot;
@@ -779,6 +867,7 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
                 let mut agg = (0u64, 0.0f64);
                 let mut local_delivered = 0u64;
                 let mut local_probes = (0u64, 0u64);
+                let mut local_settled_deg = 0u64;
                 let mut local_extra = (0u64, 0u64);
                 let mut local_halts = 0u64;
                 for i in range {
@@ -787,19 +876,43 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
                     // snapshotted states; push mode: read the inbox.
                     let mut gathered: Option<P::Message> = None;
                     if let Some(snap) = snapshot_ref {
-                        // lint:allow(no-panic-in-lib): unreachable — the
-                        // snapshot exists only when `pulling`, and pull
-                        // mode is gated on `supports_pull`, which requires
-                        // `combiner().is_some()` at the top of the run.
-                        let comb = program.combiner().expect("pull mode requires a combiner");
-                        for &u in graph.neighbors(v) {
-                            local_probes.0 += 1;
-                            if let Some(m) = program.pull_from(graph, u, &snap[u as usize]) {
-                                local_probes.1 += 1;
-                                gathered = Some(match gathered {
-                                    None => m,
-                                    Some(acc) => comb.combine(acc, m),
-                                });
+                        if bottom_up {
+                            // Bottom-up probe: settled vertices have
+                            // nothing to gain — skip the gather entirely.
+                            // Unsettled ones scan neighbors against the
+                            // settled bitmap and stop at the *first*
+                            // offer: the settled-predicate contract says
+                            // any one offer is as good as the full fold.
+                            let settled = visited_ref[(v >> 6) as usize] >> (v & 63) & 1 == 1;
+                            if !settled {
+                                for &u in graph.neighbors(v) {
+                                    local_probes.0 += 1;
+                                    if visited_ref[(u >> 6) as usize] >> (u & 63) & 1 == 1 {
+                                        if let Some(m) =
+                                            program.pull_from(graph, u, &snap[u as usize])
+                                        {
+                                            local_probes.1 += 1;
+                                            gathered = Some(m);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            // lint:allow(no-panic-in-lib): unreachable — the
+                            // snapshot exists only when `pulling`, and pull
+                            // mode is gated on `supports_pull`, which requires
+                            // `combiner().is_some()` at the top of the run.
+                            let comb = program.combiner().expect("pull mode requires a combiner");
+                            for &u in graph.neighbors(v) {
+                                local_probes.0 += 1;
+                                if let Some(m) = program.pull_from(graph, u, &snap[u as usize]) {
+                                    local_probes.1 += 1;
+                                    gathered = Some(match gathered {
+                                        None => m,
+                                        Some(acc) => comb.combine(acc, m),
+                                    });
+                                }
                             }
                         }
                     }
@@ -826,7 +939,13 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
                     // SAFETY: active vertices are distinct, so state
                     // writes are disjoint across iterations.
                     let state = unsafe { &mut *(states_base as *mut P::State).add(v as usize) };
+                    let was_settled = beamer && program.is_settled(state);
                     program.compute(&mut ctx, state, msgs);
+                    // A vertex settling this superstep moves its edges
+                    // from "unexplored" to "explored" for the alpha rule.
+                    if beamer && !was_settled && program.is_settled(state) {
+                        local_settled_deg += graph.degree(v);
+                    }
                     // Relaxed: each active vertex's flag is written once
                     // (active set is distinct) and read only after join.
                     halted_ref[v as usize].store(ctx.halt as u64, Ordering::Relaxed);
@@ -835,9 +954,10 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
                     if tracing {
                         local_halts += u64::from(ctx.halt);
                     }
-                    // Worklist: a vertex that stayed awake is active next
-                    // superstep regardless of messages; claim its slot.
-                    if worklist
+                    // Worklist/estimator: a vertex that stayed awake is
+                    // active next superstep regardless of messages;
+                    // claim its slot.
+                    if track_next
                         && !ctx.halt
                         // Relaxed: the tag elects one claimer per
                         // generation; the list is read after the join.
@@ -859,6 +979,10 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
                     // Relaxed: stats counters, read only post-join.
                     pull_probes.fetch_add(local_probes.0, Ordering::Relaxed);
                     pull_hits.fetch_add(local_probes.1, Ordering::Relaxed); // Relaxed: stats, post-join
+                }
+                if local_settled_deg > 0 {
+                    // Relaxed: estimator input, read only post-join.
+                    settled_deg.fetch_add(local_settled_deg, Ordering::Relaxed);
                 }
                 if tracing {
                     // Relaxed: trace counter, read only post-join.
@@ -889,66 +1013,99 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         // meaningful when there is traffic to replace, and never on the
         // superstep the limit will interrupt (checkpoints persist the
         // inbox, which a pull superstep would not have).
-        let pull_next = supports_pull
+        let pull_candidate = supports_pull
             && shipped > 0
             && s + 1 < config.max_supersteps
             // Once a stop is requested the next boundary must be a push
             // boundary (checkpointable); never enter pull mode past it.
-            && !stop.is_some_and(|f| f())
+            && !stop.is_some_and(|f| f());
+        // The destination claim pass: one generation-tagged claim per
+        // distinct message destination, merged with the stayed-awake
+        // claims from compute.  O(messages), never O(V).  It runs when
+        // the worklist needs the next active list (skipped when a
+        // static-pull superstep will ignore it anyway) or when Auto
+        // needs the density estimate — which must count *distinct*
+        // destinations, not shipped messages: a hub receiving thousands
+        // of combined messages is still one awake vertex.
+        let need_estimate = auto_delivery && pull_candidate;
+        let claims_ran =
+            need_estimate || (worklist && !(pull_candidate && config.delivery == Delivery::Pull));
+        // Borrow the collected messages in place (the storage stays with
+        // the collector for next superstep's reuse).
+        let collected = collector.collected();
+        if claims_ran {
+            let collected_ref = &collected;
+            let awake_ref = &*awake_scratch;
+            exec.pfor_chunked(0, collected_ref.num_batches(), 1, |worker, range| {
+                // SAFETY: at most one live thread per worker id, so
+                // the awake slot is private to this invocation.
+                let local = unsafe { awake_ref.get(worker) };
+                for b in range {
+                    for &(dst, _) in collected_ref.batch(b) {
+                        // Relaxed: generation tag elects one claimer;
+                        // the list itself is read only after the join.
+                        if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
+                            local.push(dst);
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    next_active_parts.lock().extend(local.drain(..));
+                }
+            });
+        }
+        *next_active = next_active_parts.into_inner();
+        // Exactly the vertices that will run compute next superstep:
+        // distinct message destinations ∪ stayed-awake claimers.
+        let est_active = next_active.len() as u64;
+        // Beamer m_f: edges incident on the estimated next frontier.
+        let est_frontier_edges: u64 = if need_estimate && beamer && !pulling {
+            next_active.iter().map(|&v| graph.degree(v)).sum()
+        } else {
+            0
+        };
+        explored_edges += settled_deg.load(Ordering::Relaxed); // Relaxed: post-join read
+        let pull_next = pull_candidate
             && match config.delivery {
                 Delivery::Push => false,
                 Delivery::Pull => true,
                 Delivery::Auto => {
-                    // Estimate the next active fraction from boundary
-                    // traffic (each shipped message wakes at most one
-                    // distinct vertex).
-                    let est_active = shipped.min(n as u64);
-                    est_active as f64 >= config.pull_threshold * n as f64
+                    if beamer {
+                        if pulling {
+                            // Hysteresis exit: stay bottom-up until the
+                            // frontier thins below n / beta.
+                            est_active as f64 * config.beamer_beta >= n as f64
+                        } else {
+                            // Enter bottom-up when the frontier's edges
+                            // outweigh the unexplored edges / alpha.
+                            let unexplored = total_arcs.saturating_sub(explored_edges);
+                            est_frontier_edges as f64 * config.beamer_alpha > unexplored as f64
+                        }
+                    } else {
+                        est_active as f64 >= config.pull_threshold * n as f64
+                    }
                 }
             };
         // Messages that actually cross the boundary: none when the next
         // superstep gathers instead.
         let messages_sent = if pull_next { 0 } else { shipped };
 
-        // Borrow the collected messages in place (the storage stays with
-        // the collector for next superstep's reuse) and rebuild the
-        // spare inbox from them; the live/spare swap happens at the
-        // bottom of the loop.
+        // Rebuild the spare inbox from the collected messages; the
+        // live/spare swap happens at the bottom of the loop.
         let mut collected_view: Option<Collected<'_, P::Message>> = None;
         if pull_next {
             // The pushed messages are discarded: the next superstep
             // re-derives them (and possibly more, harmlessly) from
             // neighbor state.  The worklist is likewise bypassed — the
-            // pull superstep activates every non-isolated vertex.
-            *next_active = next_active_parts.into_inner();
+            // pull superstep re-derives its own active set.
             next_active.clear();
             spare.reset_empty(n);
         } else {
-            let collected = collector.collected();
-            if worklist {
-                // Message destinations are active next superstep; claim
-                // each exactly once. O(messages), never O(V).
-                let collected_ref = &collected;
-                let awake_ref = &*awake_scratch;
-                exec.pfor_chunked(0, collected_ref.num_batches(), 1, |worker, range| {
-                    // SAFETY: at most one live thread per worker id, so
-                    // the awake slot is private to this invocation.
-                    let local = unsafe { awake_ref.get(worker) };
-                    for b in range {
-                        for &(dst, _) in collected_ref.batch(b) {
-                            // Relaxed: generation tag elects one claimer;
-                            // the list itself is read only after the join.
-                            if gen[dst as usize].swap(s + 1, Ordering::Relaxed) != s + 1 {
-                                local.push(dst);
-                            }
-                        }
-                    }
-                    if !local.is_empty() {
-                        next_active_parts.lock().extend(local.drain(..));
-                    }
-                });
+            if !worklist {
+                // The claims fed the density estimate only; the next
+                // active set is rebuilt densely.
+                next_active.clear();
             }
-            *next_active = next_active_parts.into_inner();
             match &collected {
                 Collected::Flat(batches) => {
                     spare.rebuild_exec(exec, n, batches, program.combiner())
@@ -1016,10 +1173,16 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
             if pull_next {
                 let state_words = (std::mem::size_of::<P::State>() as u64).div_ceil(8).max(1);
                 xmt_model::charge_pull_exchange(&mut e, n as u64, state_words);
+                if claims_ran {
+                    // Generation-tag claims feeding the estimator (the
+                    // shipped messages were claimed before discarding).
+                    e.atomics += shipped + a;
+                }
             } else {
                 charge_exchange(&mut e, config.transport, messages_sent, msg_words, n as u64);
-                if worklist {
-                    // Generation-tag claims for the next active list.
+                if claims_ran {
+                    // Generation-tag claims for the next active list
+                    // and/or the density estimate.
                     e.atomics += messages_sent + a;
                 }
             }
@@ -1071,6 +1234,14 @@ pub fn run_bsp_slice_exec<P: VertexProgram>(
         s += 1;
     }
 
+    // A cut boundary must have materialized in-flight messages: the
+    // stop gate refuses pull boundaries and `pull_candidate` refuses to
+    // enter pull mode once the hook fires (or within one superstep of
+    // the limit), so an interrupted run can never be about to gather.
+    debug_assert!(
+        !((hit_limit || stopped) && pulling),
+        "checkpoint cut on a pull boundary"
+    );
     let resume = (hit_limit || stopped).then(|| ResumePoint {
         superstep: s,
         halted: halted
@@ -2037,5 +2208,126 @@ mod tests {
                 0
             }
         );
+    }
+
+    /// A pull-capable min-flood without a settled predicate: Auto uses
+    /// the `pull_threshold` density rule for it.
+    struct ThresholdFlood;
+    impl VertexProgram for ThresholdFlood {
+        type State = u64;
+        type Message = u64;
+        fn init(&self, v: VertexId) -> u64 {
+            v
+        }
+        fn compute(&self, ctx: &mut Context<'_, u64>, state: &mut u64, msgs: &[u64]) {
+            let mut improved = ctx.superstep() == 0;
+            for &m in msgs {
+                if m < *state {
+                    *state = m;
+                    improved = true;
+                }
+            }
+            if improved {
+                let s = *state;
+                ctx.send_to_neighbors(s);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combiner(&self) -> Option<&dyn Combiner<u64>> {
+            Some(&MinCombiner)
+        }
+        fn pull_from(&self, _g: &Csr, _u: VertexId, state: &u64) -> Option<u64> {
+            Some(*state)
+        }
+        fn supports_pull(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn auto_estimator_counts_distinct_destinations_not_messages() {
+        // Regression for the density-estimate bug: on a star, superstep 1
+        // has every leaf sending its (now minimal) label to the hub — 63
+        // shipped messages but exactly ONE distinct destination.  The old
+        // estimator (`shipped.min(n)`) read that as a 98%-dense frontier
+        // and flipped superstep 2 into pull mode; the fixed one counts
+        // claimed destinations and keeps pushing.
+        let g = build_undirected(&star(64));
+        let r = run_bsp(
+            &g,
+            &ThresholdFlood,
+            BspConfig {
+                delivery: Delivery::Auto,
+                ..Default::default()
+            },
+            None,
+        );
+        // Superstep 0 activates all 64 vertices, so superstep 1 is
+        // genuinely dense and pulls.
+        assert!(r.superstep_stats[1].pulled, "superstep 1 should pull");
+        // Superstep 2's real frontier is the hub alone: must push.
+        assert!(
+            !r.superstep_stats[2].pulled,
+            "hub-only frontier misread as dense: the estimator counted \
+             messages, not destinations"
+        );
+        assert!(r.superstep_stats.iter().skip(2).all(|s| !s.pulled));
+        assert!(r.states.iter().all(|&s| s == 0));
+
+        // Same run under the worklist strategy (which shares the claim
+        // machinery) must agree.
+        let wl = run_bsp(
+            &g,
+            &ThresholdFlood,
+            BspConfig {
+                delivery: Delivery::Auto,
+                active_set: ActiveSetStrategy::Worklist,
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(wl.states, r.states);
+        let pulled: Vec<bool> = r.superstep_stats.iter().map(|s| s.pulled).collect();
+        let wl_pulled: Vec<bool> = wl.superstep_stats.iter().map(|s| s.pulled).collect();
+        assert_eq!(pulled, wl_pulled);
+    }
+
+    #[test]
+    fn stop_hook_never_cuts_on_a_pull_boundary_under_auto() {
+        // Regression for the `!stop.is_some_and(...)` gate: a zero
+        // threshold makes Auto want to pull at EVERY boundary with
+        // traffic, so the frontier is "dense" at the cut; the stop gate
+        // must still land the checkpoint on a push boundary with a
+        // materialized inbox, and the resumed run must compose exactly.
+        for strategy in [ActiveSetStrategy::DenseScan, ActiveSetStrategy::Worklist] {
+            let cfg = BspConfig {
+                delivery: Delivery::Auto,
+                pull_threshold: 0.0,
+                active_set: strategy,
+                ..Default::default()
+            };
+            let g = build_undirected(&path(30));
+            let whole = run_bsp(&g, &ThresholdFlood, cfg, None);
+            // Sanity: without a stop, this config pulls.
+            assert!(whole.superstep_stats.iter().any(|s| s.pulled));
+
+            let polls = AtomicU64::new(0);
+            let hook = || polls.fetch_add(1, Ordering::Relaxed) >= 2;
+            let first =
+                run_bsp_slice_with_stop(&g, &ThresholdFlood, cfg, None, None, Some(&hook)).unwrap();
+            let ckpt = first.resume.expect("stopped run must yield a checkpoint");
+            assert!(first.result.stopped_early, "{strategy:?}");
+            // The cut landed on a push boundary: its in-flight messages
+            // were materialized into the checkpoint (a pull boundary
+            // would have nothing to persist).
+            assert!(
+                !ckpt.pending.is_empty(),
+                "{strategy:?}: cut on a boundary without materialized messages"
+            );
+            let second =
+                resume_bsp(&g, &ThresholdFlood, cfg, None, first.result.states, ckpt).unwrap();
+            assert_eq!(second.result.states, whole.states, "{strategy:?}");
+            assert_eq!(second.result.supersteps, whole.supersteps, "{strategy:?}");
+        }
     }
 }

@@ -113,8 +113,10 @@ fn bfs_matches_fresh_across_transports_and_deliveries() {
     let source = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
     let program = BfsProgram { source };
     let mut frame = SuperstepFrame::new();
+    // `Auto` here is the Beamer alpha/beta rule: BFS is bottom-up
+    // capable, so the frame's dense visited bitmap is exercised too.
     for transport in TRANSPORTS {
-        for delivery in [Delivery::Push, Delivery::Pull] {
+        for delivery in DELIVERIES {
             let config = BspConfig {
                 transport,
                 delivery,
@@ -198,7 +200,7 @@ fn bfs_native_matches_sim_across_transports_and_deliveries() {
     let source = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
     let program = BfsProgram { source };
     for transport in TRANSPORTS {
-        for delivery in [Delivery::Push, Delivery::Pull] {
+        for delivery in DELIVERIES {
             let config = BspConfig {
                 transport,
                 delivery,

@@ -7,6 +7,16 @@
 //! next-frontier queue through a shared fetch-and-add cursor (the mild
 //! hotspot responsible for the reduced scalability at 128 processors in
 //! Fig. 3).
+//!
+//! Levels are direction-optimized (Beamer): when the frontier's edges
+//! outgrow the unexplored edges by `BEAMER_ALPHA`, the level flips to a
+//! bottom-up expansion — every *unvisited* vertex probes its neighbors
+//! against a dense frontier bitmap and stops at the first hit — and
+//! flips back once the frontier thins below `1 / BEAMER_BETA` of the
+//! vertices.  Distances and frontier sizes are identical to pure
+//! top-down; only the parents (any valid BFS tree) and the edge-probe
+//! counts differ.  The same alpha/beta hysteresis drives the BSP
+//! engine's `Delivery::Auto`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -55,6 +65,13 @@ pub fn bfs_traced(g: &Csr, source: VertexId, sink: &mut xmt_trace::TraceSink) ->
     run(g, source, &mut None, Some(sink), &Executor::fixed())
 }
 
+/// Beamer top-down→bottom-up switch ratio (GAP default), mirroring
+/// `BspConfig::beamer_alpha`.
+const BEAMER_ALPHA: f64 = 15.0;
+/// Beamer bottom-up→top-down switch ratio (GAP default), mirroring
+/// `BspConfig::beamer_beta`.
+const BEAMER_BETA: f64 = 18.0;
+
 fn run(
     g: &Csr,
     source: VertexId,
@@ -96,13 +113,82 @@ fn run(
     // shared fetch-and-add cursor.  Zeroed allocation, viewed as atomics.
     let mut next_storage = vec![0u64; n];
     let next: &[AtomicU64] = xmt_par::atomic::as_atomic_u64(&mut next_storage);
+    // Frontier-membership bitmap for bottom-up levels (one bit per
+    // vertex), allocated once and rebuilt per bottom-up level.
+    let mut bits_storage = vec![0u64; n.div_ceil(64)];
+    let frontier_bits: &[AtomicU64] = xmt_par::atomic::as_atomic_u64(&mut bits_storage);
+    let total_arcs = g.degree_sum();
+    // Edges incident on every frontier so far (each vertex enters the
+    // frontier at most once, so this never exceeds `total_arcs`).
+    let mut explored: u64 = 0;
+    let mut bottom_up = false;
 
     while !frontier.is_empty() {
+        // Direction decision with Beamer hysteresis: flip to bottom-up
+        // when the frontier's edges outweigh the unexplored edges by
+        // alpha, flip back when the frontier thins below n / beta.
+        let frontier_deg: u64 = frontier.iter().map(|&v| g.degree(v)).sum();
+        explored += frontier_deg;
+        bottom_up = if bottom_up {
+            frontier.len() as f64 * BEAMER_BETA >= n as f64
+        } else {
+            let unexplored = total_arcs.saturating_sub(explored);
+            frontier_deg as f64 * BEAMER_ALPHA > unexplored as f64
+        };
+
         let cursor = AtomicU64::new(0);
         let edges_scanned = AtomicU64::new(0);
         let mut level_watch = tracing.then(xmt_trace::Stopwatch::start);
 
-        {
+        if bottom_up {
+            // Rebuild the frontier bitmap (zero the words, then set one
+            // bit per frontier vertex).
+            exec.pfor(0, frontier_bits.len(), |w| {
+                // Relaxed: each word rewritten before the build join that
+                // publishes the bitmap to the probe loop.
+                frontier_bits[w].store(0, Ordering::Relaxed);
+            });
+            {
+                let frontier_ref = &frontier;
+                exec.pfor(0, frontier_ref.len(), |i| {
+                    let v = frontier_ref[i];
+                    // Relaxed: bit sets commute; the pfor join publishes.
+                    frontier_bits[(v >> 6) as usize].fetch_or(1 << (v & 63), Ordering::Relaxed);
+                });
+            }
+            // Bottom-up expansion: every unvisited vertex probes its
+            // neighbors against the bitmap and claims itself at the
+            // first hit — no dist race (each vertex is written only by
+            // its own iteration) and one queue append per discovery.
+            exec.pfor(0, n, |vi| {
+                // Relaxed: dist writes preceded the previous level's
+                // join; this level writes vi's slot only from here.
+                if dist[vi].load(Ordering::Relaxed) != u64::MAX {
+                    return;
+                }
+                let v = vi as u64;
+                let mut probes = 0u64;
+                for &u in g.neighbors(v) {
+                    probes += 1;
+                    let word = u as usize >> 6;
+                    // Relaxed: the bitmap was published by the build join.
+                    let hit = frontier_bits[word].load(Ordering::Relaxed) >> (u & 63) & 1;
+                    if hit == 1 {
+                        // This iteration is the sole writer of vi's
+                        // dist/parent; the level-ending join publishes.
+                        dist[vi].store(level + 1, Ordering::Relaxed); // Relaxed: sole writer
+                        parent[vi].store(u, Ordering::Relaxed); // Relaxed: sole writer
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed) as usize; // Relaxed: slot reservation only
+                        next[slot].store(v, Ordering::Relaxed); // Relaxed: read post-join
+                        break;
+                    }
+                }
+                if probes > 0 {
+                    // Relaxed: statistics counter, read after the join.
+                    edges_scanned.fetch_add(probes, Ordering::Relaxed);
+                }
+            });
+        } else {
             let frontier_ref = &frontier;
             exec.pfor(0, frontier_ref.len(), |i| {
                 let v = frontier_ref[i];
@@ -130,16 +216,35 @@ fn run(
         let discovered = next_len as u64;
         if let Some(r) = rec.as_deref_mut() {
             let scanned = edges_scanned.load(Ordering::Relaxed); // Relaxed: post-join read
-            let mut c = PhaseCounts::with_items(scanned.max(frontier.len() as u64));
-            // Per frontier vertex: offsets read; per edge: neighbor id +
-            // dist probe; per discovery: dist claim + parent write +
-            // queue write, with the queue cursor as the hotspot.
-            c.reads = frontier.len() as u64 + 2 * scanned;
-            c.alu_ops = scanned;
-            c.atomics = discovered;
-            c.writes = 2 * discovered;
-            c.hotspot_ops = discovered;
-            c.charge_loop_overhead(chunk(frontier.len(), workers));
+            let mut c = if bottom_up {
+                // Bottom-up: one dist probe per vertex, neighbor id +
+                // frontier bit per edge probed; per discovery a plain
+                // dist/parent/queue write (the claim is implicit — each
+                // vertex writes only itself) with the queue cursor as
+                // the hotspot; the bitmap build pays one atomic OR per
+                // frontier vertex and a word-zeroing sweep.
+                let mut c = PhaseCounts::with_items(scanned.max(n as u64));
+                c.reads = n as u64 + 2 * scanned;
+                c.alu_ops = scanned;
+                c.atomics = discovered + frontier.len() as u64;
+                c.writes = 3 * discovered + frontier_bits.len() as u64;
+                c.hotspot_ops = discovered;
+                c.charge_loop_overhead(chunk(n, workers));
+                c
+            } else {
+                // Per frontier vertex: offsets read; per edge: neighbor
+                // id + dist probe; per discovery: dist claim + parent
+                // write + queue write, with the queue cursor as the
+                // hotspot.
+                let mut c = PhaseCounts::with_items(scanned.max(frontier.len() as u64));
+                c.reads = frontier.len() as u64 + 2 * scanned;
+                c.alu_ops = scanned;
+                c.atomics = discovered;
+                c.writes = 2 * discovered;
+                c.hotspot_ops = discovered;
+                c.charge_loop_overhead(chunk(frontier.len(), workers));
+                c
+            };
             c.barriers = 1;
             r.push("level", level, c, frontier.len() as u64);
         }
@@ -168,6 +273,13 @@ fn run(
                     // Relaxed: post-join read of a stats counter.
                     messages_generated: edges_scanned.load(Ordering::Relaxed),
                     messages_delivered: discovered,
+                    pulled: bottom_up,
+                    pull_probes: if bottom_up {
+                        // Relaxed: post-join read of a stats counter.
+                        edges_scanned.load(Ordering::Relaxed)
+                    } else {
+                        0
+                    },
                     compute_ns,
                     exchange_ns,
                     total_ns: compute_ns + exchange_ns,

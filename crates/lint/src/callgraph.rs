@@ -26,19 +26,117 @@ use crate::workspace::{LockId, WorkspaceModel};
 /// workspace function linking into them would fabricate edges.
 /// (Losing a real link here costs coverage only, never a false report.)
 const NO_RESOLVE: &[&str] = &[
-    "new", "default", "clone", "get", "get_mut", "insert", "remove", "take", "replace", "push",
-    "pop", "push_back", "pop_front", "append", "extend", "drain", "clear", "len", "is_empty",
-    "contains", "contains_key", "entry", "or_insert", "or_insert_with", "or_default", "keys",
-    "values", "values_mut", "iter", "iter_mut", "into_iter", "next", "map", "and_then", "then",
-    "filter", "filter_map", "flat_map", "fold", "find", "position", "collect", "sort", "sort_by",
-    "sort_by_key", "sort_unstable", "retain", "split", "join", "send", "recv", "store", "load",
-    "fetch_add", "fetch_sub", "fetch_or", "swap", "compare_exchange", "min", "max", "abs", "from",
-    "into", "as_str", "to_string", "to_vec", "to_owned", "eq", "cmp", "fmt", "write_all",
-    "write_fmt", "flush", "read_line", "read_to_string", "parse", "expect", "unwrap", "unwrap_or",
-    "unwrap_or_else", "unwrap_or_default", "ok", "ok_or", "ok_or_else", "map_err", "err",
-    "is_some", "is_none", "is_ok", "is_err", "as_ref", "as_mut", "as_bytes", "as_slice", "name",
-    "get_or_insert", "strip_prefix", "starts_with", "ends_with", "trim", "rev", "count", "sum",
-    "any", "all", "zip", "chain", "enumerate", "skip", "cloned", "copied",
+    "new",
+    "default",
+    "clone",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "take",
+    "replace",
+    "push",
+    "pop",
+    "push_back",
+    "pop_front",
+    "append",
+    "extend",
+    "drain",
+    "clear",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "keys",
+    "values",
+    "values_mut",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "then",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "find",
+    "position",
+    "collect",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "retain",
+    "split",
+    "join",
+    "send",
+    "recv",
+    "store",
+    "load",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "swap",
+    "compare_exchange",
+    "min",
+    "max",
+    "abs",
+    "from",
+    "into",
+    "as_str",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "eq",
+    "cmp",
+    "fmt",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read_line",
+    "read_to_string",
+    "parse",
+    "expect",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "map_err",
+    "err",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "as_ref",
+    "as_mut",
+    "as_bytes",
+    "as_slice",
+    "name",
+    "get_or_insert",
+    "strip_prefix",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "rev",
+    "count",
+    "sum",
+    "any",
+    "all",
+    "zip",
+    "chain",
+    "enumerate",
+    "skip",
+    "cloned",
+    "copied",
 ];
 
 /// How one observed order edge was witnessed.
@@ -125,17 +223,17 @@ impl LockReport {
             out.push_str(&format!("  {chain}  ({}:{line})\n", path.display()));
         }
         out.push_str("observed nesting edges:\n");
-        let observed: Vec<&Edge> = self.edges.iter().filter(|e| !e.witnesses.is_empty()).collect();
+        let observed: Vec<&Edge> = self
+            .edges
+            .iter()
+            .filter(|e| !e.witnesses.is_empty())
+            .collect();
         if observed.is_empty() {
             out.push_str("  (none)\n");
         }
         for e in observed {
             let mark = if e.covered { "covered" } else { "UNDECLARED" };
-            let w = e
-                .witnesses
-                .first()
-                .map(|w| w.render())
-                .unwrap_or_default();
+            let w = e.witnesses.first().map(|w| w.render()).unwrap_or_default();
             out.push_str(&format!("  {} -> {}  [{mark}]  {w}\n", e.from, e.to));
         }
         out.push_str(&format!("uncovered nestings: {}\n", self.uncovered));

@@ -86,8 +86,7 @@ pub fn workspace_rules() -> Vec<WorkspaceRule> {
         WorkspaceRule {
             name: "lock-order-cycle",
             severity: Severity::Error,
-            summary:
-                "cycle in the global lock acquisition-order graph (potential deadlock), \
+            summary: "cycle in the global lock acquisition-order graph (potential deadlock), \
                  reported with the witness path of functions and locks",
         },
         WorkspaceRule {
@@ -103,8 +102,7 @@ pub fn workspace_rules() -> Vec<WorkspaceRule> {
         WorkspaceRule {
             name: "lock-order-undeclared",
             severity: Severity::Warning,
-            summary:
-                "observed lock nesting not covered by a declared lint:order chain (advisory)",
+            summary: "observed lock nesting not covered by a declared lint:order chain (advisory)",
         },
     ]
 }

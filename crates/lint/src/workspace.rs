@@ -269,7 +269,10 @@ impl LockIndex {
         for l in locks {
             if let Some((krate, name)) = l.id.split_once('/') {
                 exact.insert((krate.to_string(), name.to_string()), l.id.clone());
-                by_name.entry(name.to_string()).or_default().push(l.id.clone());
+                by_name
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(l.id.clone());
             }
         }
         LockIndex {
@@ -318,7 +321,7 @@ fn declared_fields(code: &str, types: &[&str]) -> Vec<String> {
         let bare = ty.trim_end_matches('<');
         for at in token_positions(code, bare) {
             // `Mutex<` needs the generic bracket; `Condvar` stands alone.
-            if ty.ends_with('<') && code[at + bare.len()..].chars().next() != Some('<') {
+            if ty.ends_with('<') && !code[at + bare.len()..].starts_with('<') {
                 continue;
             }
             // Form 1: `name: Type<..>` — identifier before the last
@@ -409,7 +412,9 @@ fn parse_order(comment: &str, krate: &str, path: &Path, line: usize) -> Option<O
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '/');
         if !ok {
-            malformed = Some(format!("`{name}` is not a lock name (ident or crate/ident)"));
+            malformed = Some(format!(
+                "`{name}` is not a lock name (ident or crate/ident)"
+            ));
             break;
         }
         if name.contains('/') {
@@ -463,10 +468,7 @@ fn extract_functions(
             };
             walk_body(m, *span, &krate, locks, guard_fns, &mut fact);
             if returns_guard_type(&sig) {
-                fact.returns_guard = fact
-                    .acquires
-                    .first()
-                    .map(|a| a.lock.clone());
+                fact.returns_guard = fact.acquires.first().map(|a| a.lock.clone());
             }
             out.push(fact);
         }
@@ -638,8 +640,19 @@ fn walk_body(
                     ci += 1;
                 }
                 handle_token(
-                    m, i, code, at, id, prev_ident, &let_var, krate, locks, guard_fns, &mut guards,
-                    depth, fact,
+                    m,
+                    i,
+                    code,
+                    at,
+                    id,
+                    prev_ident,
+                    &let_var,
+                    krate,
+                    locks,
+                    guard_fns,
+                    &mut guards,
+                    depth,
+                    fact,
                 );
                 prev_ident = Some(id);
                 continue;
@@ -968,10 +981,7 @@ impl S {
 
     #[test]
     fn malformed_orders_are_kept_for_reporting() {
-        let w = ws(&[(
-            "crates/x/src/lib.rs",
-            "// lint:order: a\nfn f() {}\n",
-        )]);
+        let w = ws(&[("crates/x/src/lib.rs", "// lint:order: a\nfn f() {}\n")]);
         assert!(w.orders[0].malformed.is_some());
     }
 

@@ -43,6 +43,16 @@ pub enum ServiceError {
     NoCheckpoint { id: u64 },
     /// The job exists but is not in a state the operation applies to.
     WrongState { id: u64, state: String },
+    /// A tuning parameter in the submitted `BspConfig` fails validation
+    /// (non-finite or negative); nothing was enqueued.  Distinct from
+    /// `BadRequest` so clients can tell a malformed envelope from a
+    /// well-formed request carrying an unusable config.
+    InvalidConfig {
+        /// The offending `BspConfig` field name.
+        field: &'static str,
+        /// The rejected value (may be NaN or infinite).
+        value: f64,
+    },
     /// The request is malformed (unknown op/algorithm, missing field,
     /// out-of-range parameter...).
     BadRequest { message: String },
@@ -65,6 +75,7 @@ impl ServiceError {
             ServiceError::JobNotFound { .. } => "job_not_found",
             ServiceError::NoCheckpoint { .. } => "no_checkpoint",
             ServiceError::WrongState { .. } => "wrong_state",
+            ServiceError::InvalidConfig { .. } => "invalid_config",
             ServiceError::BadRequest { .. } => "bad_request",
             ServiceError::ShuttingDown => "shutting_down",
             ServiceError::Internal { .. } => "internal",
@@ -106,6 +117,10 @@ impl fmt::Display for ServiceError {
             ServiceError::WrongState { id, state } => {
                 write!(f, "job {id} is {state}; operation does not apply")
             }
+            ServiceError::InvalidConfig { field, value } => write!(
+                f,
+                "config field `{field}` must be finite and non-negative, got {value}"
+            ),
             ServiceError::BadRequest { message } => write!(f, "bad request: {message}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Internal { message } => write!(f, "internal error: {message}"),

@@ -258,6 +258,7 @@ fn parse_job_spec(c: &Content) -> Result<JobSpec, ServiceError> {
     if let Some(max) = opt::<u64>(c, "max_supersteps")? {
         config.max_supersteps = max;
     }
+    validate_config(&config)?;
     Ok(JobSpec {
         algorithm,
         engine,
@@ -269,6 +270,24 @@ fn parse_job_spec(c: &Content) -> Result<JobSpec, ServiceError> {
         priority: opt(c, "priority")?.unwrap_or(0),
         deadline_ms: opt(c, "deadline_ms")?,
     })
+}
+
+/// Admission-time validation of the tuning parameters a job's
+/// [`BspConfig`] carries: the delivery heuristics divide and compare by
+/// these, so a NaN or negative value would silently disable or invert
+/// the push/pull decision mid-run.  Rejecting here keeps bad configs
+/// out of the queue entirely.
+fn validate_config(config: &BspConfig) -> Result<(), ServiceError> {
+    for (field, value) in [
+        ("pull_threshold", config.pull_threshold),
+        ("beamer_alpha", config.beamer_alpha),
+        ("beamer_beta", config.beamer_beta),
+    ] {
+        if !value.is_finite() || value < 0.0 {
+            return Err(ServiceError::InvalidConfig { field, value });
+        }
+    }
+    Ok(())
 }
 
 /// Tiny ordered-map builder for response trees.
@@ -656,6 +675,9 @@ mod tests {
     fn full_config_rides_the_wire() {
         let json = serde_json::to_string(&BspConfig {
             max_supersteps: 3,
+            pull_threshold: 0.25,
+            beamer_alpha: 7.5,
+            beamer_beta: 9.0,
             ..BspConfig::default()
         })
         .unwrap();
@@ -667,8 +689,95 @@ mod tests {
         };
         assert_eq!(spec.engine, Engine::GraphCt);
         assert_eq!(spec.config.max_supersteps, 3);
+        assert_eq!(spec.config.pull_threshold, 0.25);
+        assert_eq!(spec.config.beamer_alpha, 7.5);
+        assert_eq!(spec.config.beamer_beta, 9.0);
         assert_eq!(spec.priority, 5);
         assert_eq!(spec.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn negative_tuning_params_are_rejected_at_admission() {
+        for (field, config) in [
+            (
+                "pull_threshold",
+                BspConfig {
+                    pull_threshold: -0.5,
+                    ..BspConfig::default()
+                },
+            ),
+            (
+                "beamer_alpha",
+                BspConfig {
+                    beamer_alpha: -1.0,
+                    ..BspConfig::default()
+                },
+            ),
+            (
+                "beamer_beta",
+                BspConfig {
+                    beamer_beta: -18.0,
+                    ..BspConfig::default()
+                },
+            ),
+        ] {
+            let json = serde_json::to_string(&config).unwrap();
+            let line = format!(r#"{{"op":"submit","algorithm":"cc","graph":"g","config":{json}}}"#);
+            let err = parse(&line).unwrap_err();
+            assert_eq!(err.code(), "invalid_config", "field `{field}`");
+            assert!(
+                err.to_string().contains(field),
+                "`{err}` should name `{field}`"
+            );
+        }
+        // Zero is a legal value for every tuning knob (alpha 0.0 is the
+        // documented Beamer escape hatch).
+        let json = serde_json::to_string(&BspConfig {
+            pull_threshold: 0.0,
+            beamer_alpha: 0.0,
+            beamer_beta: 0.0,
+            ..BspConfig::default()
+        })
+        .unwrap();
+        let line = format!(r#"{{"op":"submit","algorithm":"cc","graph":"g","config":{json}}}"#);
+        assert!(parse(&line).is_ok());
+    }
+
+    #[test]
+    fn non_finite_tuning_params_are_rejected_at_admission() {
+        // JSON itself cannot carry NaN/inf, so exercise the validator
+        // directly: it is the last gate before the queue.
+        for (field, config) in [
+            (
+                "pull_threshold",
+                BspConfig {
+                    pull_threshold: f64::NAN,
+                    ..BspConfig::default()
+                },
+            ),
+            (
+                "beamer_alpha",
+                BspConfig {
+                    beamer_alpha: f64::INFINITY,
+                    ..BspConfig::default()
+                },
+            ),
+            (
+                "beamer_beta",
+                BspConfig {
+                    beamer_beta: f64::NEG_INFINITY,
+                    ..BspConfig::default()
+                },
+            ),
+        ] {
+            let err = validate_config(&config).unwrap_err();
+            assert_eq!(err.code(), "invalid_config", "field `{field}`");
+            let ServiceError::InvalidConfig { field: got, .. } = err else {
+                panic!("wrong variant");
+            };
+            assert_eq!(got, field);
+        }
+        assert!(validate_config(&BspConfig::default()).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@ cargo build --workspace --release
 
 for bin in table1 fig1 fig2 fig3 fig4 fig_service service_stream \
            ablation_queue ablation_labelprop ablation_combiner \
-           ablation_activeset ablation_intersect \
+           ablation_activeset ablation_intersect ablation_direction \
            micro_native graph500 related_work calibrate; do
   echo "== $bin =="
   cargo run --release -p xmt-bench --bin "$bin" -- --out "$OUT" $FLAGS \

@@ -95,6 +95,24 @@ proptest! {
     }
 
     #[test]
+    fn beamer_auto_bfs_matches_reference_on_rmat(scale in 4u32..8, seed in 0u64..6, src_sel in 0u64..1_000_000) {
+        use xmt_bsp_repro::bsp::runtime::{BspConfig, Delivery};
+        use xmt_bsp_repro::graph::gen::rmat::{rmat_edges, RmatParams};
+        let g = build_undirected(&rmat_edges(&RmatParams::graph500(scale), seed));
+        let source = src_sel % g.num_vertices();
+        let (ref_dist, _) = reference_bfs(&g, source);
+        // Beamer Auto flips the heavy supersteps bottom-up; the
+        // distances must nevertheless equal the serial reference, and
+        // so must graphct's direction-optimized shared-memory BFS.
+        let config = BspConfig { delivery: Delivery::Auto, ..BspConfig::default() };
+        let b = bsp_alg::bfs::bsp_bfs_with_config(&g, source, config, None);
+        prop_assert_eq!(&b.dist(), &ref_dist);
+        let ct = graphct::bfs(&g, source);
+        prop_assert_eq!(&ct.dist, &ref_dist);
+        prop_assert!(validate_bfs(&g, source, &ct.dist, &ct.parent).is_ok());
+    }
+
+    #[test]
     fn triangle_counts_match_brute_force(el in arb_edge_list(32, 160)) {
         let g = build_undirected(&el);
         let want = reference_triangles(&g);
