@@ -146,7 +146,35 @@ fn main() {
         &native,
     );
 
+    // Triangle counting: on a prebuilt DAG view with a warmed scratch
+    // pool, a hash-marking sweep is a single parallel region with no
+    // boundaries to snapshot — gate the whole call instead.
+    gate_tc(&g, &sim, "tc/dag+hash");
+    gate_tc(&g, &native, "tc/dag+hash/native");
+
     println!("zero_alloc: all steady-state windows allocation-free");
+}
+
+/// Warm the per-worker mark pool with one sweep, then require a second
+/// sweep over the same DAG view to perform zero heap allocations.
+fn gate_tc(g: &xmt_graph::Csr, exec: &Executor, label: &str) {
+    use graphct::{IntersectStrategy, TcScratch};
+
+    let dag = xmt_graph::ops::dag::dag_view(g);
+    let mut scratch = TcScratch::new();
+    let warm =
+        graphct::count_triangles_dag(&dag, IntersectStrategy::Hash, None, exec, &mut scratch);
+
+    let before = alloc_count::total();
+    let count =
+        graphct::count_triangles_dag(&dag, IntersectStrategy::Hash, None, exec, &mut scratch);
+    let allocs = alloc_count::total() - before;
+    assert_eq!(count, warm, "{label}: warmed sweep changed the count");
+    assert!(
+        allocs == 0,
+        "{label}: {allocs} heap allocation(s) in a warmed hash-marking sweep"
+    );
+    println!("zero_alloc: {label}: 0 allocations in a warmed sweep ({count} triangles)");
 }
 
 /// Warm the frame with one full run, then re-run with a snapshotting

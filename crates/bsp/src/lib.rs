@@ -69,4 +69,5 @@ pub use runtime::{
     Delivery, ResumeError, ResumePoint, SlicedRun, StopHook, SuperstepFrame,
 };
 pub use transport::Transport;
+pub use xmt_graph::IntersectStrategy;
 pub use xmt_trace::{JobTrace, SuperstepTrace, TraceSink};

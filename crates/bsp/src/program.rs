@@ -182,6 +182,15 @@ impl<'a, M: Copy> Context<'a, M> {
         self.graph.degree(self.vertex)
     }
 
+    /// Out-degree of an arbitrary vertex `u` — one shared-memory read
+    /// of the CSR offsets (callers modeling cost should
+    /// [`charge_reads`](Self::charge_reads) it).  Lets programs order
+    /// vertices by `(degree, id)` rank, e.g. the degree-ordered
+    /// candidate pruning in triangle counting.
+    pub fn degree_of(&self, u: VertexId) -> u64 {
+        self.graph.degree(u)
+    }
+
     /// Send `msg` to an arbitrary vertex, delivered next superstep.
     pub fn send_to(&mut self, dst: VertexId, msg: M) {
         debug_assert!(dst < self.num_vertices, "message to nonexistent vertex");

@@ -88,6 +88,12 @@ pub struct BspConfig {
     /// estimated next frontier holds fewer than `n / beamer_beta`
     /// vertices (GAP default 18).
     pub beamer_beta: f64,
+    /// Adjacency-intersection strategy for triangle counting and
+    /// clustering jobs.  The BSP `TcProgram` always prunes candidates by
+    /// degree rank; this knob selects the shared-memory (GraphCT engine)
+    /// intersection kernel — see
+    /// [`xmt_graph::IntersectStrategy`].
+    pub intersect: xmt_graph::IntersectStrategy,
     /// Hard stop after this many supersteps (guards non-converging
     /// programs).
     pub max_supersteps: u64,
@@ -102,6 +108,7 @@ impl Default for BspConfig {
             pull_threshold: 0.5,
             beamer_alpha: 15.0,
             beamer_beta: 18.0,
+            intersect: xmt_graph::IntersectStrategy::Auto,
             max_supersteps: 10_000,
         }
     }

@@ -50,6 +50,7 @@ pub mod validate;
 pub use builder::{BuildOptions, CsrBuilder};
 pub use csr::Csr;
 pub use edge_list::EdgeList;
+pub use ops::dag::IntersectStrategy;
 
 /// Vertex identifier. The XMT is a 64-bit word machine and GraphCT uses
 /// 64-bit vertex ids; we do the same.

@@ -64,7 +64,9 @@ pub use kcore::kcore_decomposition;
 pub use pagerank::pagerank;
 pub use sssp::sssp;
 pub use triangles::{
-    clustering_coefficients, count_triangles, count_triangles_binsearch, count_triangles_exec,
-    count_triangles_instrumented,
+    clustering_coefficients, clustering_coefficients_with, count_triangles,
+    count_triangles_binsearch, count_triangles_dag, count_triangles_exec, count_triangles_idorder,
+    count_triangles_instrumented, count_triangles_with, TcScratch,
 };
 pub use workflow::Workflow;
+pub use xmt_graph::IntersectStrategy;

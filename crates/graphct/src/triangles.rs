@@ -7,34 +7,162 @@
 //! innermost loop is a merge intersection.  The shared-memory version
 //! "only produces a write when a triangle is detected" — the property
 //! that makes it 181× lighter on writes than the BSP variant.
+//!
+//! Two composable optimizations sit on top of that baseline:
+//!
+//! * **Degree-ordered direction** ([`xmt_graph::ops::dag::dag_view`]):
+//!   the default entry points sweep the DAG view, where every triangle
+//!   is rooted at its lowest-`(degree, id)` corner and hub adjacency
+//!   lists are never walked from the hub side.
+//! * **Intersection strategies** ([`IntersectStrategy`]): merge walk
+//!   (the paper's shape), binary-search probing, epoch-stamped hash
+//!   marking (the `tc.c` exemplar's mark array, with a stamp check
+//!   replacing the O(d) unmark pass), or a per-pair `Auto` choice.
+//!   Mark arrays live in a per-worker [`TcScratch`] pool, so the sweep
+//!   itself performs **zero heap allocations** (the `zero_alloc` gate
+//!   pins this for the hash strategy).
+//!
+//! The paper-faithful `v < u < w` id-order enumeration survives as
+//! [`count_triangles_idorder`]; the model-prediction figures keep using
+//! its merge variant so the reproduced numbers stay byte-identical.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use xmt_graph::{Csr, VertexId};
+use xmt_graph::ops::dag::dag_view;
+use xmt_graph::{Csr, IntersectStrategy, VertexId};
 use xmt_model::{PhaseCounts, Recorder};
 use xmt_par::atomic::as_atomic_u64;
-use xmt_par::{parallel_for, Executor};
+use xmt_par::{Executor, WorkerScratch};
+
+/// One worker's epoch-stamped mark array.
+///
+/// `stamps[w] == epoch` means `w` is marked in the current intersection
+/// window; bumping `epoch` unmarks everything in O(1) — the trick that
+/// replaces the `tc.c` exemplar's per-pair clear pass.
+#[derive(Default)]
+pub struct MarkScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl MarkScratch {
+    /// Grow the stamp array to cover `n` vertices (no-op once sized).
+    fn ensure(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Open a fresh marking window and return its stamp value.
+    ///
+    /// On `u32` wrap the array is cleared once — amortized O(1) over
+    /// four billion windows.
+    #[inline]
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// Reusable per-worker scratch for the hash-marking strategies.
+///
+/// Create once, [`prepare`](Self::prepare) outside the parallel region,
+/// and hand to [`count_triangles_dag`] as many times as you like: after
+/// the first call the sweep allocates nothing.
+pub struct TcScratch {
+    marks: WorkerScratch<MarkScratch>,
+}
+
+impl Default for TcScratch {
+    fn default() -> Self {
+        TcScratch::new()
+    }
+}
+
+impl TcScratch {
+    /// An empty pool (sized on first [`prepare`](Self::prepare)).
+    pub fn new() -> Self {
+        TcScratch {
+            marks: WorkerScratch::new(1),
+        }
+    }
+
+    /// Size the pool for `workers` workers and `n` vertices.  Must be
+    /// called before the parallel region — growing a slot inside the
+    /// sweep would put an allocation on the hot path.
+    pub fn prepare(&mut self, workers: usize, n: usize) {
+        if self.marks.len() < workers.max(1) {
+            self.marks = WorkerScratch::new(workers);
+        }
+        for m in self.marks.iter_mut() {
+            m.ensure(n);
+        }
+    }
+}
 
 /// Count each triangle of the undirected graph exactly once.
+///
+/// Default fast path: degree-ordered DAG sweep with the
+/// [`IntersectStrategy::Auto`] per-pair intersection choice.
 pub fn count_triangles(g: &Csr) -> u64 {
-    let (count, _) = run(g, &mut None, false, &Executor::fixed());
-    count
+    count_triangles_with(g, IntersectStrategy::Auto, None, &Executor::fixed())
 }
 
 /// As [`count_triangles`] on an explicit [`Executor`] — the native
 /// engine's entry point.  Guided chunking matters most here: per-vertex
-/// intersection work is proportional to degree², so RMAT hubs make
-/// static chunks wildly unbalanced.  The count is identical across
-/// executors.
+/// intersection work is degree-skewed even after DAG orientation, so
+/// RMAT hubs make static chunks unbalanced.  The count is identical
+/// across executors.
 pub fn count_triangles_exec(g: &Csr, exec: &Executor) -> u64 {
-    let (count, _) = run(g, &mut None, false, exec);
-    count
+    count_triangles_with(g, IntersectStrategy::Auto, None, exec)
 }
 
 /// As [`count_triangles`], recording a single `"count"` phase (observed =
-/// triangles found).
+/// triangles found) with strategy-aware operation charging.
 pub fn count_triangles_instrumented(g: &Csr, rec: &mut Recorder) -> u64 {
-    let (count, _) = run(g, &mut Some(rec), false, &Executor::fixed());
+    count_triangles_with(g, IntersectStrategy::Auto, Some(rec), &Executor::fixed())
+}
+
+/// Degree-ordered DAG triangle count with an explicit strategy.
+///
+/// Builds the DAG view and a fresh scratch pool internally; for an
+/// allocation-free steady state build them once and call
+/// [`count_triangles_dag`] directly.
+pub fn count_triangles_with(
+    g: &Csr,
+    strategy: IntersectStrategy,
+    rec: Option<&mut Recorder>,
+    exec: &Executor,
+) -> u64 {
+    assert!(
+        !g.is_directed(),
+        "triangle counting needs an undirected graph"
+    );
+    assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
+    let dag = dag_view(g);
+    let mut scratch = TcScratch::new();
+    count_triangles_dag(&dag, strategy, rec, exec, &mut scratch)
+}
+
+/// Sweep a prebuilt degree-ordered DAG view (see
+/// [`xmt_graph::ops::dag::dag_view`]).  With a
+/// [`prepare`](TcScratch::prepare)d scratch this performs zero heap
+/// allocations — the steady-state entry point for repeated counts over
+/// one graph.
+pub fn count_triangles_dag(
+    dag: &Csr,
+    strategy: IntersectStrategy,
+    rec: Option<&mut Recorder>,
+    exec: &Executor,
+    scratch: &mut TcScratch,
+) -> u64 {
+    assert!(dag.is_directed(), "count_triangles_dag takes the DAG view");
+    assert!(dag.is_sorted(), "triangle counting needs sorted adjacency");
+    let (count, _) = dag_sweep(dag, strategy, rec, false, exec, scratch);
     count
 }
 
@@ -42,9 +170,29 @@ pub fn count_triangles_instrumented(g: &Csr, rec: &mut Recorder) -> u64 {
 ///
 /// `cc[v] = 2·tri(v) / (d(v)·(d(v)−1))`, 0 for degree < 2.
 pub fn clustering_coefficients(g: &Csr) -> (Vec<f64>, u64) {
-    let (count, per_vertex) = run(g, &mut None, true, &Executor::fixed());
-    // lint:allow(no-panic-in-lib): unreachable — `run` returns Some
-    // whenever `per_vertex` is true, which this call hardcodes.
+    clustering_coefficients_with(g, IntersectStrategy::Auto, &Executor::fixed())
+}
+
+/// As [`clustering_coefficients`] with an explicit intersection strategy
+/// and executor.  Degrees in the coefficient come from the undirected
+/// graph; triangle credit comes from the DAG sweep (each triangle
+/// credits all three corners exactly once, so per-vertex tallies are
+/// orientation-invariant).
+pub fn clustering_coefficients_with(
+    g: &Csr,
+    strategy: IntersectStrategy,
+    exec: &Executor,
+) -> (Vec<f64>, u64) {
+    assert!(
+        !g.is_directed(),
+        "triangle counting needs an undirected graph"
+    );
+    assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
+    let dag = dag_view(g);
+    let mut scratch = TcScratch::new();
+    let (count, per_vertex) = dag_sweep(&dag, strategy, None, true, exec, &mut scratch);
+    // lint:allow(no-panic-in-lib): unreachable — dag_sweep returns
+    // per-vertex tallies whenever per_vertex is true.
     let tri = per_vertex.expect("per-vertex counts requested");
     let cc = (0..g.num_vertices())
         .map(|v| {
@@ -59,27 +207,255 @@ pub fn clustering_coefficients(g: &Csr) -> (Vec<f64>, u64) {
     (cc, count)
 }
 
-fn run(
-    g: &Csr,
-    rec: &mut Option<&mut Recorder>,
+/// The DAG-view sweep: for each vertex `v` and each out-neighbor `u`,
+/// count `|N⁺(v) ∩ N⁺(u)|` with the chosen strategy.  Every triangle is
+/// enumerated exactly once, rooted at its lowest-`(degree, id)` corner.
+#[allow(clippy::type_complexity)]
+fn dag_sweep(
+    dag: &Csr,
+    strategy: IntersectStrategy,
+    rec: Option<&mut Recorder>,
     per_vertex: bool,
     exec: &Executor,
+    scratch: &mut TcScratch,
 ) -> (u64, Option<Vec<u64>>) {
+    let n = dag.num_vertices() as usize;
+    scratch.prepare(exec.workers(), n);
+
+    let total = AtomicU64::new(0);
+    // probes: strategy-dependent compare/probe count; mark_writes: stamp
+    // stores (hash/auto only).  Both feed the model's PhaseCounts.
+    let probes_total = AtomicU64::new(0);
+    let marks_total = AtomicU64::new(0);
+    let mut tri_storage: Option<Vec<u64>> = per_vertex.then(|| vec![0u64; n]);
+    let tri: Option<&[AtomicU64]> = tri_storage.as_mut().map(|v| as_atomic_u64(v));
+
+    let marks = &scratch.marks;
+    let chunk = chunk(n, exec.workers());
+    exec.pfor_chunked(0, n, chunk as usize, |worker, range| {
+        // SAFETY: the pool runs at most one thread per worker id within
+        // this parallel region (WorkerScratch's contract).
+        let ms = unsafe { marks.get(worker) };
+        let mut local = 0u64;
+        let mut probes = 0u64;
+        let mut markw = 0u64;
+        for v in range {
+            let v = v as u64;
+            let nv = dag.neighbors(v);
+            if nv.len() < 2 {
+                continue; // a rooted wedge needs two out-neighbors
+            }
+            // Hash marking pays d⁺(v) stamp stores once per vertex and
+            // then probes each candidate in O(1); Auto defers the marking
+            // until the first pair that actually wants hash probing.
+            let mut epoch = 0u32;
+            if strategy == IntersectStrategy::Hash {
+                epoch = mark(ms, nv);
+                markw += nv.len() as u64;
+            }
+            let mut v_found = 0u64;
+            for &u in nv {
+                let nu = dag.neighbors(u);
+                if nu.is_empty() {
+                    continue;
+                }
+                let found = match strategy {
+                    IntersectStrategy::Merge => intersect_merge(nv, nu, tri, &mut probes),
+                    IntersectStrategy::BinSearch => intersect_binsearch(nv, nu, tri, &mut probes),
+                    IntersectStrategy::Hash => intersect_hash(ms, epoch, nu, tri, &mut probes),
+                    IntersectStrategy::Auto => {
+                        // Cost models: walk-short + binary-probe-long vs
+                        // probe every element of N⁺(u) against the marks.
+                        let short = nv.len().min(nu.len()) as u64;
+                        let long = nv.len().max(nu.len());
+                        let logl = (long.max(2)).ilog2() as u64 + 1;
+                        if short * logl < nu.len() as u64 {
+                            intersect_binsearch(nv, nu, tri, &mut probes)
+                        } else {
+                            if epoch == 0 {
+                                epoch = mark(ms, nv);
+                                markw += nv.len() as u64;
+                            }
+                            intersect_hash(ms, epoch, nu, tri, &mut probes)
+                        }
+                    }
+                };
+                if found > 0 {
+                    local += found;
+                    v_found += found;
+                    if let Some(tri) = &tri {
+                        // Relaxed (all tri[] adds): pure per-vertex
+                        // tallies, read only after the sweep joins.
+                        tri[u as usize].fetch_add(found, Ordering::Relaxed);
+                    }
+                }
+            }
+            if v_found > 0 {
+                if let Some(tri) = &tri {
+                    // Relaxed: tally, read post-join (as above).
+                    tri[v as usize].fetch_add(v_found, Ordering::Relaxed);
+                }
+            }
+        }
+        if local > 0 {
+            // Relaxed: tally accumulator, read only after the join.
+            total.fetch_add(local, Ordering::Relaxed);
+        }
+        probes_total.fetch_add(probes, Ordering::Relaxed); // Relaxed: stats, post-join
+        marks_total.fetch_add(markw, Ordering::Relaxed); // Relaxed: stats, post-join
+    });
+
+    // Relaxed: the parallel loop joined; adds happen-before these reads.
+    let count = total.load(Ordering::Relaxed);
+    if let Some(r) = rec {
+        let probes = probes_total.load(Ordering::Relaxed); // Relaxed: stats, post-join
+        let markw = marks_total.load(Ordering::Relaxed); // Relaxed: stats, post-join
+        let mut c = PhaseCounts::with_items(dag.num_arcs());
+        // Each probe reads one adjacency or stamp word; the sweep also
+        // streams every DAG arc once.  Marks are plain stores; each
+        // found triangle costs one shared (atomic) tally write.
+        c.reads = probes + dag.num_arcs();
+        c.alu_ops = probes;
+        c.writes = count + markw;
+        c.atomics = count;
+        c.charge_loop_overhead(chunk);
+        c.barriers = 1;
+        r.push("count", 0, c, count);
+    }
+    (count, tri_storage)
+}
+
+/// Stamp every element of `list` into the current epoch; returns it.
+#[inline]
+fn mark(ms: &mut MarkScratch, list: &[VertexId]) -> u32 {
+    let epoch = ms.next_epoch();
+    for &x in list {
+        ms.stamps[x as usize] = epoch;
+    }
+    epoch
+}
+
+/// Merge-walk `|a ∩ b|` (sorted lists), crediting third corners into
+/// `tri`; `probes` accrues one compare per merge step plus setup.
+fn intersect_merge(
+    a: &[VertexId],
+    b: &[VertexId],
+    tri: Option<&[AtomicU64]>,
+    probes: &mut u64,
+) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0u64;
+    *probes += 2;
+    while i < a.len() && j < b.len() {
+        *probes += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                if let Some(tri) = tri {
+                    // Relaxed: per-vertex tally, read after the join.
+                    tri[a[i] as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Walk the shorter list, binary-search the longer; `probes` accrues
+/// `⌈log₂ long⌉` per element walked.
+fn intersect_binsearch(
+    a: &[VertexId],
+    b: &[VertexId],
+    tri: Option<&[AtomicU64]>,
+    probes: &mut u64,
+) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let logl = (long.len().max(2)).ilog2() as u64 + 1;
+    let mut count = 0u64;
+    for &w in short {
+        *probes += logl;
+        if long.binary_search(&w).is_ok() {
+            count += 1;
+            if let Some(tri) = tri {
+                // Relaxed: per-vertex tally, read after the join.
+                tri[w as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    count
+}
+
+/// Probe every element of `b` against the epoch marks (the marked list
+/// was stamped by [`mark`]); one stamp read per element.
+fn intersect_hash(
+    ms: &MarkScratch,
+    epoch: u32,
+    b: &[VertexId],
+    tri: Option<&[AtomicU64]>,
+    probes: &mut u64,
+) -> u64 {
+    let mut count = 0u64;
+    *probes += b.len() as u64;
+    for &w in b {
+        if ms.stamps[w as usize] == epoch {
+            count += 1;
+            if let Some(tri) = tri {
+                // Relaxed: per-vertex tally, read after the join.
+                tri[w as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    count
+}
+
+/// Paper-faithful `v < u < w` id-order enumeration over the undirected
+/// graph, with a pluggable intersection strategy.
+///
+/// The [`IntersectStrategy::Merge`] variant reproduces the original §V
+/// kernel *exactly* — same walk, same operation charging — and anchors
+/// the model-prediction figures; the other strategies measure what the
+/// intersection mechanism alone buys without the DAG reordering.
+pub fn count_triangles_idorder(
+    g: &Csr,
+    strategy: IntersectStrategy,
+    rec: Option<&mut Recorder>,
+    exec: &Executor,
+) -> u64 {
     assert!(
         !g.is_directed(),
         "triangle counting needs an undirected graph"
     );
     assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
-    let n = g.num_vertices() as usize;
+    match strategy {
+        IntersectStrategy::Merge => idorder_merge(g, rec, exec),
+        IntersectStrategy::BinSearch => idorder_binsearch(g, rec, exec),
+        IntersectStrategy::Hash | IntersectStrategy::Auto => idorder_hash(g, rec, exec),
+    }
+}
 
+/// Triangle counting with the *binary-search* intersection strategy in
+/// the id-order enumeration: walk the shorter candidate range and probe
+/// the longer list.  On skewed degree distributions this does
+/// `d_min · log d_max` work instead of the merge walk's `d_min + d_max`
+/// — the strategy trade-off the paper's §VI points to.  Compare with
+/// [`count_triangles`] via the `intersection` Criterion bench and the
+/// `ablation_intersect` binary.
+pub fn count_triangles_binsearch(g: &Csr, rec: Option<&mut Recorder>, exec: &Executor) -> u64 {
+    count_triangles_idorder(g, IntersectStrategy::BinSearch, rec, exec)
+}
+
+/// The original §V merge kernel (id order, merge intersection).  Kept
+/// byte-identical in both walk and charging: the reproduced figures and
+/// the instrumentation tests pin its exact operation counts.
+fn idorder_merge(g: &Csr, rec: Option<&mut Recorder>, exec: &Executor) -> u64 {
+    let n = g.num_vertices() as usize;
     let total = AtomicU64::new(0);
     let compares = AtomicU64::new(0);
-    // One zeroed allocation (the allocator hands back pre-zeroed pages)
-    // viewed as atomics for the sweep, then returned as plain `u64`s —
-    // no per-element construction on entry and no conversion pass on
-    // exit, so both entry points share the same buffer end to end.
-    let mut tri_storage: Option<Vec<u64>> = per_vertex.then(|| vec![0u64; n]);
-    let tri: Option<&[AtomicU64]> = tri_storage.as_mut().map(|v| as_atomic_u64(v));
 
     exec.pfor(0, n, |v| {
         let v = v as u64;
@@ -96,18 +472,6 @@ fn run(
             let (found, cmp) = intersect_above(nv, nu, u);
             local += found;
             local_cmp += cmp;
-            if let Some(tri) = &tri {
-                if found > 0 {
-                    // Relaxed (all tri[] adds): pure per-vertex tallies,
-                    // read only after the parallel_for joins.
-                    tri[v as usize].fetch_add(found, Ordering::Relaxed);
-                    // Relaxed: tally, read post-join (as above).
-                    tri[u as usize].fetch_add(found, Ordering::Relaxed);
-                    // The third corner w also gets credit; recompute the
-                    // members to attribute them (cheap: found is tiny).
-                    credit_third_corners(nv, nu, u, tri);
-                }
-            }
         }
         if local > 0 {
             // Relaxed: tally accumulator, read only after the join.
@@ -116,9 +480,9 @@ fn run(
         compares.fetch_add(local_cmp, Ordering::Relaxed); // Relaxed: stats, post-join
     });
 
-    // Relaxed: the parallel_for joined; adds happen-before this read.
+    // Relaxed: the parallel loop joined; adds happen-before this read.
     let count = total.load(Ordering::Relaxed);
-    if let Some(r) = rec.as_deref_mut() {
+    if let Some(r) = rec {
         let cmp = compares.load(Ordering::Relaxed); // Relaxed: post-join read
         let mut c = PhaseCounts::with_items(g.num_arcs());
         // Each merge step reads one adjacency word and compares; each
@@ -131,29 +495,15 @@ fn run(
         c.barriers = 1;
         r.push("count", 0, c, count);
     }
-
-    (count, tri_storage)
+    count
 }
 
-/// Triangle counting with the *binary-search* intersection strategy:
-/// walk the shorter list and probe the longer one.  On skewed degree
-/// distributions (one hub, one leaf) this does `d_min · log d_max` work
-/// instead of the merge walk's `d_min + d_max` — the strategy trade-off
-/// the paper's §VI points to ("the exact mechanisms of performing the
-/// neighbor intersection can be varied, see ref \[12\]").  Compare with
-/// [`count_triangles`] via the `intersection` Criterion bench and the
-/// `ablation_intersect` binary.
-pub fn count_triangles_binsearch(g: &Csr, mut rec: Option<&mut Recorder>) -> u64 {
-    assert!(
-        !g.is_directed(),
-        "triangle counting needs an undirected graph"
-    );
-    assert!(g.is_sorted(), "triangle counting needs sorted adjacency");
+fn idorder_binsearch(g: &Csr, rec: Option<&mut Recorder>, exec: &Executor) -> u64 {
     let n = g.num_vertices() as usize;
     let total = AtomicU64::new(0);
     let probes = AtomicU64::new(0);
 
-    parallel_for(0, n, |v| {
+    exec.pfor(0, n, |v| {
         let v = v as u64;
         let nv = g.neighbors(v);
         let mut local = 0u64;
@@ -184,16 +534,81 @@ pub fn count_triangles_binsearch(g: &Csr, mut rec: Option<&mut Recorder>) -> u64
         probes.fetch_add(local_probes, Ordering::Relaxed); // Relaxed: stats, post-join
     });
 
-    // Relaxed: the parallel_for joined; adds happen-before this read.
+    // Relaxed: the parallel loop joined; adds happen-before this read.
     let count = total.load(Ordering::Relaxed);
-    if let Some(r) = rec.take() {
+    if let Some(r) = rec {
         let p = probes.load(Ordering::Relaxed); // Relaxed: post-join read
         let mut c = PhaseCounts::with_items(g.num_arcs());
         c.reads = p + g.num_arcs();
         c.alu_ops = p;
         c.writes = count;
         c.atomics = count;
-        c.charge_loop_overhead(chunk(n, xmt_par::num_threads()));
+        c.charge_loop_overhead(chunk(n, exec.workers()));
+        c.barriers = 1;
+        r.push("count", 0, c, count);
+    }
+    count
+}
+
+/// Id-order enumeration with hash marking: stamp N(v) once per vertex,
+/// then probe each higher neighbor's list above the `w > u` floor.
+fn idorder_hash(g: &Csr, rec: Option<&mut Recorder>, exec: &Executor) -> u64 {
+    let n = g.num_vertices() as usize;
+    let total = AtomicU64::new(0);
+    let probes_total = AtomicU64::new(0);
+    let marks_total = AtomicU64::new(0);
+    let mut scratch = TcScratch::new();
+    scratch.prepare(exec.workers(), n);
+    let marks = &scratch.marks;
+
+    let chunk_size = chunk(n, exec.workers());
+    exec.pfor_chunked(0, n, chunk_size as usize, |worker, range| {
+        // SAFETY: one thread per worker id within this parallel region.
+        let ms = unsafe { marks.get(worker) };
+        let mut local = 0u64;
+        let mut probes = 0u64;
+        let mut markw = 0u64;
+        for v in range {
+            let v = v as u64;
+            let nv = g.neighbors(v);
+            if nv.len() < 2 || *nv.last().unwrap_or(&0) <= v {
+                continue; // no u > v ⇒ no wedge rooted here
+            }
+            let epoch = mark(ms, nv);
+            markw += nv.len() as u64;
+            for &u in nv {
+                if u <= v {
+                    continue;
+                }
+                let nu = g.neighbors(u);
+                let ui = nu.partition_point(|&x| x <= u);
+                probes += (nu.len() - ui) as u64 + 2;
+                for &w in &nu[ui..] {
+                    if ms.stamps[w as usize] == epoch {
+                        local += 1;
+                    }
+                }
+            }
+        }
+        if local > 0 {
+            // Relaxed: tally accumulator, read only after the join.
+            total.fetch_add(local, Ordering::Relaxed);
+        }
+        probes_total.fetch_add(probes, Ordering::Relaxed); // Relaxed: stats, post-join
+        marks_total.fetch_add(markw, Ordering::Relaxed); // Relaxed: stats, post-join
+    });
+
+    // Relaxed: the parallel loop joined; adds happen-before these reads.
+    let count = total.load(Ordering::Relaxed);
+    if let Some(r) = rec {
+        let probes = probes_total.load(Ordering::Relaxed); // Relaxed: stats, post-join
+        let markw = marks_total.load(Ordering::Relaxed); // Relaxed: stats, post-join
+        let mut c = PhaseCounts::with_items(g.num_arcs());
+        c.reads = probes + g.num_arcs();
+        c.alu_ops = probes;
+        c.writes = count + markw;
+        c.atomics = count;
+        c.charge_loop_overhead(chunk_size);
         c.barriers = 1;
         r.push("count", 0, c, count);
     }
@@ -220,25 +635,6 @@ fn intersect_above(a: &[VertexId], b: &[VertexId], floor: VertexId) -> (u64, u64
         }
     }
     (count, cmp)
-}
-
-/// Attribute triangle credit to the third corner `w` of each triangle
-/// `(v, u, w)` found in the intersection.
-fn credit_third_corners(nv: &[VertexId], nu: &[VertexId], floor: VertexId, tri: &[AtomicU64]) {
-    let mut i = nv.partition_point(|&x| x <= floor);
-    let mut j = nu.partition_point(|&x| x <= floor);
-    while i < nv.len() && j < nu.len() {
-        match nv[i].cmp(&nu[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // Relaxed: per-vertex tally, read after the sweep joins.
-                tri[nv[i] as usize].fetch_add(1, Ordering::Relaxed);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
 }
 
 fn chunk(n: usize, workers: usize) -> u64 {
@@ -286,6 +682,61 @@ mod tests {
     }
 
     #[test]
+    fn every_strategy_counts_identically_dag_and_idorder() {
+        for seed in 0..3u64 {
+            let el = xmt_graph::gen::er::gnm(150, 1200, seed);
+            let g = build_undirected(&el);
+            let want = reference_triangles(&g);
+            for exec in [Executor::fixed(), Executor::guided()] {
+                for s in IntersectStrategy::ALL {
+                    assert_eq!(
+                        count_triangles_with(&g, s, None, &exec),
+                        want,
+                        "dag/{s:?} seed {seed}"
+                    );
+                    assert_eq!(
+                        count_triangles_idorder(&g, s, None, &exec),
+                        want,
+                        "idorder/{s:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_entry_point_recycles_scratch() {
+        let el = xmt_graph::gen::er::gnm(200, 1500, 11);
+        let g = build_undirected(&el);
+        let want = reference_triangles(&g);
+        let dag = xmt_graph::ops::dag::dag_view(&g);
+        let exec = Executor::fixed();
+        let mut scratch = TcScratch::new();
+        for _ in 0..3 {
+            for s in IntersectStrategy::ALL {
+                assert_eq!(
+                    count_triangles_dag(&dag, s, None, &exec, &mut scratch),
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_wrap_resets_marks() {
+        let mut ms = MarkScratch::default();
+        ms.ensure(4);
+        ms.epoch = u32::MAX - 1;
+        let e1 = ms.next_epoch();
+        assert_eq!(e1, u32::MAX);
+        ms.stamps[2] = e1;
+        // Wrap: the array is cleared so stale stamps can never collide.
+        let e2 = ms.next_epoch();
+        assert_eq!(e2, 1);
+        assert!(ms.stamps.iter().all(|&s| s == 0));
+    }
+
+    #[test]
     fn clustering_coefficient_of_clique_is_one() {
         let g = build_undirected(&clique(7));
         let (cc, count) = clustering_coefficients(&g);
@@ -320,42 +771,64 @@ mod tests {
     }
 
     #[test]
+    fn clustering_agrees_across_strategies() {
+        let el = xmt_graph::gen::er::gnm(120, 1000, 5);
+        let g = build_undirected(&el);
+        let (want_cc, want_n) =
+            clustering_coefficients_with(&g, IntersectStrategy::Merge, &Executor::fixed());
+        for s in [
+            IntersectStrategy::BinSearch,
+            IntersectStrategy::Hash,
+            IntersectStrategy::Auto,
+        ] {
+            let (cc, n) = clustering_coefficients_with(&g, s, &Executor::guided());
+            assert_eq!(n, want_n, "{s:?}");
+            assert_eq!(cc, want_cc, "{s:?}");
+        }
+    }
+
+    #[test]
     fn binsearch_variant_counts_identically() {
         for seed in 0..3u64 {
             let el = xmt_graph::gen::er::gnm(150, 1200, seed);
             let g = build_undirected(&el);
             assert_eq!(
-                count_triangles_binsearch(&g, None),
+                count_triangles_binsearch(&g, None, &Executor::fixed()),
                 count_triangles(&g),
                 "seed {seed}"
             );
         }
         let g = build_undirected(&clique(9));
-        assert_eq!(count_triangles_binsearch(&g, None), clique_triangles(9));
+        assert_eq!(
+            count_triangles_binsearch(&g, None, &Executor::guided()),
+            clique_triangles(9)
+        );
     }
 
     #[test]
     fn degree_ordering_reduces_intersection_work_on_rmat() {
-        // Relabeling by ascending degree makes hubs highest-ordered, so
-        // the v < u < w enumeration iterates from low-degree endpoints —
-        // same count, less work.
-        use xmt_graph::ops::degree_order::degree_ascending_permutation;
-        use xmt_graph::ops::relabel::relabel;
+        // The DAG view iterates every intersection from the low-degree
+        // endpoint, so the default path reads far fewer adjacency words
+        // than the raw id-order merge enumeration on a hub-heavy graph.
         let p = xmt_graph::gen::rmat::RmatParams::graph500(10);
         let g = build_undirected(&xmt_graph::gen::rmat::rmat_edges(&p, 4));
-        let h = relabel(&g, &degree_ascending_permutation(&g));
 
         let mut raw_rec = Recorder::new();
-        let raw = count_triangles_instrumented(&g, &mut raw_rec);
-        let mut ord_rec = Recorder::new();
-        let ordered = count_triangles_instrumented(&h, &mut ord_rec);
-        assert_eq!(raw, ordered, "count is order-invariant");
+        let raw = count_triangles_idorder(
+            &g,
+            IntersectStrategy::Merge,
+            Some(&mut raw_rec),
+            &Executor::fixed(),
+        );
+        let mut dag_rec = Recorder::new();
+        let dag = count_triangles_instrumented(&g, &mut dag_rec);
+        assert_eq!(raw, dag, "count is order-invariant");
 
         let raw_reads = raw_rec.with_label("count").next().unwrap().counts.reads;
-        let ord_reads = ord_rec.with_label("count").next().unwrap().counts.reads;
+        let dag_reads = dag_rec.with_label("count").next().unwrap().counts.reads;
         assert!(
-            ord_reads < raw_reads,
-            "ordering should cut reads: {ord_reads} vs {raw_reads}"
+            dag_reads < raw_reads,
+            "DAG ordering should cut reads: {dag_reads} vs {raw_reads}"
         );
     }
 
@@ -366,14 +839,47 @@ mod tests {
         el.push(1, 2); // triangle (0,1,2)
         let g = build_undirected(&el);
         let mut merge_rec = Recorder::new();
-        count_triangles_instrumented(&g, &mut merge_rec);
+        count_triangles_idorder(
+            &g,
+            IntersectStrategy::Merge,
+            Some(&mut merge_rec),
+            &Executor::fixed(),
+        );
         let mut bin_rec = Recorder::new();
-        assert_eq!(count_triangles_binsearch(&g, Some(&mut bin_rec)), 1);
+        assert_eq!(
+            count_triangles_binsearch(&g, Some(&mut bin_rec), &Executor::fixed()),
+            1
+        );
         let merge_reads = merge_rec.with_label("count").next().unwrap().counts.reads;
         let bin_reads = bin_rec.with_label("count").next().unwrap().counts.reads;
         assert!(
             bin_reads < merge_reads,
             "binary search should win on skew: {bin_reads} vs {merge_reads}"
+        );
+    }
+
+    #[test]
+    fn hash_marks_charge_as_writes() {
+        let g = build_undirected(&clique(10));
+        let mut merge_rec = Recorder::new();
+        count_triangles_with(
+            &g,
+            IntersectStrategy::Merge,
+            Some(&mut merge_rec),
+            &Executor::fixed(),
+        );
+        let mut hash_rec = Recorder::new();
+        count_triangles_with(
+            &g,
+            IntersectStrategy::Hash,
+            Some(&mut hash_rec),
+            &Executor::fixed(),
+        );
+        let merge_writes = merge_rec.with_label("count").next().unwrap().counts.writes;
+        let hash_writes = hash_rec.with_label("count").next().unwrap().counts.writes;
+        assert!(
+            hash_writes > merge_writes,
+            "stamp stores must be charged: {hash_writes} vs {merge_writes}"
         );
     }
 
@@ -385,8 +891,27 @@ mod tests {
         assert_eq!(count, clique_triangles(10));
         let r = rec.with_label("count").next().unwrap();
         assert_eq!(r.observed, count);
-        assert_eq!(r.counts.writes, count);
-        // Key asymmetry vs BSP: writes ≈ triangles, not candidates.
+        assert_eq!(r.counts.atomics, count);
+        // Key asymmetry vs BSP: writes ≈ triangles (+ mark stamps), not
+        // candidate messages.
         assert!(r.counts.reads > r.counts.writes);
+    }
+
+    #[test]
+    fn idorder_merge_charging_is_unchanged() {
+        // The paper-faithful baseline: one shared write per triangle,
+        // exactly — the instrumentation contract the figures pin.
+        let g = build_undirected(&clique(10));
+        let mut rec = Recorder::new();
+        let count = count_triangles_idorder(
+            &g,
+            IntersectStrategy::Merge,
+            Some(&mut rec),
+            &Executor::fixed(),
+        );
+        let r = rec.with_label("count").next().unwrap();
+        assert_eq!(count, clique_triangles(10));
+        assert_eq!(r.counts.writes, count);
+        assert_eq!(r.counts.atomics, count);
     }
 }

@@ -272,8 +272,14 @@ fn execute_graphct(
                 max_iterations: spec.config.max_supersteps as usize,
             },
         )),
-        // One-shot kernel (no per-level structure to trace).
-        Algorithm::Triangles => JobOutput::Triangles(graphct::count_triangles(graph)),
+        // One-shot kernel (no per-level structure to trace).  Honors the
+        // job config's intersection strategy (DAG-ordered sweep).
+        Algorithm::Triangles => JobOutput::Triangles(graphct::count_triangles_with(
+            graph,
+            spec.config.intersect,
+            None,
+            &Executor::fixed(),
+        )),
     };
     Ok(ExecVerdict::Completed {
         output,

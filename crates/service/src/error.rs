@@ -44,14 +44,15 @@ pub enum ServiceError {
     /// The job exists but is not in a state the operation applies to.
     WrongState { id: u64, state: String },
     /// A tuning parameter in the submitted `BspConfig` fails validation
-    /// (non-finite or negative); nothing was enqueued.  Distinct from
-    /// `BadRequest` so clients can tell a malformed envelope from a
-    /// well-formed request carrying an unusable config.
+    /// (non-finite or negative numeric knob, unknown intersect
+    /// strategy...); nothing was enqueued.  Distinct from `BadRequest`
+    /// so clients can tell a malformed envelope from a well-formed
+    /// request carrying an unusable config.
     InvalidConfig {
         /// The offending `BspConfig` field name.
         field: &'static str,
-        /// The rejected value (may be NaN or infinite).
-        value: f64,
+        /// Why the value was rejected (includes the value itself).
+        reason: String,
     },
     /// The request is malformed (unknown op/algorithm, missing field,
     /// out-of-range parameter...).
@@ -117,10 +118,9 @@ impl fmt::Display for ServiceError {
             ServiceError::WrongState { id, state } => {
                 write!(f, "job {id} is {state}; operation does not apply")
             }
-            ServiceError::InvalidConfig { field, value } => write!(
-                f,
-                "config field `{field}` must be finite and non-negative, got {value}"
-            ),
+            ServiceError::InvalidConfig { field, reason } => {
+                write!(f, "config field `{field}`: {reason}")
+            }
             ServiceError::BadRequest { message } => write!(f, "bad request: {message}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Internal { message } => write!(f, "internal error: {message}"),

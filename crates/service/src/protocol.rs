@@ -19,7 +19,7 @@
 
 use serde::{Content, Deserialize};
 
-use xmt_bsp::BspConfig;
+use xmt_bsp::{BspConfig, IntersectStrategy};
 use xmt_graph::builder::build_undirected;
 use xmt_graph::gen::rmat::{rmat_edges, RmatParams};
 use xmt_graph::gen::{er, structured};
@@ -253,10 +253,20 @@ fn parse_job_spec(c: &Content) -> Result<JobSpec, ServiceError> {
         })?,
     };
     // `config` takes a full serialized BspConfig (strict, all fields);
-    // `max_supersteps` alone is the common-case shortcut.
+    // `max_supersteps` and `intersect` alone are common-case shortcuts.
     let mut config: BspConfig = opt(c, "config")?.unwrap_or_default();
     if let Some(max) = opt::<u64>(c, "max_supersteps")? {
         config.max_supersteps = max;
+    }
+    if let Some(name) = opt::<String>(c, "intersect")? {
+        config.intersect =
+            IntersectStrategy::parse(&name).ok_or_else(|| ServiceError::InvalidConfig {
+                field: "intersect",
+                reason: format!(
+                    "unknown intersect strategy `{name}` (expected `merge`, `binsearch`, \
+                     `hash`, or `auto`)"
+                ),
+            })?;
     }
     validate_config(&config)?;
     Ok(JobSpec {
@@ -284,7 +294,10 @@ fn validate_config(config: &BspConfig) -> Result<(), ServiceError> {
         ("beamer_beta", config.beamer_beta),
     ] {
         if !value.is_finite() || value < 0.0 {
-            return Err(ServiceError::InvalidConfig { field, value });
+            return Err(ServiceError::InvalidConfig {
+                field,
+                reason: format!("must be finite and non-negative, got {value}"),
+            });
         }
     }
     Ok(())
@@ -694,6 +707,48 @@ mod tests {
         assert_eq!(spec.config.beamer_beta, 9.0);
         assert_eq!(spec.priority, 5);
         assert_eq!(spec.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn intersect_shortcut_sets_strategy() {
+        // Shortcut field, lowercase CLI spelling.
+        let Request::Submit { spec } =
+            parse(r#"{"op":"submit","algorithm":"tc","graph":"g","intersect":"hash"}"#).unwrap()
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.config.intersect, IntersectStrategy::Hash);
+        // Default when absent.
+        let Request::Submit { spec } =
+            parse(r#"{"op":"submit","algorithm":"tc","graph":"g"}"#).unwrap()
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.config.intersect, IntersectStrategy::Auto);
+        // A full config also carries the strategy (wire variant name).
+        let json = serde_json::to_string(&BspConfig {
+            intersect: IntersectStrategy::BinSearch,
+            ..BspConfig::default()
+        })
+        .unwrap();
+        assert!(json.contains("\"BinSearch\""));
+        let line = format!(r#"{{"op":"submit","algorithm":"tc","graph":"g","config":{json}}}"#);
+        let Request::Submit { spec } = parse(&line).unwrap() else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.config.intersect, IntersectStrategy::BinSearch);
+    }
+
+    #[test]
+    fn unknown_intersect_strategy_is_invalid_config() {
+        let err = parse(r#"{"op":"submit","algorithm":"tc","graph":"g","intersect":"quadratic"}"#)
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid_config");
+        let ServiceError::InvalidConfig { field, reason } = &err else {
+            panic!("wrong variant");
+        };
+        assert_eq!(*field, "intersect");
+        assert!(reason.contains("quadratic"), "{reason}");
     }
 
     #[test]

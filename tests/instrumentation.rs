@@ -149,10 +149,15 @@ fn graphct_bfs_level_counts_match_the_frontier() {
 #[test]
 fn tc_write_counts_separate_the_two_models() {
     // K6: 20 triangles, 15 edges. The BSP variant writes per message;
-    // shared memory writes once per triangle.
+    // the paper-faithful merge kernel writes once per triangle.
     let g = build_undirected(&clique(6));
     let mut ct_rec = Recorder::new();
-    let tri = graphct::count_triangles_instrumented(&g, &mut ct_rec);
+    let tri = graphct::count_triangles_idorder(
+        &g,
+        graphct::IntersectStrategy::Merge,
+        Some(&mut ct_rec),
+        &xmt_bsp_repro::par::Executor::fixed(),
+    );
     assert_eq!(tri, 20);
     let ct_writes: u64 = ct_rec.records.iter().map(|r| r.counts.writes).sum();
     assert_eq!(ct_writes, 20, "one write per triangle");

@@ -121,6 +121,45 @@ proptest! {
     }
 
     #[test]
+    fn triangle_strategies_agree_on_rmat(scale in 4u32..8, seed in 0u64..6) {
+        use xmt_bsp_repro::graph::gen::rmat::{rmat_edges, RmatParams};
+        let g = build_undirected(&rmat_edges(&RmatParams::graph500(scale), seed));
+        let want = reference_triangles(&g);
+        for exec in [par::Executor::fixed(), par::Executor::guided()] {
+            for strategy in graphct::IntersectStrategy::ALL {
+                // Degree-ordered DAG sweep (the optimized path) ...
+                prop_assert_eq!(
+                    graphct::count_triangles_with(&g, strategy, None, &exec),
+                    want,
+                    "dag strategy {} on {:?}", strategy.name(), exec
+                );
+                // ... and the id-order sweep it replaced.
+                prop_assert_eq!(
+                    graphct::count_triangles_idorder(&g, strategy, None, &exec),
+                    want,
+                    "idorder strategy {} on {:?}", strategy.name(), exec
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_strategies_agree_on_gnm(n in 8u64..64, m in 0u64..300, seed in 0u64..6) {
+        use xmt_bsp_repro::graph::gen::er::gnm;
+        let g = build_undirected(&gnm(n, m, seed));
+        let want = reference_triangles(&g);
+        for exec in [par::Executor::fixed(), par::Executor::guided()] {
+            for strategy in graphct::IntersectStrategy::ALL {
+                prop_assert_eq!(
+                    graphct::count_triangles_with(&g, strategy, None, &exec),
+                    want,
+                    "dag strategy {} on {:?}", strategy.name(), exec
+                );
+            }
+        }
+    }
+
+    #[test]
     fn clustering_coefficients_are_probabilities(el in arb_edge_list(32, 160)) {
         let g = build_undirected(&el);
         let (cc, _) = graphct::clustering_coefficients(&g);
